@@ -1,0 +1,295 @@
+//! A Protobuf-style serializer (tag/wire-type + varint TLV encoding).
+//!
+//! Mirrors the Rust `protobuf` crate's data-movement profile as the paper
+//! uses it (§6.1.3): message structs own their field data, so
+//!
+//! - *setting* a bytes field copies the application bytes into the struct
+//!   (cold copy + heap allocation),
+//! - *encoding* writes tags/lengths and copies each field into the output —
+//!   the paper's setup encodes directly into DMA-safe memory (warm copy),
+//! - *decoding* parses TLV and copies every field out into an owned vector
+//!   (protobuf deserialization is not zero-copy).
+
+use std::fmt;
+
+use cf_sim::cost::Category;
+use cf_sim::Sim;
+
+use crate::varint::{decode_varint, push_varint, varint_len};
+
+/// Decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A varint was truncated or overlong.
+    BadVarint,
+    /// A length-delimited field ran past the end of the buffer.
+    Truncated,
+    /// An unsupported wire type was encountered.
+    BadWireType(u8),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadVarint => write!(f, "bad varint"),
+            ProtoError::Truncated => write!(f, "truncated field"),
+            ProtoError::BadWireType(t) => write!(f, "unsupported wire type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const WT_VARINT: u8 = 0;
+const WT_LEN: u8 = 2;
+
+fn tag(field: u64, wt: u8) -> u64 {
+    (field << 3) | wt as u64
+}
+
+/// The Protobuf-encoded multi-get message (`GetM` in the paper's schema):
+/// `int32 id = 1; repeated bytes keys = 2; repeated bytes vals = 3;`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PGetM {
+    /// Request identifier.
+    pub id: Option<u32>,
+    /// Queried keys (owned, as protobuf structs own their data).
+    pub keys: Vec<Vec<u8>>,
+    /// Returned values (owned).
+    pub vals: Vec<Vec<u8>>,
+}
+
+impl PGetM {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a key, copying the bytes into the struct (charged cold copy +
+    /// allocation, like `protobuf`'s owned `Vec<u8>` fields).
+    pub fn add_key(&mut self, sim: &Sim, data: &[u8]) {
+        Self::charge_field_copy(sim, data);
+        self.keys.push(data.to_vec());
+    }
+
+    /// Sets a value, copying the bytes into the struct.
+    pub fn add_val(&mut self, sim: &Sim, data: &[u8]) {
+        Self::charge_field_copy(sim, data);
+        self.vals.push(data.to_vec());
+    }
+
+    fn charge_field_copy(sim: &Sim, data: &[u8]) {
+        let costs = sim.costs();
+        sim.charge(Category::Alloc, costs.heap_alloc);
+        // The destination is a fresh heap vector; model it with a synthetic
+        // post-heap address so the copy source's residency dominates.
+        sim.charge_memcpy(
+            Category::SerializeCopy,
+            data.as_ptr() as u64,
+            data.as_ptr() as u64 ^ 0x5000_0000_0000,
+            data.len(),
+        );
+    }
+
+    /// Exact encoded size.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 0;
+        if let Some(id) = self.id {
+            n += varint_len(tag(1, WT_VARINT)) + varint_len(id as u64);
+        }
+        for k in &self.keys {
+            n += varint_len(tag(2, WT_LEN)) + varint_len(k.len() as u64) + k.len();
+        }
+        for v in &self.vals {
+            n += varint_len(tag(3, WT_LEN)) + varint_len(v.len() as u64) + v.len();
+        }
+        n
+    }
+
+    /// Encodes into a fresh vector, charging varint compute plus one (warm:
+    /// the struct's copies are cache-resident) copy per field toward the
+    /// DMA buffer at `dma_addr`.
+    pub fn encode(&self, sim: &Sim, dma_addr: u64) -> Vec<u8> {
+        let costs = sim.costs();
+        let mut out = Vec::with_capacity(self.encoded_len());
+        sim.charge(Category::Alloc, costs.heap_alloc);
+        let mut header_bytes = 0usize;
+        if let Some(id) = self.id {
+            header_bytes += push_varint(tag(1, WT_VARINT), &mut out);
+            header_bytes += push_varint(id as u64, &mut out);
+            sim.charge(Category::HeaderWrite, costs.per_field);
+        }
+        for (field, list) in [(2u64, &self.keys), (3u64, &self.vals)] {
+            for item in list {
+                header_bytes += push_varint(tag(field, WT_LEN), &mut out);
+                header_bytes += push_varint(item.len() as u64, &mut out);
+                sim.charge(Category::HeaderWrite, costs.lib_field_overhead(item.len()));
+                sim.charge_memcpy(
+                    Category::SerializeCopy,
+                    item.as_ptr() as u64,
+                    dma_addr + out.len() as u64,
+                    item.len(),
+                );
+                out.extend_from_slice(item);
+            }
+        }
+        sim.charge(
+            Category::HeaderWrite,
+            header_bytes as f64 * costs.varint_per_byte,
+        );
+        out
+    }
+
+    /// Decodes from `buf`, copying every field out into owned vectors
+    /// (charged cold copies — the receive buffer was just DMA'd).
+    pub fn decode(sim: &Sim, buf: &[u8]) -> Result<PGetM, ProtoError> {
+        let costs = sim.costs();
+        let mut m = PGetM::new();
+        let mut off = 0usize;
+        let mut header_bytes = 0usize;
+        while off < buf.len() {
+            let (t, n) = decode_varint(&buf[off..]).ok_or(ProtoError::BadVarint)?;
+            off += n;
+            header_bytes += n;
+            let field = t >> 3;
+            let wt = (t & 7) as u8;
+            match wt {
+                WT_VARINT => {
+                    let (v, n) = decode_varint(&buf[off..]).ok_or(ProtoError::BadVarint)?;
+                    off += n;
+                    header_bytes += n;
+                    if field == 1 {
+                        m.id = Some(v as u32);
+                    }
+                }
+                WT_LEN => {
+                    let (len, n) = decode_varint(&buf[off..]).ok_or(ProtoError::BadVarint)?;
+                    off += n;
+                    header_bytes += n;
+                    let len = len as usize;
+                    let end = off.checked_add(len).ok_or(ProtoError::Truncated)?;
+                    if end > buf.len() {
+                        return Err(ProtoError::Truncated);
+                    }
+                    let data = &buf[off..end];
+                    sim.charge(Category::Deserialize, costs.lib_field_overhead(len));
+                    sim.charge(Category::Alloc, costs.heap_alloc);
+                    sim.charge_memcpy(
+                        Category::Deserialize,
+                        buf.as_ptr() as u64 + off as u64,
+                        data.as_ptr() as u64 ^ 0x6000_0000_0000,
+                        len,
+                    );
+                    match field {
+                        2 => {
+                            // Keys are strings: protobuf validates UTF-8
+                            // eagerly at parse time.
+                            sim.charge(
+                                Category::Deserialize,
+                                len as f64 * costs.utf8_per_byte,
+                            );
+                            m.keys.push(data.to_vec());
+                        }
+                        3 => m.vals.push(data.to_vec()),
+                        _ => {}
+                    }
+                    off = end;
+                }
+                other => return Err(ProtoError::BadWireType(other)),
+            }
+        }
+        sim.charge(
+            Category::Deserialize,
+            header_bytes as f64 * costs.varint_per_byte,
+        );
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_sim::MachineProfile;
+
+    fn sim() -> Sim {
+        Sim::new(MachineProfile::tiny_for_tests())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sim();
+        let mut m = PGetM::new();
+        m.id = Some(42);
+        m.add_key(&s, b"key-a");
+        m.add_key(&s, b"key-b");
+        m.add_val(&s, &[7u8; 2000]);
+        let wire = m.encode(&s, 0x1000);
+        assert_eq!(wire.len(), m.encoded_len());
+        let d = PGetM::decode(&s, &wire).unwrap();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let s = sim();
+        let m = PGetM::new();
+        let wire = m.encode(&s, 0);
+        assert!(wire.is_empty());
+        assert_eq!(PGetM::decode(&s, &wire).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_fields_skipped() {
+        let s = sim();
+        // Field 9, wire type 2, length 3.
+        let mut wire = Vec::new();
+        push_varint(tag(9, WT_LEN), &mut wire);
+        push_varint(3, &mut wire);
+        wire.extend_from_slice(b"xyz");
+        let d = PGetM::decode(&s, &wire).unwrap();
+        assert_eq!(d, PGetM::new());
+    }
+
+    #[test]
+    fn truncated_field_rejected() {
+        let s = sim();
+        let mut m = PGetM::new();
+        m.add_val(&s, b"0123456789");
+        let wire = m.encode(&s, 0);
+        for cut in 1..wire.len() {
+            let r = PGetM::decode(&s, &wire[..cut]);
+            assert!(r.is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_wire_type_rejected() {
+        let s = sim();
+        let wire = [tag(1, 5) as u8]; // wire type 5 unsupported
+        assert_eq!(
+            PGetM::decode(&s, &wire),
+            Err(ProtoError::BadWireType(5))
+        );
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let s = sim();
+        let mut wire = Vec::new();
+        push_varint(tag(3, WT_LEN), &mut wire);
+        push_varint(u64::MAX, &mut wire);
+        assert!(PGetM::decode(&s, &wire).is_err());
+    }
+
+    #[test]
+    fn costs_charged_on_set_and_encode() {
+        let s = sim();
+        let t0 = s.now();
+        let mut m = PGetM::new();
+        m.add_val(&s, &[0u8; 4096]);
+        let after_set = s.now();
+        assert!(after_set > t0, "set charges the struct copy");
+        m.encode(&s, 0x8_0000);
+        assert!(s.now() > after_set, "encode charges the DMA copy");
+    }
+}

@@ -1,0 +1,261 @@
+//! The Redis serialization protocol (RESP), as mini-Redis's handwritten
+//! baseline serialization.
+//!
+//! Redis replies by writing framing (`$<len>\r\n`, `*<n>\r\n`) and the value
+//! bytes into an output buffer — one cold copy of each value — which the
+//! Cornflakes-UDP-ported Redis of §6.2.2 then stages into DMA memory (warm
+//! copy). Those two copies are exactly what the Cornflakes integration
+//! removes for large values.
+
+use std::fmt;
+
+use cf_sim::cost::Category;
+use cf_sim::Sim;
+
+/// Cost charged per framing token (`*N`, `$N`, CRLF handling).
+const FRAME_TOKEN_NS: f64 = 6.0;
+
+/// RESP decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RespError {
+    /// Input ended mid-element.
+    Truncated,
+    /// A length or type byte was malformed.
+    Malformed,
+}
+
+impl fmt::Display for RespError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RespError::Truncated => write!(f, "truncated RESP input"),
+            RespError::Malformed => write!(f, "malformed RESP input"),
+        }
+    }
+}
+
+impl std::error::Error for RespError {}
+
+/// A decoded RESP value (the subset Redis's KV commands use).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(Vec<u8>),
+    /// `$<len>\r\n<bytes>\r\n`
+    Bulk(Vec<u8>),
+    /// `$-1\r\n`
+    Nil,
+    /// `*<n>\r\n<elements>`
+    Array(Vec<RespValue>),
+}
+
+impl RespValue {
+    /// Convenience: the bytes of a bulk string, if this is one.
+    pub fn as_bulk(&self) -> Option<&[u8]> {
+        match self {
+            RespValue::Bulk(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a command (array of bulk strings) into `out`, charging framing
+/// and copy costs toward `dma_addr`.
+pub fn encode_command(sim: &Sim, parts: &[&[u8]], out: &mut Vec<u8>, dma_addr: u64) {
+    sim.charge(Category::HeaderWrite, FRAME_TOKEN_NS);
+    out.extend_from_slice(format!("*{}\r\n", parts.len()).as_bytes());
+    for p in parts {
+        push_bulk(sim, p, out, dma_addr);
+    }
+}
+
+/// Encodes one bulk string, charging the value copy.
+pub fn push_bulk(sim: &Sim, data: &[u8], out: &mut Vec<u8>, dma_addr: u64) {
+    sim.charge(Category::HeaderWrite, FRAME_TOKEN_NS);
+    out.extend_from_slice(format!("${}\r\n", data.len()).as_bytes());
+    sim.charge_memcpy(
+        Category::SerializeCopy,
+        data.as_ptr() as u64,
+        dma_addr + out.len() as u64,
+        data.len(),
+    );
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Encodes a nil bulk string.
+pub fn push_nil(sim: &Sim, out: &mut Vec<u8>) {
+    sim.charge(Category::HeaderWrite, FRAME_TOKEN_NS);
+    out.extend_from_slice(b"$-1\r\n");
+}
+
+/// Encodes an array header for `n` following elements.
+pub fn push_array_header(sim: &Sim, n: usize, out: &mut Vec<u8>) {
+    sim.charge(Category::HeaderWrite, FRAME_TOKEN_NS);
+    out.extend_from_slice(format!("*{n}\r\n").as_bytes());
+}
+
+/// Encodes `+OK\r\n`.
+pub fn push_ok(sim: &Sim, out: &mut Vec<u8>) {
+    sim.charge(Category::HeaderWrite, FRAME_TOKEN_NS);
+    out.extend_from_slice(b"+OK\r\n");
+}
+
+fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..]
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .map(|p| from + p)
+}
+
+fn parse_int(buf: &[u8]) -> Result<i64, RespError> {
+    let s = std::str::from_utf8(buf).map_err(|_| RespError::Malformed)?;
+    s.parse().map_err(|_| RespError::Malformed)
+}
+
+/// Decodes one RESP value from `buf`, returning `(value, bytes_consumed)`.
+/// Bulk payload bytes are *not* copied out (the caller borrows them via the
+/// returned vectors — mini-Redis copies them where Redis would); parse
+/// costs are charged per element.
+pub fn decode(sim: &Sim, buf: &[u8]) -> Result<(RespValue, usize), RespError> {
+    sim.charge(Category::Deserialize, FRAME_TOKEN_NS);
+    if buf.is_empty() {
+        return Err(RespError::Truncated);
+    }
+    match buf[0] {
+        b'+' => {
+            let end = find_crlf(buf, 1).ok_or(RespError::Truncated)?;
+            Ok((RespValue::Simple(buf[1..end].to_vec()), end + 2))
+        }
+        b'$' => {
+            let end = find_crlf(buf, 1).ok_or(RespError::Truncated)?;
+            let len = parse_int(&buf[1..end])?;
+            if len < 0 {
+                return Ok((RespValue::Nil, end + 2));
+            }
+            let len = len as usize;
+            let start = end + 2;
+            let stop = start.checked_add(len).ok_or(RespError::Malformed)?;
+            if buf.len() < stop + 2 {
+                return Err(RespError::Truncated);
+            }
+            if &buf[stop..stop + 2] != b"\r\n" {
+                return Err(RespError::Malformed);
+            }
+            Ok((RespValue::Bulk(buf[start..stop].to_vec()), stop + 2))
+        }
+        b'*' => {
+            let end = find_crlf(buf, 1).ok_or(RespError::Truncated)?;
+            let n = parse_int(&buf[1..end])?;
+            if !(0..=1_000_000).contains(&n) {
+                return Err(RespError::Malformed);
+            }
+            let mut off = end + 2;
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let (v, used) = decode(sim, &buf[off..])?;
+                items.push(v);
+                off += used;
+            }
+            Ok((RespValue::Array(items), off))
+        }
+        _ => Err(RespError::Malformed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_sim::MachineProfile;
+
+    fn sim() -> Sim {
+        Sim::new(MachineProfile::tiny_for_tests())
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        let s = sim();
+        let mut out = Vec::new();
+        encode_command(&s, &[b"GET", b"mykey"], &mut out, 0x1000);
+        assert_eq!(out, b"*2\r\n$3\r\nGET\r\n$5\r\nmykey\r\n");
+        let (v, used) = decode(&s, &out).unwrap();
+        assert_eq!(used, out.len());
+        match v {
+            RespValue::Array(items) => {
+                assert_eq!(items[0].as_bulk().unwrap(), b"GET");
+                assert_eq!(items[1].as_bulk().unwrap(), b"mykey");
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_reply_roundtrip() {
+        let s = sim();
+        let mut out = Vec::new();
+        let value = vec![0xABu8; 4096];
+        push_bulk(&s, &value, &mut out, 0x2000);
+        let (v, used) = decode(&s, &out).unwrap();
+        assert_eq!(used, out.len());
+        assert_eq!(v.as_bulk().unwrap(), &value[..]);
+    }
+
+    #[test]
+    fn nil_and_ok() {
+        let s = sim();
+        let mut out = Vec::new();
+        push_nil(&s, &mut out);
+        push_ok(&s, &mut out);
+        let (v1, n1) = decode(&s, &out).unwrap();
+        assert_eq!(v1, RespValue::Nil);
+        let (v2, _) = decode(&s, &out[n1..]).unwrap();
+        assert_eq!(v2, RespValue::Simple(b"OK".to_vec()));
+    }
+
+    #[test]
+    fn mget_style_array_reply() {
+        let s = sim();
+        let mut out = Vec::new();
+        push_array_header(&s, 3, &mut out);
+        push_bulk(&s, b"v1", &mut out, 0);
+        push_nil(&s, &mut out);
+        push_bulk(&s, b"v3", &mut out, 0);
+        let (v, _) = decode(&s, &out).unwrap();
+        assert_eq!(
+            v,
+            RespValue::Array(vec![
+                RespValue::Bulk(b"v1".to_vec()),
+                RespValue::Nil,
+                RespValue::Bulk(b"v3".to_vec()),
+            ])
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let s = sim();
+        let mut out = Vec::new();
+        push_bulk(&s, b"0123456789", &mut out, 0);
+        for cut in 0..out.len() {
+            assert!(decode(&s, &out[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let s = sim();
+        assert_eq!(decode(&s, b"?wat\r\n").unwrap_err(), RespError::Malformed);
+        assert_eq!(decode(&s, b"$abc\r\n").unwrap_err(), RespError::Malformed);
+        assert!(decode(&s, b"*-5\r\n").is_err());
+        // Missing trailing CRLF after bulk payload.
+        assert_eq!(
+            decode(&s, b"$3\r\nabcXY").unwrap_err(),
+            RespError::Malformed
+        );
+    }
+
+    #[test]
+    fn hostile_array_count_rejected() {
+        let s = sim();
+        assert!(decode(&s, b"*99999999999\r\n").is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 8 + Table 3: the Redis integration.
+
+fn main() {
+    let (keys, requests) = if cf_bench::quick_mode() {
+        (10_000, 500)
+    } else {
+        (60_000, 3_000)
+    };
+    cf_bench::experiments::fig08::run(keys, cf_bench::scaled_duration(10_000_000), requests, 59_000);
+}

@@ -1,0 +1,6 @@
+//! Figure 9: echo latency over the TCP stack.
+
+fn main() {
+    let rounds = if cf_bench::quick_mode() { 500 } else { 5_000 };
+    cf_bench::experiments::fig09::run(rounds);
+}

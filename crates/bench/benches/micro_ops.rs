@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the hot-path operations: hybrid pointer
+//! construction, header writing, wire-format round trips, cache-simulator
+//! accesses, and workload generators. These measure the *real* (host) cost
+//! of the library code itself, complementing the virtual-time experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cf_sim::{CacheSim, Histogram, MachineProfile, Sim};
+use cf_workloads::Zipf;
+use cornflakes_core::msgs::GetM;
+use cornflakes_core::obj::{serialize_to_vec, write_full_header};
+use cornflakes_core::{CFBytes, CornflakesObj, SerCtx, SerializationConfig};
+
+fn ctx() -> SerCtx {
+    SerCtx::new(
+        Sim::new(MachineProfile::cloudlab_c6525()),
+        SerializationConfig::hybrid(),
+    )
+}
+
+fn bench_cfbytes(c: &mut Criterion) {
+    let ctx = ctx();
+    let pinned = ctx.pool.alloc(2048).expect("pool");
+    let heap = vec![7u8; 256];
+    c.bench_function("cfbytes_new_zero_copy_2048", |b| {
+        b.iter(|| black_box(CFBytes::new(&ctx, black_box(pinned.as_slice()))))
+    });
+    c.bench_function("cfbytes_new_copy_256", |b| {
+        b.iter(|| black_box(CFBytes::new(&ctx, black_box(&heap))))
+    });
+}
+
+fn bench_header_write(c: &mut Criterion) {
+    let ctx = ctx();
+    let pinned = ctx.pool.alloc(1024).expect("pool");
+    let mut m = GetM::new();
+    m.id = Some(9);
+    for _ in 0..4 {
+        m.keys.append(CFBytes::new(&ctx, b"a-sixteen-b-key!"));
+        m.vals.append(CFBytes::new(&ctx, pinned.as_slice()));
+    }
+    let hb = m.header_bytes();
+    let mut out = vec![0u8; hb];
+    c.bench_function("write_full_header_4keys_4vals", |b| {
+        b.iter(|| {
+            out.iter_mut().for_each(|x| *x = 0);
+            black_box(write_full_header(black_box(&m), &mut out))
+        })
+    });
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let tx = ctx();
+    let rx = ctx();
+    let pinned = tx.pool.alloc(2048).expect("pool");
+    let mut m = GetM::new();
+    m.vals.append(CFBytes::new(&tx, pinned.as_slice()));
+    m.vals.append(CFBytes::new(&tx, b"small"));
+    let wire = serialize_to_vec(&m);
+    let pkt = rx.pool.alloc_from(&wire).expect("pool");
+    c.bench_function("deserialize_getm_2vals", |b| {
+        b.iter(|| black_box(GetM::deserialize(&rx, black_box(&pkt)).expect("ok")))
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut cache = CacheSim::new(16 << 20, 16);
+    let mut addr = 0u64;
+    c.bench_function("cache_access_2048B", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(4096) & 0xFFF_FFFF;
+            black_box(cache.access(black_box(addr), 2048))
+        })
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut zipf = Zipf::new(1_000_000, 0.99, 42);
+    c.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.next())));
+    let mut h = Histogram::new();
+    let mut v = 1u64;
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v % 1_000_000));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cfbytes,
+    bench_header_write,
+    bench_roundtrip,
+    bench_cache_sim,
+    bench_workloads
+);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Table 1 + Figure 6: the Google-distribution workload (§6.2.1).
+//!
+//! Values are linked lists of 1, 1–4, 1–8, or 1–16 fields with sizes from
+//! Google's fleetwide Protobuf study (≈95 % below 512 B, so Cornflakes
+//! mostly copies). Paper result (krps): Cornflakes within ~2 % of Protobuf
+//! at 1 and 1–4 values, ahead of everything at 1–8 and 1–16; Cap'n Proto
+//! trails throughout.
+
+use cf_sim::queueing::{load_ladder, OpenLoopSim};
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::client::client_server_pair;
+use cf_kv::server::SerKind;
+use cf_workloads::{key_string, Zipf};
+
+use crate::harness::large_pool;
+use crate::tables::{f1, print_expectation, print_table};
+
+/// Max sustained krps for one (system, list-length) cell.
+pub fn google_krps(
+    kind: SerKind,
+    config: SerializationConfig,
+    num_keys: u64,
+    max_fields: usize,
+    requests: u64,
+) -> f64 {
+    let server_sim = Sim::new(MachineProfile::microbench());
+    let (mut client, mut server) =
+        client_server_pair(server_sim.clone(), kind, config, large_pool());
+    for id in 0..num_keys {
+        let sizes = cf_workloads::GoogleSizeDist::object_for_key(id, max_fields);
+        server
+            .store
+            .preload(server.stack.ctx(), key_string(id).as_bytes(), &sizes)
+            .expect("pool sized for Google workload");
+    }
+    let mut zipf = Zipf::new(num_keys, 0.99, 0x60061e);
+    let ol = OpenLoopSim {
+        clock: server_sim.clock(),
+        seed: 6,
+        one_way_wire_ns: 5_000,
+        duration_ns: u64::MAX / 4,
+        warmup_requests: requests / 10,
+    };
+    let point = ol.run_saturated(requests, |_| {
+        let key = key_string(zipf.next());
+        client.send_get(&[key.as_bytes()]);
+        server.poll();
+        client
+            .recv_response()
+            .map(|r| r.payload_bytes as u64)
+            .unwrap_or(0)
+    });
+    point.achieved_rps / 1e3
+}
+
+/// Runs Table 1 (max krps per system per list length). Returns
+/// `result[system][length_idx]` in krps.
+pub fn run_table1(num_keys: u64, requests: u64) -> Vec<(SerKind, Vec<f64>)> {
+    let lengths = [1usize, 4, 8, 16];
+    let mut results = Vec::new();
+    for kind in SerKind::all() {
+        let mut row = Vec::new();
+        for &max_fields in &lengths {
+            row.push(google_krps(
+                kind,
+                SerializationConfig::hybrid(),
+                num_keys,
+                max_fields,
+                requests,
+            ));
+        }
+        results.push((kind, row));
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(kind, krps)| {
+            let mut row = vec![kind.name().to_string()];
+            row.extend(krps.iter().map(|&v| f1(v)));
+            row
+        })
+        .collect();
+    print_table(
+        "Table 1: Google bytes distribution (max krps)",
+        &["System", "1 val", "1-4 vals", "1-8 vals", "1-16 vals"],
+        &rows,
+    );
+    let cf = &results[0].1;
+    let proto = &results[1].1;
+    print_expectation(
+        "Cornflakes vs Protobuf",
+        "within ~2% at 1 / 1-4 vals; ahead at 1-16 (441.2 vs 402.0 krps)",
+        &format!(
+            "ratios {:.3} / {:.3} / {:.3} / {:.3}",
+            cf[0] / proto[0],
+            cf[1] / proto[1],
+            cf[2] / proto[2],
+            cf[3] / proto[3]
+        ),
+    );
+    results
+}
+
+/// Runs the Figure 6 throughput-latency sweep (1–8 values per list).
+pub fn run_fig6_curves(num_keys: u64, duration_ns: u64) {
+    println!("\n=== Figure 6: throughput vs p99, Google 1-8 vals ===");
+    for kind in SerKind::all() {
+        let server_sim = Sim::new(MachineProfile::microbench());
+        let (mut client, mut server) = client_server_pair(
+            server_sim.clone(),
+            kind,
+            SerializationConfig::hybrid(),
+            large_pool(),
+        );
+        for id in 0..num_keys {
+            let sizes = cf_workloads::GoogleSizeDist::object_for_key(id, 8);
+            server
+                .store
+                .preload(server.stack.ctx(), key_string(id).as_bytes(), &sizes)
+                .expect("pool sized");
+        }
+        let mut zipf = Zipf::new(num_keys, 0.99, 0x60061e);
+        let ol = OpenLoopSim {
+            clock: server_sim.clock(),
+            seed: 6,
+            one_way_wire_ns: 5_000,
+            duration_ns,
+            warmup_requests: 2_000,
+        };
+        // Probe capacity, then sweep.
+        let cap = {
+            let c = &mut client;
+            let s = &mut server;
+            ol.run_saturated(3_000, |_| {
+                let key = key_string(zipf.next());
+                c.send_get(&[key.as_bytes()]);
+                s.poll();
+                c.recv_response().map(|r| r.payload_bytes as u64).unwrap_or(0)
+            })
+            .achieved_rps
+        };
+        println!("  [{}]", kind.name());
+        for load in load_ladder(cap * 0.4, cap * 0.98, 5) {
+            server_sim.reset();
+            let p = {
+                let c = &mut client;
+                let s = &mut server;
+                ol.run(load, |_| {
+                    let key = key_string(zipf.next());
+                    c.send_get(&[key.as_bytes()]);
+                    s.poll();
+                    c.recv_response().map(|r| r.payload_bytes as u64).unwrap_or(0)
+                })
+            };
+            println!(
+                "    offered {:8.1} krps  achieved {:8.1} krps  p99 {:6.1} us",
+                p.offered_rps / 1e3,
+                p.achieved_rps / 1e3,
+                p.latency.p99() as f64 / 1e3
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds_scaled_down() {
+        let results = run_table1(6_000, 500);
+        let krps: std::collections::HashMap<SerKind, &Vec<f64>> =
+            results.iter().map(|(k, v)| (*k, v)).collect();
+        let cf = krps[&SerKind::Cornflakes];
+        let proto = krps[&SerKind::Protobuf];
+        let capn = krps[&SerKind::CapnProto];
+        // Cornflakes within 10 % of Protobuf on short lists...
+        assert!(
+            (cf[0] / proto[0] - 1.0).abs() < 0.10,
+            "1 val: cf={} proto={}",
+            cf[0],
+            proto[0]
+        );
+        // ...and strictly ahead at 1-16 values.
+        assert!(
+            cf[3] > proto[3],
+            "1-16 vals: cf={} proto={}",
+            cf[3],
+            proto[3]
+        );
+        // Cap'n Proto trails Cornflakes throughout (paper Table 1).
+        for i in 0..4 {
+            assert!(capn[i] < cf[i], "capn[{i}]={} cf={}", capn[i], cf[i]);
+        }
+        // Longer lists cost more per request for every system.
+        for (_, row) in &results {
+            assert!(row[0] > row[3]);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Figure 8 + Table 3: the Redis integration (§6.2.2).
+//!
+//! Mini-Redis runs over the Cornflakes UDP stack with either its
+//! handwritten RESP serialization or Cornflakes responses. Paper results:
+//! +8.8 % throughput at a 59 µs p99 SLO on the Twitter trace (Figure 8),
+//! and +15 % (get), +15–25 % (mget-2), +40.1 % (lrange-2) on 4096-byte YCSB
+//! payloads (Table 3).
+
+use cf_net::{FrameMeta, UdpStack, HEADER_BYTES};
+use cf_nic::link;
+use cf_sim::queueing::{load_ladder, OpenLoopSim, SweepResult};
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::redis::{client as rclient, RedisBackend, RedisServer};
+use cf_workloads::{key_string, TwitterConfig, TwitterOp, TwitterTrace, Zipf};
+
+use crate::harness::large_pool;
+use crate::tables::{f1, pct, print_expectation, print_table};
+
+/// A Redis fixture: RESP-speaking client + mini-Redis server.
+pub struct RedisBench {
+    /// Server machine simulation.
+    pub server_sim: Sim,
+    /// Client datapath.
+    pub client: UdpStack,
+    /// The server.
+    pub server: RedisServer,
+    next_id: u32,
+}
+
+impl RedisBench {
+    /// Creates a fixture.
+    pub fn new(backend: RedisBackend) -> Self {
+        let server_sim = Sim::new(MachineProfile::microbench());
+        let (cp, sp) = link();
+        let client = UdpStack::new(
+            Sim::new(MachineProfile::cloudlab_c6525()),
+            cp,
+            4000,
+            SerializationConfig::hybrid(),
+        );
+        let server_stack = UdpStack::with_pool_config(
+            server_sim.clone(),
+            sp,
+            6379,
+            SerializationConfig::hybrid(),
+            large_pool(),
+        );
+        RedisBench {
+            server_sim,
+            client,
+            server: RedisServer::new(server_stack, backend),
+            next_id: 1,
+        }
+    }
+
+    /// Sends one RESP command and returns the reply payload size.
+    pub fn command(&mut self, parts: &[&[u8]]) -> u64 {
+        let sim = self.client.sim().clone();
+        let payload = rclient::encode_command(&sim, parts);
+        let mut tx = self.client.alloc_tx(payload.len()).expect("client tx");
+        tx.write_at(HEADER_BYTES, &payload);
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let hdr = self.client.header_to(
+            6379,
+            FrameMeta {
+                msg_type: 0,
+                flags: 0,
+                req_id: id,
+            },
+        );
+        self.client
+            .send_built(hdr, tx, payload.len())
+            .expect("send");
+        self.server.poll();
+        self.client
+            .recv_packet()
+            .map(|p| p.payload.len() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Figure 8: the Twitter trace through Redis get/set commands.
+pub fn sweep_redis_twitter(
+    backend: RedisBackend,
+    num_keys: u64,
+    duration_ns: u64,
+) -> SweepResult {
+    let mut bench = RedisBench::new(backend);
+    for id in 0..num_keys {
+        let size = TwitterTrace::value_size(id);
+        bench
+            .server
+            .store
+            .preload(bench.server.stack.ctx(), key_string(id).as_bytes(), &[size])
+            .expect("pool sized");
+    }
+    let mut trace = TwitterTrace::new(
+        TwitterConfig {
+            num_keys,
+            ..TwitterConfig::default()
+        },
+        0x3ED15,
+    );
+    let scratch = vec![0xB7u8; 8192];
+    let ol = OpenLoopSim {
+        clock: bench.server_sim.clock(),
+        seed: 9,
+        one_way_wire_ns: 5_000,
+        duration_ns,
+        warmup_requests: 2_000,
+    };
+    let drive = |bench: &mut RedisBench, trace: &mut TwitterTrace| match trace.next() {
+        TwitterOp::Get { key } => {
+            let k = key_string(key);
+            bench.command(&[b"GET", k.as_bytes()])
+        }
+        TwitterOp::Put { key, size } => {
+            let k = key_string(key);
+            bench.command(&[b"SET", k.as_bytes(), &scratch[..size]])
+        }
+    };
+    let cap = {
+        let b = &mut bench;
+        let t = &mut trace;
+        ol.run_saturated(3_000, |_| drive(b, t)).achieved_rps
+    };
+    let points = load_ladder(cap * 0.4, cap * 0.99, 6)
+        .into_iter()
+        .map(|load| {
+            bench.server_sim.reset();
+            let b = &mut bench;
+            let t = &mut trace;
+            ol.run(load, |_| drive(b, t))
+        })
+        .collect();
+    SweepResult { points }
+}
+
+/// Table 3: max krps per command (4096-byte total payloads, YCSB keys).
+pub fn table3_krps(backend: RedisBackend, num_keys: u64, requests: u64) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (i, cmd) in ["get", "mget-2", "lrange-2"].iter().enumerate() {
+        let mut bench = RedisBench::new(backend);
+        for id in 0..num_keys {
+            let key = key_string(id);
+            match *cmd {
+                // One 4096-byte value.
+                "get" => bench
+                    .server
+                    .store
+                    .preload(bench.server.stack.ctx(), key.as_bytes(), &[4096])
+                    .expect("pool"),
+                // Two keys of 2048 bytes each; mget hits key+1 too.
+                "mget-2" => bench
+                    .server
+                    .store
+                    .preload(bench.server.stack.ctx(), key.as_bytes(), &[2048])
+                    .expect("pool"),
+                // A list value of two 2048-byte buffers.
+                _ => bench
+                    .server
+                    .store
+                    .preload(bench.server.stack.ctx(), key.as_bytes(), &[2048, 2048])
+                    .expect("pool"),
+            }
+        }
+        let mut zipf = Zipf::new(num_keys, 0.99, 0x2ED15);
+        let ol = OpenLoopSim {
+            clock: bench.server_sim.clock(),
+            seed: 10,
+            one_way_wire_ns: 5_000,
+            duration_ns: u64::MAX / 4,
+            warmup_requests: requests / 10,
+        };
+        let point = ol.run_saturated(requests, |_| {
+            let id = zipf.next();
+            let k = key_string(id);
+            match *cmd {
+                "get" => bench.command(&[b"GET", k.as_bytes()]),
+                "mget-2" => {
+                    let k2 = key_string((id + 1) % num_keys);
+                    bench.command(&[b"MGET", k.as_bytes(), k2.as_bytes()])
+                }
+                _ => bench.command(&[b"LRANGE", k.as_bytes(), b"0", b"-1"]),
+            }
+        });
+        out[i] = point.achieved_rps / 1e3;
+    }
+    out
+}
+
+/// Runs Figure 8 and Table 3.
+pub fn run(num_keys: u64, duration_ns: u64, requests: u64, slo_ns: u64) {
+    // Figure 8.
+    let resp = sweep_redis_twitter(RedisBackend::Resp, num_keys, duration_ns);
+    let cf = sweep_redis_twitter(RedisBackend::Cornflakes, num_keys, duration_ns);
+    let rows = vec![
+        vec![
+            "Redis".to_string(),
+            f1(resp.max_achieved_rps() / 1e3),
+            f1(resp.rps_at_p99_slo(slo_ns) / 1e3),
+        ],
+        vec![
+            "Redis + Cornflakes".to_string(),
+            f1(cf.max_achieved_rps() / 1e3),
+            f1(cf.rps_at_p99_slo(slo_ns) / 1e3),
+        ],
+    ];
+    print_table(
+        "Figure 8: Redis on the Twitter trace",
+        &["Backend", "Max krps", &format!("krps @ p99<={}us", slo_ns / 1000)],
+        &rows,
+    );
+    let gain = (cf.rps_at_p99_slo(slo_ns) - resp.rps_at_p99_slo(slo_ns))
+        / resp.rps_at_p99_slo(slo_ns)
+        * 100.0;
+    print_expectation("Cornflakes vs Redis serialization at the SLO", "+8.8%", &pct(gain));
+
+    // Table 3.
+    let base = table3_krps(RedisBackend::Resp, num_keys, requests);
+    let cfk = table3_krps(RedisBackend::Cornflakes, num_keys, requests);
+    let rows: Vec<Vec<String>> = ["get", "mget-2", "lrange-2"]
+        .iter()
+        .enumerate()
+        .map(|(i, cmd)| {
+            vec![
+                cmd.to_string(),
+                f1(base[i]),
+                f1(cfk[i]),
+                pct((cfk[i] - base[i]) / base[i] * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: Redis commands, 4096 B payloads (max krps)",
+        &["Command", "Redis", "Redis+Cornflakes", "Gain"],
+        &rows,
+    );
+    print_expectation("command gains", "+15% to +40.1%", "see table");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cornflakes_improves_redis() {
+        let base = table3_krps(RedisBackend::Resp, 4_000, 400);
+        let cf = table3_krps(RedisBackend::Cornflakes, 4_000, 400);
+        for i in 0..3 {
+            let gain = (cf[i] - base[i]) / base[i] * 100.0;
+            assert!(
+                gain > 5.0,
+                "command {i}: Cornflakes should clearly win (gain {gain:.1}%)"
+            );
+            assert!(gain < 55.0, "command {i}: gain {gain:.1}% implausible");
+        }
+    }
+
+    #[test]
+    fn redis_twitter_gain_in_band() {
+        // ~60k keys x ~1.2 KB mean is several times the scaled LLC, as the
+        // paper's 4M-key store is several times its 128 MB LLC.
+        let resp = sweep_redis_twitter(RedisBackend::Resp, 60_000, 3_000_000);
+        let cf = sweep_redis_twitter(RedisBackend::Cornflakes, 60_000, 3_000_000);
+        let gain = (cf.max_achieved_rps() - resp.max_achieved_rps())
+            / resp.max_achieved_rps()
+            * 100.0;
+        assert!(
+            (1.0..40.0).contains(&gain),
+            "Twitter-on-Redis gain {gain:.1}% (paper: 8.8%)"
+        );
+    }
+}

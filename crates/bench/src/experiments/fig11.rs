@@ -1,0 +1,166 @@
+//! Figure 11: CPU-cycle breakdown on the CDN trace (§6.4).
+//!
+//! Average per-request time attributed to each request-handling phase, for
+//! Cornflakes, FlatBuffers, and Protobuf. Paper findings: Cornflakes spends
+//! almost nothing in serialization copies (all fields ≥ 1 KB are
+//! zero-copy), its gets complete faster (more cache left for keys), and its
+//! deserialization is shorter (deferred UTF-8 validation).
+
+use cf_sim::cost::Category;
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::client::client_server_pair;
+use cf_kv::server::SerKind;
+use cf_workloads::{key_string, CdnTrace};
+
+use crate::harness::large_pool;
+use crate::tables::{f1, print_expectation, print_table};
+
+/// Per-category average ns/request for one system.
+#[derive(Clone, Debug)]
+pub struct Breakdown {
+    /// The system measured.
+    pub kind: SerKind,
+    /// (category, ns per request) pairs in display order.
+    pub per_request_ns: Vec<(Category, f64)>,
+    /// Total ns per request.
+    pub total_ns: f64,
+}
+
+/// Measures the attribution breakdown for one system on the CDN workload.
+pub fn breakdown(kind: SerKind, num_objects: u64, requests: u64) -> Breakdown {
+    let server_sim = Sim::new(MachineProfile::microbench());
+    let (mut client, mut server) = client_server_pair(
+        server_sim.clone(),
+        kind,
+        SerializationConfig::hybrid(),
+        large_pool(),
+    );
+    for id in 0..num_objects {
+        let sizes: Vec<usize> = (0..CdnTrace::num_segments(id))
+            .map(|s| CdnTrace::segment_size(id, s))
+            .collect();
+        server
+            .store
+            .preload(server.stack.ctx(), key_string(id).as_bytes(), &sizes)
+            .expect("pool sized");
+    }
+    let mut trace = CdnTrace::new(num_objects, 0xF16);
+    let mut drive = |_seq: u64| {
+        let (id, seg, _last) = trace.next();
+        let key = key_string(id);
+        client.send_get_segment(key.as_bytes(), seg as u32);
+        server.poll();
+        client
+            .recv_response()
+            .map(|r| r.payload_bytes as u64)
+            .unwrap_or(0)
+    };
+    // Warm:
+    for s in 0..requests / 5 {
+        drive(s);
+    }
+    server_sim.with_core(|c| c.attribution.reset());
+    let t0 = server_sim.now();
+    for s in 0..requests {
+        drive(s);
+    }
+    let elapsed = (server_sim.now() - t0) as f64;
+    let attr = server_sim.attribution();
+    let order = [
+        Category::Rx,
+        Category::Deserialize,
+        Category::AppGet,
+        Category::SerializeCopy,
+        Category::SerializeZeroCopy,
+        Category::HeaderWrite,
+        Category::Alloc,
+        Category::Tx,
+    ];
+    Breakdown {
+        kind,
+        per_request_ns: order
+            .iter()
+            .map(|&c| (c, attr.get(c) / requests as f64))
+            .collect(),
+        total_ns: elapsed / requests as f64,
+    }
+}
+
+/// Runs Figure 11.
+pub fn run(num_objects: u64, requests: u64) -> Vec<Breakdown> {
+    let systems = [SerKind::Cornflakes, SerKind::FlatBuffers, SerKind::Protobuf];
+    let results: Vec<Breakdown> = systems
+        .iter()
+        .map(|&k| breakdown(k, num_objects, requests))
+        .collect();
+    let headers: Vec<String> = std::iter::once("Phase (ns/req)".to_string())
+        .chain(results.iter().map(|b| b.kind.name().to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (i, (cat, _)) in results[0].per_request_ns.iter().enumerate() {
+        let mut row = vec![cat.label().to_string()];
+        for b in &results {
+            row.push(f1(b.per_request_ns[i].1));
+        }
+        rows.push(row);
+    }
+    let mut total_row = vec!["TOTAL".to_string()];
+    for b in &results {
+        total_row.push(f1(b.total_ns));
+    }
+    rows.push(total_row);
+    print_table("Figure 11: per-request cycle breakdown (CDN trace)", &header_refs, &rows);
+    print_expectation(
+        "Cornflakes profile",
+        "near-zero serialization copies; shorter deserialize; faster gets",
+        "see columns",
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(b: &Breakdown, cat: Category) -> f64 {
+        b.per_request_ns
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .expect("category present")
+            .1
+    }
+
+    #[test]
+    fn breakdown_shape_matches_paper() {
+        let results = run(1_000, 600);
+        let cf = &results[0];
+        let flat = &results[1];
+        let proto = &results[2];
+        // Cornflakes spends (almost) nothing copying; baselines are
+        // dominated by copies.
+        assert!(
+            ns(cf, Category::SerializeCopy) < 80.0,
+            "Cornflakes copies: {:.0} ns",
+            ns(cf, Category::SerializeCopy)
+        );
+        for b in [flat, proto] {
+            assert!(
+                ns(b, Category::SerializeCopy) > 4.0 * ns(cf, Category::SerializeCopy).max(40.0),
+                "{:?} should be copy-dominated ({:.0} ns)",
+                b.kind,
+                ns(b, Category::SerializeCopy)
+            );
+        }
+        // Cornflakes pays zero-copy bookkeeping instead.
+        assert!(ns(cf, Category::SerializeZeroCopy) > 50.0);
+        // Total per-request time: Cornflakes clearly lowest.
+        assert!(cf.total_ns < flat.total_ns);
+        assert!(cf.total_ns < proto.total_ns);
+        // Deserialization (tiny single-key requests) is no longer for
+        // Cornflakes than the baselines.
+        assert!(ns(cf, Category::Deserialize) <= ns(proto, Category::Deserialize) * 1.2);
+    }
+}

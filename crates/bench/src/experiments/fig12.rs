@@ -1,0 +1,143 @@
+//! Figure 12 + Table 4: the hybrid threshold ablation (§6.5.1).
+//!
+//! Cornflakes with its hybrid 512-byte threshold vs "only scatter-gather"
+//! (threshold 0) vs "only copy" (threshold ∞). Paper results: on the
+//! Twitter trace the hybrid is 2.3–3.9 % ahead of scatter-gather-only at
+//! the ~50 µs SLO (and far ahead of copy-only); on the Google workload the
+//! hybrid wins by 1.4–14.0 % once responses carry more than one entry.
+
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::server::SerKind;
+
+use super::fig06::google_krps;
+use super::fig07::sweep_twitter;
+use crate::tables::{f1, pct, print_expectation, print_table};
+
+/// The three §6.5.1 configurations.
+pub fn configs() -> [(&'static str, SerializationConfig); 3] {
+    [
+        ("Hybrid (512B)", SerializationConfig::hybrid()),
+        ("Only scatter-gather", SerializationConfig::always_zero_copy()),
+        ("Only copy", SerializationConfig::always_copy()),
+    ]
+}
+
+/// Runs the Figure 12 Twitter comparison. Returns (name, max krps, krps at
+/// SLO).
+pub fn run_twitter(num_keys: u64, duration_ns: u64, slo_ns: u64) -> Vec<(&'static str, f64, f64)> {
+    let mut results = Vec::new();
+    for (name, config) in configs() {
+        let sweep = sweep_twitter(SerKind::Cornflakes, config, num_keys, duration_ns);
+        results.push((
+            name,
+            sweep.max_achieved_rps() / 1e3,
+            sweep.rps_at_p99_slo(slo_ns) / 1e3,
+        ));
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(n, max, slo)| vec![n.to_string(), f1(*max), f1(*slo)])
+        .collect();
+    print_table(
+        "Figure 12: hybrid vs SG-only vs copy-only (Twitter trace)",
+        &["Config", "Max krps", &format!("krps @ p99<={}us", slo_ns / 1000)],
+        &rows,
+    );
+    print_expectation(
+        "hybrid vs SG-only",
+        "+2.3% to +3.9% at the SLO",
+        &pct((results[0].2 - results[1].2) / results[1].2 * 100.0),
+    );
+    results
+}
+
+/// Runs the Table 4 Google comparison: hybrid vs SG-only for each list
+/// length. Returns (length, hybrid krps, sg krps).
+pub fn run_google(num_keys: u64, requests: u64) -> Vec<(usize, f64, f64)> {
+    let mut results = Vec::new();
+    for &max_fields in &[1usize, 4, 8, 16] {
+        let hybrid = google_krps(
+            SerKind::Cornflakes,
+            SerializationConfig::hybrid(),
+            num_keys,
+            max_fields,
+            requests,
+        );
+        let sg = google_krps(
+            SerKind::Cornflakes,
+            SerializationConfig::always_zero_copy(),
+            num_keys,
+            max_fields,
+            requests,
+        );
+        results.push((max_fields, hybrid, sg));
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(n, h, s)| {
+            vec![
+                format!("1-{n} vals"),
+                f1(*h),
+                f1(*s),
+                pct((h - s) / s * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: hybrid vs only-scatter-gather (Google distribution, krps)",
+        &["List length", "Hybrid", "SG-only", "Hybrid gain"],
+        &rows,
+    );
+    print_expectation(
+        "hybrid gain",
+        "+1.4% to +14.0% with >1 scatter-gather entry",
+        "see table",
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_beats_both_extremes_on_twitter() {
+        // Working set several times the scaled LLC, as in the paper. Two
+        // runs are averaged: the cache model keys on real heap addresses,
+        // so individual runs carry ~1 % allocation-layout noise, comparable
+        // to the effect being measured (paper: 2.3-3.9 %).
+        let mut hybrid = 0.0;
+        let mut sg = 0.0;
+        let mut copy = 0.0;
+        for _ in 0..2 {
+            let r = run_twitter(40_000, 3_000_000, 80_000);
+            hybrid += r[0].2.max(r[0].1);
+            sg += r[1].2.max(r[1].1);
+            copy += r[2].2.max(r[2].1);
+        }
+        assert!(
+            hybrid > copy * 1.02,
+            "hybrid {hybrid:.1} must clearly beat copy-only {copy:.1}"
+        );
+        let gain = (hybrid - sg) / sg * 100.0;
+        assert!(
+            (-0.5..25.0).contains(&gain),
+            "hybrid-vs-SG gain {gain:.1}% (paper 2.3-3.9%; small positive expected)"
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_sg_only_on_google() {
+        // Small-object workload: SG-only wastes bookkeeping on tiny fields.
+        let results = run_google(5_000, 400);
+        for (n, hybrid, sg) in results {
+            assert!(
+                hybrid > sg,
+                "1-{n} vals: hybrid {hybrid:.1} should beat SG-only {sg:.1}"
+            );
+            let gain = (hybrid - sg) / sg * 100.0;
+            assert!(gain < 45.0, "1-{n} vals: gain {gain:.1}% implausible");
+        }
+    }
+}

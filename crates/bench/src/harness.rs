@@ -1,0 +1,224 @@
+//! Shared experiment machinery: server/client pairs, store preloading from
+//! the paper's workloads, and sweep helpers.
+
+use cf_mem::PoolConfig;
+use cf_sim::queueing::{sweep, LoadPoint, OpenLoopSim, SweepResult};
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::client::{client_server_pair, KvClient};
+use cf_kv::server::{KvServer, SerKind};
+use cf_workloads::{key_string, CdnTrace, GoogleSizeDist, TwitterTrace};
+
+/// A benchmark fixture: one simulated server machine plus a client on its
+/// own machine, connected by a wire.
+pub struct KvBench {
+    /// The server machine's simulation (clock = service time source).
+    pub server_sim: Sim,
+    /// The load-generating client.
+    pub client: KvClient,
+    /// The server under test.
+    pub server: KvServer,
+}
+
+/// A pool sized for the large-working-set experiments.
+pub fn large_pool() -> PoolConfig {
+    PoolConfig {
+        min_class: 64,
+        max_class: 16 * 1024,
+        slots_per_region: 4096,
+        max_regions_per_class: 1024,
+    }
+}
+
+impl KvBench {
+    /// Creates a fixture on the main-testbed profile.
+    pub fn new(kind: SerKind, config: SerializationConfig) -> Self {
+        Self::with_profile(MachineProfile::cloudlab_c6525(), kind, config)
+    }
+
+    /// Creates a fixture on an explicit machine profile.
+    pub fn with_profile(
+        profile: MachineProfile,
+        kind: SerKind,
+        config: SerializationConfig,
+    ) -> Self {
+        let server_sim = Sim::new(profile);
+        let (client, server) =
+            client_server_pair(server_sim.clone(), kind, config, large_pool());
+        KvBench {
+            server_sim,
+            client,
+            server,
+        }
+    }
+
+    /// An open-loop load generator over the server's clock.
+    pub fn openloop(&self, duration_ns: u64, warmup: u64) -> OpenLoopSim {
+        OpenLoopSim {
+            clock: self.server_sim.clock(),
+            seed: 0xBEEF,
+            one_way_wire_ns: 5_000,
+            duration_ns,
+            warmup_requests: warmup,
+        }
+    }
+
+    /// Preloads `num_keys` keys whose values are `segment_sizes` buffers
+    /// each (the YCSB / measurement-study shape).
+    pub fn preload_constant(&mut self, num_keys: u64, segment_sizes: &[usize]) {
+        for id in 0..num_keys {
+            self.server
+                .store
+                .preload(self.server.stack.ctx(), key_string(id).as_bytes(), segment_sizes)
+                .expect("grow the pool config for this experiment");
+        }
+    }
+
+    /// Preloads the synthetic Twitter trace's keys (sizes per
+    /// [`TwitterTrace::value_size`], MTU-split).
+    pub fn preload_twitter(&mut self, num_keys: u64) {
+        for id in 0..num_keys {
+            let size = TwitterTrace::value_size(id);
+            self.server
+                .store
+                .preload(self.server.stack.ctx(), key_string(id).as_bytes(), &[size])
+                .expect("pool too small for Twitter preload");
+        }
+    }
+
+    /// Preloads Google-distribution objects: linked lists of 1..=max_fields
+    /// fields with sizes from the published distribution.
+    pub fn preload_google(&mut self, num_keys: u64, max_fields: usize) {
+        for id in 0..num_keys {
+            let sizes = GoogleSizeDist::object_for_key(id, max_fields);
+            self.server
+                .store
+                .preload(self.server.stack.ctx(), key_string(id).as_bytes(), &sizes)
+                .expect("pool too small for Google preload");
+        }
+    }
+
+    /// Preloads CDN objects as vectors of jumbo-frame segments.
+    pub fn preload_cdn(&mut self, num_objects: u64) {
+        for id in 0..num_objects {
+            let sizes: Vec<usize> = (0..CdnTrace::num_segments(id))
+                .map(|s| CdnTrace::segment_size(id, s))
+                .collect();
+            self.server
+                .store
+                .preload(self.server.stack.ctx(), key_string(id).as_bytes(), &sizes)
+                .expect("pool too small for CDN preload");
+        }
+    }
+
+    /// Runs one offered load where each request is produced by
+    /// `send_request` and the response payload size is recorded.
+    pub fn run_load(
+        &mut self,
+        sim: &OpenLoopSim,
+        offered_rps: f64,
+        mut send_request: impl FnMut(&mut KvClient, u64),
+    ) -> LoadPoint {
+        let client = &mut self.client;
+        let server = &mut self.server;
+        sim.run(offered_rps, move |seq| {
+            send_request(client, seq);
+            server.poll();
+            client
+                .recv_response()
+                .map(|r| r.payload_bytes as u64)
+                .unwrap_or(0)
+        })
+    }
+
+    /// Runs the server at closed-loop saturation for `n` requests.
+    pub fn run_saturated(
+        &mut self,
+        sim: &OpenLoopSim,
+        n: u64,
+        mut send_request: impl FnMut(&mut KvClient, u64),
+    ) -> LoadPoint {
+        let client = &mut self.client;
+        let server = &mut self.server;
+        sim.run_saturated(n, move |seq| {
+            send_request(client, seq);
+            server.poll();
+            client
+                .recv_response()
+                .map(|r| r.payload_bytes as u64)
+                .unwrap_or(0)
+        })
+    }
+
+    /// Sweeps offered loads, resetting clock/cache/attribution between
+    /// points (store contents persist; warmup re-warms the cache).
+    pub fn sweep_loads(
+        &mut self,
+        sim: &OpenLoopSim,
+        loads: &[f64],
+        mut send_request: impl FnMut(&mut KvClient, u64),
+    ) -> SweepResult {
+        let server_sim = self.server_sim.clone();
+        sweep(loads, |load| {
+            server_sim.reset();
+            self.run_load(sim, load, &mut send_request)
+        })
+    }
+}
+
+/// Measures server capacity (requests/s and payload Gbps) at closed-loop
+/// saturation — the paper's "highest achieved throughput across all offered
+/// loads".
+pub fn capacity(
+    bench: &mut KvBench,
+    requests: u64,
+    warmup: u64,
+    send_request: impl FnMut(&mut KvClient, u64),
+) -> LoadPoint {
+    bench.server_sim.reset();
+    let sim = OpenLoopSim {
+        clock: bench.server_sim.clock(),
+        seed: 0xFACE,
+        one_way_wire_ns: 5_000,
+        duration_ns: u64::MAX / 4,
+        warmup_requests: warmup,
+    };
+    bench.run_saturated(&sim, requests, send_request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_serves_constant_workload() {
+        let mut b = KvBench::new(SerKind::Cornflakes, SerializationConfig::hybrid());
+        b.preload_constant(16, &[1024]);
+        let point = capacity(&mut b, 200, 20, |client, seq| {
+            let key = key_string(seq % 16);
+            client.send_get(&[key.as_bytes()]);
+        });
+        assert_eq!(point.completed, 200);
+        assert!(point.achieved_rps > 0.0);
+        assert!(point.payload_bytes > 200 * 1024);
+    }
+
+    #[test]
+    fn sweep_respects_capacity() {
+        let mut b = KvBench::new(SerKind::Protobuf, SerializationConfig::hybrid());
+        b.preload_constant(8, &[512]);
+        let cap = capacity(&mut b, 300, 30, |client, seq| {
+            let key = key_string(seq % 8);
+            client.send_get(&[key.as_bytes()]);
+        })
+        .achieved_rps;
+        let ol = b.openloop(2_000_000, 50);
+        let result = b.sweep_loads(&ol, &[cap * 0.5, cap * 3.0], |client, seq| {
+            let key = key_string(seq % 8);
+            client.send_get(&[key.as_bytes()]);
+        });
+        assert!(result.points[0].is_stable());
+        assert!(!result.points[1].is_stable());
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harnesses reproducing every table and figure of the paper's
+//! evaluation (§2.2, §5, §6).
+//!
+//! Each `cargo bench` target under `benches/` is a thin wrapper around one
+//! module in [`experiments`]; the logic lives here so integration tests can
+//! run scaled-down versions of every experiment.
+//!
+//! Conventions:
+//!
+//! - Experiments print the same rows/series the paper reports, as aligned
+//!   text tables, plus a one-line comparison against the paper's headline
+//!   number.
+//! - All randomness is seeded; output is deterministic.
+//! - Setting `CF_QUICK=1` shrinks durations ~10× for smoke runs; the
+//!   recorded numbers in `EXPERIMENTS.md` come from full runs.
+
+pub mod experiments;
+pub mod harness;
+pub mod tables;
+
+/// True when `CF_QUICK=1`: run shortened sweeps.
+pub fn quick_mode() -> bool {
+    std::env::var("CF_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scales a measurement-window duration (ns) down in quick mode.
+pub fn scaled_duration(full_ns: u64) -> u64 {
+    if quick_mode() {
+        full_ns / 10
+    } else {
+        full_ns
+    }
+}

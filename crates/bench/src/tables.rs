@@ -1,0 +1,83 @@
+//! Aligned text-table output for experiment results.
+
+/// Prints a titled, aligned table.
+///
+/// # Examples
+///
+/// ```
+/// cf_bench::tables::print_table(
+///     "Table 1",
+///     &["System", "1 val"],
+///     &[vec!["Cornflakes".into(), "844.7".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let s: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("  {}", s.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percent difference with sign.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// Prints the paper-vs-measured comparison line that each experiment ends
+/// with.
+pub fn print_expectation(label: &str, paper: &str, measured: &str) {
+    println!("  [paper] {label}: {paper}");
+    println!("  [measured] {label}: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(15.44), "15.4");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(pct(15.4), "+15.4%");
+        assert_eq!(pct(-3.2), "-3.2%");
+    }
+
+    #[test]
+    fn print_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["x".into(), "longer".into()], vec!["yy".into()]],
+        );
+        print_expectation("thing", "1", "2");
+    }
+}

@@ -1,0 +1,278 @@
+//! Schema abstract syntax tree and validation.
+
+use std::collections::HashSet;
+
+use crate::parser::CodegenError;
+
+/// A parsed schema file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// Messages in declaration order.
+    pub messages: Vec<Message>,
+}
+
+/// One `message` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Message (and generated struct) name.
+    pub name: String,
+    /// Fields in declaration order (= wire order).
+    pub fields: Vec<Field>,
+}
+
+/// One field declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (snake_case in generated accessors).
+    pub name: String,
+    /// Field number (unique within the message; kept for schema
+    /// compatibility checks, not encoded — the bitmap is positional).
+    pub number: u32,
+    /// Declared type.
+    pub ty: FieldType,
+    /// Whether the field is `repeated`.
+    pub repeated: bool,
+}
+
+/// Scalar types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalarType {
+    /// `int32`
+    Int32,
+    /// `uint32`
+    Uint32,
+    /// `int64`
+    Int64,
+    /// `uint64`
+    Uint64,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `bool`
+    Bool,
+}
+
+impl ScalarType {
+    /// The Rust type of the field.
+    pub fn rust_type(self) -> &'static str {
+        match self {
+            ScalarType::Int32 => "i32",
+            ScalarType::Uint32 => "u32",
+            ScalarType::Int64 => "i64",
+            ScalarType::Uint64 => "u64",
+            ScalarType::Float => "f32",
+            ScalarType::Double => "f64",
+            ScalarType::Bool => "bool",
+        }
+    }
+
+    /// Encoded width in the header block (bool is widened to 4 for
+    /// alignment).
+    pub fn wire_width(self) -> usize {
+        match self {
+            ScalarType::Int32 | ScalarType::Uint32 | ScalarType::Float | ScalarType::Bool => 4,
+            ScalarType::Int64 | ScalarType::Uint64 | ScalarType::Double => 8,
+        }
+    }
+
+    /// The scalar's schema keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ScalarType::Int32 => "int32",
+            ScalarType::Uint32 => "uint32",
+            ScalarType::Int64 => "int64",
+            ScalarType::Uint64 => "uint64",
+            ScalarType::Float => "float",
+            ScalarType::Double => "double",
+            ScalarType::Bool => "bool",
+        }
+    }
+}
+
+/// Field types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldType {
+    /// A scalar.
+    Scalar(ScalarType),
+    /// A `string` (lazy UTF-8 validation on access).
+    Str,
+    /// Raw `bytes`.
+    Bytes,
+    /// A nested message, by name.
+    Message(String),
+}
+
+impl Schema {
+    /// Looks up a message by name.
+    pub fn message(&self, name: &str) -> Option<&Message> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Validates name/number uniqueness and type references.
+    pub fn validate(&self) -> Result<(), CodegenError> {
+        let mut msg_names = HashSet::new();
+        for m in &self.messages {
+            if !msg_names.insert(m.name.as_str()) {
+                return Err(CodegenError {
+                    line: 0,
+                    message: format!("duplicate message name `{}`", m.name),
+                });
+            }
+            if m.fields.is_empty() {
+                return Err(CodegenError {
+                    line: 0,
+                    message: format!("message `{}` has no fields", m.name),
+                });
+            }
+            let mut names = HashSet::new();
+            let mut numbers = HashSet::new();
+            for f in &m.fields {
+                if !names.insert(f.name.as_str()) {
+                    return Err(CodegenError {
+                        line: 0,
+                        message: format!("duplicate field name `{}` in `{}`", f.name, m.name),
+                    });
+                }
+                if f.number == 0 || !numbers.insert(f.number) {
+                    return Err(CodegenError {
+                        line: 0,
+                        message: format!(
+                            "field number {} in `{}` is zero or duplicated",
+                            f.number, m.name
+                        ),
+                    });
+                }
+                if let FieldType::Message(ref target) = f.ty {
+                    if self.message(target).is_none() {
+                        return Err(CodegenError {
+                            line: 0,
+                            message: format!(
+                                "field `{}` in `{}` references unknown message `{target}`",
+                                f.name, m.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Reject recursive message embedding (unbounded wire size).
+        for m in &self.messages {
+            let mut stack = vec![m.name.as_str()];
+            if self.has_cycle(m, &mut stack) {
+                return Err(CodegenError {
+                    line: 0,
+                    message: format!("message `{}` is recursively nested", m.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn has_cycle<'a>(&'a self, m: &'a Message, stack: &mut Vec<&'a str>) -> bool {
+        for f in &m.fields {
+            if let FieldType::Message(ref target) = f.ty {
+                if stack.contains(&target.as_str()) {
+                    return true;
+                }
+                if let Some(t) = self.message(target) {
+                    stack.push(target);
+                    if self.has_cycle(t, stack) {
+                        return true;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str, number: u32, ty: FieldType) -> Field {
+        Field {
+            name: name.into(),
+            number,
+            ty,
+            repeated: false,
+        }
+    }
+
+    #[test]
+    fn valid_schema_passes() {
+        let s = Schema {
+            messages: vec![Message {
+                name: "M".into(),
+                fields: vec![
+                    field("a", 1, FieldType::Scalar(ScalarType::Uint32)),
+                    field("b", 2, FieldType::Bytes),
+                ],
+            }],
+        };
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_field_number_rejected() {
+        let s = Schema {
+            messages: vec![Message {
+                name: "M".into(),
+                fields: vec![
+                    field("a", 1, FieldType::Bytes),
+                    field("b", 1, FieldType::Bytes),
+                ],
+            }],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_message_reference_rejected() {
+        let s = Schema {
+            messages: vec![Message {
+                name: "M".into(),
+                fields: vec![field("a", 1, FieldType::Message("Nope".into()))],
+            }],
+        };
+        assert!(s.validate().unwrap_err().message.contains("unknown message"));
+    }
+
+    #[test]
+    fn recursive_nesting_rejected() {
+        let s = Schema {
+            messages: vec![
+                Message {
+                    name: "A".into(),
+                    fields: vec![field("b", 1, FieldType::Message("B".into()))],
+                },
+                Message {
+                    name: "B".into(),
+                    fields: vec![field("a", 1, FieldType::Message("A".into()))],
+                },
+            ],
+        };
+        assert!(s.validate().unwrap_err().message.contains("recursively"));
+    }
+
+    #[test]
+    fn self_recursion_rejected() {
+        let s = Schema {
+            messages: vec![Message {
+                name: "A".into(),
+                fields: vec![field("a", 1, FieldType::Message("A".into()))],
+            }],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scalar_widths() {
+        assert_eq!(ScalarType::Uint32.wire_width(), 4);
+        assert_eq!(ScalarType::Bool.wire_width(), 4);
+        assert_eq!(ScalarType::Double.wire_width(), 8);
+        assert_eq!(ScalarType::Int64.rust_type(), "i64");
+    }
+}

@@ -1,0 +1,70 @@
+//! The Cornflakes schema compiler CLI.
+//!
+//! ```text
+//! cornflakes-compile <schema.proto> [out.rs]   # compile to Rust
+//! cornflakes-compile --check <schema.proto>    # parse + validate only
+//! cornflakes-compile --fmt <schema.proto>      # print canonical schema
+//! ```
+//!
+//! With no output path, generated Rust goes to stdout.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cornflakes-compile [--check|--fmt] <schema.proto> [out.rs]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = match args.first().map(String::as_str) {
+        Some("--check") => ("check", &args[1..]),
+        Some("--fmt") => ("fmt", &args[1..]),
+        Some(_) => ("compile", &args[..]),
+        None => return usage(),
+    };
+    let Some(schema_path) = rest.first() else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(schema_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match cf_codegen::parser::parse(&src).and_then(|s| {
+        s.validate()?;
+        Ok(s)
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        "check" => {
+            println!(
+                "{schema_path}: ok ({} message{})",
+                schema.messages.len(),
+                if schema.messages.len() == 1 { "" } else { "s" }
+            );
+        }
+        "fmt" => print!("{}", cf_codegen::print_schema(&schema)),
+        _ => {
+            let code = cf_codegen::emit::emit(&schema);
+            match rest.get(1) {
+                Some(out_path) => {
+                    if let Err(e) = std::fs::write(out_path, code) {
+                        eprintln!("error: cannot write {out_path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {out_path}");
+                }
+                None => print!("{code}"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

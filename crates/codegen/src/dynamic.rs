@@ -1,0 +1,582 @@
+//! Runtime-schema messages: interpret a parsed [`Schema`] without code
+//! generation.
+//!
+//! The compiled path (build-time code generation) is what production
+//! services use; this dynamic counterpart serves tooling — trace decoders,
+//! schema-aware proxies, debuggers — and doubles as an executable
+//! specification of the wire format: a [`DynMessage`] must be wire-
+//! compatible with the generated code for the same schema (tested below
+//! and in `tests/`).
+//!
+//! Only the field shapes the static path supports are interpreted: scalars,
+//! `string`/`bytes`, `repeated` over those, nested messages and repeated
+//! nested messages, and packed repeated scalars.
+
+use cf_mem::RcBuf;
+use cornflakes_core::cfbytes::{CFBytes, CFString};
+use cornflakes_core::ctx::SerCtx;
+use cornflakes_core::list::ListElem;
+use cornflakes_core::obj::{charge_deserialize, CornflakesObj, HeaderWriter};
+use cornflakes_core::wire::{
+    bitmap_bytes, bitmap_set, get_u32, get_u64, put_u32, put_u64, Bitmap, ForwardPtr, WireError,
+    BITMAP_LEN_PREFIX, PTR_SIZE,
+};
+
+use crate::ast::{FieldType, Message, ScalarType, Schema};
+
+/// A dynamically typed field value.
+#[derive(Clone, Debug)]
+pub enum DynValue {
+    /// Any scalar, widened to 64 bits (floats as bits).
+    Scalar(u64),
+    /// A bytes or string field.
+    Bytes(CFBytes),
+    /// A nested message.
+    Message(Box<DynMessage>),
+    /// A repeated bytes/string field.
+    BytesList(Vec<CFBytes>),
+    /// A repeated nested message.
+    MessageList(Vec<DynMessage>),
+    /// A packed repeated scalar.
+    ScalarList(Vec<u64>),
+}
+
+/// A message instance interpreted against a [`Schema`] at runtime.
+///
+/// Holds its own copies of the message descriptor (name + field types), so
+/// instances stay usable after the schema text goes away.
+#[derive(Clone, Debug)]
+pub struct DynMessage {
+    descriptor: Message,
+    fields: Vec<Option<DynValue>>,
+}
+
+impl DynMessage {
+    /// Creates an empty instance of `message_name` from `schema`.
+    ///
+    /// Returns `None` if the schema has no such message.
+    pub fn new(schema: &Schema, message_name: &str) -> Option<Self> {
+        let descriptor = schema.message(message_name)?.clone();
+        let fields = vec![None; descriptor.fields.len()];
+        Some(DynMessage { descriptor, fields })
+    }
+
+    /// The message name.
+    pub fn name(&self) -> &str {
+        &self.descriptor.name
+    }
+
+    fn field_index(&self, name: &str) -> Option<usize> {
+        self.descriptor.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Sets a scalar field (floats via `to_bits`, bools as 0/1).
+    pub fn set_scalar(&mut self, name: &str, v: u64) -> bool {
+        match self.field_index(name) {
+            Some(i) if matches!(self.descriptor.fields[i].ty, FieldType::Scalar(_)) => {
+                self.fields[i] = Some(DynValue::Scalar(v));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sets a bytes/string field through the hybrid heuristic.
+    pub fn set_bytes(&mut self, ctx: &SerCtx, name: &str, data: &[u8]) -> bool {
+        match self.field_index(name) {
+            Some(i)
+                if matches!(
+                    self.descriptor.fields[i].ty,
+                    FieldType::Bytes | FieldType::Str
+                ) && !self.descriptor.fields[i].repeated =>
+            {
+                self.fields[i] = Some(DynValue::Bytes(CFBytes::new(ctx, data)));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends to a repeated bytes/string field.
+    pub fn push_bytes(&mut self, ctx: &SerCtx, name: &str, data: &[u8]) -> bool {
+        match self.field_index(name) {
+            Some(i)
+                if matches!(
+                    self.descriptor.fields[i].ty,
+                    FieldType::Bytes | FieldType::Str
+                ) && self.descriptor.fields[i].repeated =>
+            {
+                let v = CFBytes::new(ctx, data);
+                match &mut self.fields[i] {
+                    Some(DynValue::BytesList(l)) => l.push(v),
+                    slot => *slot = Some(DynValue::BytesList(vec![v])),
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends to a packed repeated scalar field.
+    pub fn push_scalar(&mut self, name: &str, v: u64) -> bool {
+        match self.field_index(name) {
+            Some(i)
+                if matches!(self.descriptor.fields[i].ty, FieldType::Scalar(_))
+                    && self.descriptor.fields[i].repeated =>
+            {
+                match &mut self.fields[i] {
+                    Some(DynValue::ScalarList(l)) => l.push(v),
+                    slot => *slot = Some(DynValue::ScalarList(vec![v])),
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sets a nested message field.
+    pub fn set_message(&mut self, name: &str, m: DynMessage) -> bool {
+        match self.field_index(name) {
+            Some(i)
+                if matches!(&self.descriptor.fields[i].ty, FieldType::Message(t)
+                    if *t == m.descriptor.name)
+                    && !self.descriptor.fields[i].repeated =>
+            {
+                self.fields[i] = Some(DynValue::Message(Box::new(m)));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends to a repeated nested-message field.
+    pub fn push_message(&mut self, name: &str, m: DynMessage) -> bool {
+        match self.field_index(name) {
+            Some(i)
+                if matches!(&self.descriptor.fields[i].ty, FieldType::Message(t)
+                    if *t == m.descriptor.name)
+                    && self.descriptor.fields[i].repeated =>
+            {
+                match &mut self.fields[i] {
+                    Some(DynValue::MessageList(l)) => l.push(m),
+                    slot => *slot = Some(DynValue::MessageList(vec![m])),
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reads a field by name, if present.
+    pub fn get(&self, name: &str) -> Option<&DynValue> {
+        self.fields[self.field_index(name)?].as_ref()
+    }
+
+    fn scalar_width(ty: &FieldType) -> usize {
+        match ty {
+            FieldType::Scalar(s) => s.wire_width(),
+            _ => PTR_SIZE,
+        }
+    }
+
+    fn present(&self, i: usize) -> bool {
+        match &self.fields[i] {
+            None => false,
+            Some(DynValue::BytesList(l)) => !l.is_empty(),
+            Some(DynValue::MessageList(l)) => !l.is_empty(),
+            Some(DynValue::ScalarList(l)) => !l.is_empty(),
+            Some(_) => true,
+        }
+    }
+
+    fn scalar_list_bytes(f: &crate::ast::Field, l: &[u64]) -> usize {
+        let w = match f.ty {
+            FieldType::Scalar(s) => s.wire_width(),
+            _ => 8,
+        };
+        l.len() * w
+    }
+}
+
+impl CornflakesObj for DynMessage {
+    fn fixed_block_bytes(&self) -> usize {
+        let mut n = BITMAP_LEN_PREFIX + bitmap_bytes(self.descriptor.fields.len());
+        for (i, f) in self.descriptor.fields.iter().enumerate() {
+            if self.present(i) {
+                n += if f.repeated {
+                    PTR_SIZE
+                } else {
+                    Self::scalar_width(&f.ty)
+                };
+            }
+        }
+        n
+    }
+
+    fn aux_bytes(&self) -> usize {
+        let mut n = 0;
+        for v in self.fields.iter().flatten() {
+            match v {
+                DynValue::Message(m) => n += m.header_bytes(),
+                DynValue::BytesList(l) => n += l.len() * PTR_SIZE,
+                DynValue::MessageList(l) => {
+                    n += l.len() * PTR_SIZE;
+                    n += l.iter().map(|m| m.header_bytes()).sum::<usize>();
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn copy_bytes(&self) -> usize {
+        let mut n = 0;
+        for (i, v) in self.fields.iter().enumerate() {
+            match v {
+                Some(DynValue::Bytes(b)) => n += b.elem_copy_bytes(),
+                Some(DynValue::BytesList(l)) => {
+                    n += l.iter().map(|b| b.elem_copy_bytes()).sum::<usize>()
+                }
+                Some(DynValue::Message(m)) => n += m.copy_bytes(),
+                Some(DynValue::MessageList(l)) => {
+                    n += l.iter().map(|m| m.copy_bytes()).sum::<usize>()
+                }
+                Some(DynValue::ScalarList(l)) => {
+                    n += Self::scalar_list_bytes(&self.descriptor.fields[i], l)
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.fields
+            .iter()
+            .flatten()
+            .map(|v| match v {
+                DynValue::Bytes(b) => b.elem_zc_entries(),
+                DynValue::BytesList(l) => l.iter().map(|b| b.elem_zc_entries()).sum(),
+                DynValue::Message(m) => m.zero_copy_entries(),
+                DynValue::MessageList(l) => l.iter().map(|m| m.zero_copy_entries()).sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .flatten()
+            .map(|v| match v {
+                DynValue::Bytes(b) => b.elem_zc_bytes(),
+                DynValue::BytesList(l) => l.iter().map(|b| b.elem_zc_bytes()).sum(),
+                DynValue::Message(m) => m.zero_copy_bytes(),
+                DynValue::MessageList(l) => l.iter().map(|m| m.zero_copy_bytes()).sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let nf = self.descriptor.fields.len();
+        let mut bm = vec![0u8; bitmap_bytes(nf)];
+        for i in 0..nf {
+            if self.present(i) {
+                bitmap_set(&mut bm, i);
+            }
+        }
+        put_u32(w.buf(), block, bitmap_bytes(nf) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + bm.len()]
+            .copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(nf);
+        for (i, f) in self.descriptor.fields.iter().enumerate() {
+            if !self.present(i) {
+                continue;
+            }
+            match self.fields[i].as_ref().expect("present") {
+                DynValue::Scalar(v) => {
+                    match f.ty {
+                        FieldType::Scalar(s) if s.wire_width() == 8 => {
+                            put_u64(w.buf(), cursor, *v)
+                        }
+                        _ => put_u32(w.buf(), cursor, *v as u32),
+                    }
+                    w.count_entry();
+                    cursor += Self::scalar_width(&f.ty);
+                }
+                DynValue::Bytes(b) => {
+                    b.write_elem(w, cursor);
+                    cursor += PTR_SIZE;
+                }
+                DynValue::Message(m) => {
+                    let inner = w.alloc_block(m.fixed_block_bytes());
+                    ForwardPtr {
+                        offset: inner as u32,
+                        len: m.fixed_block_bytes() as u32,
+                    }
+                    .put(w.buf(), cursor);
+                    w.count_entry();
+                    m.write_header(w, inner);
+                    cursor += PTR_SIZE;
+                }
+                DynValue::BytesList(l) => {
+                    let table = w.alloc_block(l.len() * PTR_SIZE);
+                    ForwardPtr {
+                        offset: table as u32,
+                        len: l.len() as u32,
+                    }
+                    .put(w.buf(), cursor);
+                    w.count_entry();
+                    for (j, b) in l.iter().enumerate() {
+                        b.write_elem(w, table + j * PTR_SIZE);
+                    }
+                    cursor += PTR_SIZE;
+                }
+                DynValue::MessageList(l) => {
+                    let table = w.alloc_block(l.len() * PTR_SIZE);
+                    ForwardPtr {
+                        offset: table as u32,
+                        len: l.len() as u32,
+                    }
+                    .put(w.buf(), cursor);
+                    w.count_entry();
+                    for (j, m) in l.iter().enumerate() {
+                        let inner = w.alloc_block(m.fixed_block_bytes());
+                        ForwardPtr {
+                            offset: inner as u32,
+                            len: m.fixed_block_bytes() as u32,
+                        }
+                        .put(w.buf(), table + j * PTR_SIZE);
+                        w.count_entry();
+                        m.write_header(w, inner);
+                    }
+                    cursor += PTR_SIZE;
+                }
+                DynValue::ScalarList(l) => {
+                    let bytes = Self::scalar_list_bytes(f, l);
+                    let offset = w.assign_copy(bytes);
+                    ForwardPtr {
+                        offset,
+                        len: l.len() as u32,
+                    }
+                    .put(w.buf(), cursor);
+                    w.count_entry();
+                    cursor += PTR_SIZE;
+                }
+            }
+        }
+    }
+
+    fn for_each_copy_entry(&self, cb: &mut dyn FnMut(&[u8])) {
+        for (i, f) in self.descriptor.fields.iter().enumerate() {
+            match &self.fields[i] {
+                Some(DynValue::Bytes(b)) => b.elem_for_each_copy(cb),
+                Some(DynValue::Message(m)) => m.for_each_copy_entry(cb),
+                Some(DynValue::BytesList(l)) => {
+                    for b in l {
+                        b.elem_for_each_copy(cb);
+                    }
+                }
+                Some(DynValue::MessageList(l)) => {
+                    for m in l {
+                        m.for_each_copy_entry(cb);
+                    }
+                }
+                Some(DynValue::ScalarList(l)) if !l.is_empty() => {
+                    // Pack on the fly to match the static path's layout.
+                    let w = match f.ty {
+                        FieldType::Scalar(s) => s.wire_width(),
+                        _ => 8,
+                    };
+                    let mut packed = Vec::with_capacity(l.len() * w);
+                    for &v in l {
+                        if w == 8 {
+                            packed.extend_from_slice(&v.to_le_bytes());
+                        } else {
+                            packed.extend_from_slice(&(v as u32).to_le_bytes());
+                        }
+                    }
+                    cb(&packed);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn for_each_zero_copy_entry(&self, cb: &mut dyn FnMut(&RcBuf)) {
+        for v in self.fields.iter().flatten() {
+            match v {
+                DynValue::Bytes(b) => b.elem_for_each_zc(cb),
+                DynValue::Message(m) => m.for_each_zero_copy_entry(cb),
+                DynValue::BytesList(l) => {
+                    for b in l {
+                        b.elem_for_each_zc(cb);
+                    }
+                }
+                DynValue::MessageList(l) => {
+                    for m in l {
+                        m.for_each_zero_copy_entry(cb);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn deserialize_at(_ctx: &SerCtx, _payload: &RcBuf, _block: usize) -> Result<Self, WireError> {
+        // `CornflakesObj::deserialize_at` has no schema parameter;
+        // dynamic decoding goes through [`DynMessage::decode`].
+        Err(WireError::MissingField { field: usize::MAX })
+    }
+}
+
+impl DynMessage {
+    /// Decodes a payload against `schema`'s `message_name` (the dynamic
+    /// counterpart of the generated `deserialize`).
+    pub fn decode(
+        ctx: &SerCtx,
+        schema: &Schema,
+        message_name: &str,
+        payload: &RcBuf,
+    ) -> Result<Self, WireError> {
+        Self::decode_at(ctx, schema, message_name, payload, 0)
+    }
+
+    fn decode_at(
+        ctx: &SerCtx,
+        schema: &Schema,
+        message_name: &str,
+        payload: &RcBuf,
+        block: usize,
+    ) -> Result<Self, WireError> {
+        let descriptor = schema
+            .message(message_name)
+            .ok_or(WireError::MissingField { field: 0 })?
+            .clone();
+        let buf = payload.as_slice();
+        let nf = descriptor.fields.len();
+        let bm_len = get_u32(buf, block)? as usize;
+        if bm_len != bitmap_bytes(nf) {
+            return Err(WireError::BadBitmap {
+                found: bm_len,
+                expected: bitmap_bytes(nf),
+            });
+        }
+        let bm_start = block + BITMAP_LEN_PREFIX;
+        let bm = buf
+            .get(bm_start..bm_start + bm_len)
+            .ok_or(WireError::Truncated {
+                needed: bm_start + bm_len,
+                available: buf.len(),
+            })?
+            .to_vec();
+        let bitmap = Bitmap(&bm);
+        let mut cursor = bm_start + bm_len;
+        let mut fields = Vec::with_capacity(nf);
+        let mut present_count = 0usize;
+        for (i, f) in descriptor.fields.iter().enumerate() {
+            if !bitmap.is_set(i) {
+                fields.push(None);
+                continue;
+            }
+            present_count += 1;
+            let value = match (&f.ty, f.repeated) {
+                (FieldType::Scalar(s), false) => {
+                    let v = if s.wire_width() == 8 {
+                        get_u64(buf, cursor)?
+                    } else {
+                        get_u32(buf, cursor)? as u64
+                    };
+                    cursor += s.wire_width();
+                    DynValue::Scalar(v)
+                }
+                (FieldType::Scalar(s), true) => {
+                    let ptr = ForwardPtr::get(buf, cursor)?;
+                    cursor += PTR_SIZE;
+                    let w = s.wire_width();
+                    let count = ptr.len as usize;
+                    let (off, _) = ptr.check_range(count * w, buf.len())?;
+                    let mut l = Vec::with_capacity(count);
+                    for j in 0..count {
+                        l.push(if w == 8 {
+                            get_u64(buf, off + j * 8)?
+                        } else {
+                            get_u32(buf, off + j * 4)? as u64
+                        });
+                    }
+                    DynValue::ScalarList(l)
+                }
+                (FieldType::Bytes | FieldType::Str, false) => {
+                    let b = CFBytes::read_elem(ctx, payload, cursor)?;
+                    cursor += PTR_SIZE;
+                    DynValue::Bytes(b)
+                }
+                (FieldType::Bytes | FieldType::Str, true) => {
+                    let ptr = ForwardPtr::get(buf, cursor)?;
+                    cursor += PTR_SIZE;
+                    let count = ptr.len as usize;
+                    let (table, _) = ptr.check_range(count * PTR_SIZE, buf.len())?;
+                    let mut l = Vec::with_capacity(count);
+                    for j in 0..count {
+                        l.push(CFBytes::read_elem(ctx, payload, table + j * PTR_SIZE)?);
+                    }
+                    DynValue::BytesList(l)
+                }
+                (FieldType::Message(t), false) => {
+                    let ptr = ForwardPtr::get(buf, cursor)?;
+                    cursor += PTR_SIZE;
+                    let (inner, _) = ptr.check_range(ptr.len as usize, buf.len())?;
+                    DynValue::Message(Box::new(Self::decode_at(
+                        ctx, schema, t, payload, inner,
+                    )?))
+                }
+                (FieldType::Message(t), true) => {
+                    let ptr = ForwardPtr::get(buf, cursor)?;
+                    cursor += PTR_SIZE;
+                    let count = ptr.len as usize;
+                    let (table, _) = ptr.check_range(count * PTR_SIZE, buf.len())?;
+                    let mut l = Vec::with_capacity(count);
+                    for j in 0..count {
+                        let e = ForwardPtr::get(buf, table + j * PTR_SIZE)?;
+                        let (inner, _) = e.check_range(e.len as usize, buf.len())?;
+                        l.push(Self::decode_at(ctx, schema, t, payload, inner)?);
+                    }
+                    DynValue::MessageList(l)
+                }
+            };
+            fields.push(Some(value));
+        }
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor - block,
+            present_count,
+        );
+        Ok(DynMessage { descriptor, fields })
+    }
+}
+
+/// Convenience: a `string` view with deferred validation from a dynamic
+/// bytes value.
+pub fn as_string(v: &DynValue) -> Option<CFString> {
+    match v {
+        DynValue::Bytes(b) => Some(CFString::from_bytes(b.clone())),
+        _ => None,
+    }
+}
+
+/// Widens a scalar into the value a generated accessor would return.
+pub fn scalar_as<T: From<u32>>(v: &DynValue) -> Option<T> {
+    match v {
+        DynValue::Scalar(s) => Some(T::from(*s as u32)),
+        _ => None,
+    }
+}
+
+impl ScalarType {
+    /// Whether this scalar occupies 8 wire bytes.
+    pub fn is_wide(self) -> bool {
+        self.wire_width() == 8
+    }
+}

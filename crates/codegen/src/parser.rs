@@ -1,0 +1,405 @@
+//! Schema tokenizer and recursive-descent parser.
+//!
+//! Accepts the Protobuf subset the paper's prototype supports, e.g.:
+//!
+//! ```protobuf
+//! syntax = "proto3";            // optional, checked if present
+//! package kv;                   // optional, ignored
+//!
+//! message GetM {
+//!     int32 id = 1;
+//!     repeated bytes keys = 2;
+//!     repeated bytes vals = 3;
+//! }
+//! ```
+//!
+//! Nested `message` declarations inside a message body are hoisted to the
+//! top level (their names must still be unique).
+
+use std::fmt;
+
+use crate::ast::{Field, FieldType, Message, ScalarType, Schema};
+
+/// A compile error with a 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodegenError {
+    /// 1-based line number (0 when not tied to a location).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u32),
+    Str(String),
+    Punct(char),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CodegenError {
+        CodegenError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), CodegenError> {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else if self.src[self.pos..].starts_with(b"/*") {
+                let start_line = self.line;
+                self.pos += 2;
+                loop {
+                    if self.pos + 1 >= self.src.len() {
+                        return Err(CodegenError {
+                            line: start_line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if &self.src[self.pos..self.pos + 2] == b"*/" {
+                        self.pos += 2;
+                        break;
+                    }
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, CodegenError> {
+        self.skip_ws_and_comments()?;
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let line = self.line;
+        let c = self.src[self.pos];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let word = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii ident")
+                .to_string();
+            return Ok(Some((Tok::Ident(word), line)));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let n: u32 = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii digits")
+                .parse()
+                .map_err(|_| self.err("field number out of range"))?;
+            return Ok(Some((Tok::Number(n), line)));
+        }
+        if c == b'"' {
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                if self.src[self.pos] == b'\n' {
+                    return Err(self.err("unterminated string literal"));
+                }
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string literal"));
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| self.err("non-UTF-8 string literal"))?
+                .to_string();
+            self.pos += 1;
+            return Ok(Some((Tok::Str(s), line)));
+        }
+        if b"{}=;.".contains(&c) {
+            self.pos += 1;
+            return Ok(Some((Tok::Punct(c as char), line)));
+        }
+        Err(self.err(format!("unexpected character `{}`", c as char)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CodegenError {
+        CodegenError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Result<Tok, CodegenError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of schema"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), CodegenError> {
+        match self.bump()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CodegenError> {
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_schema(&mut self) -> Result<Schema, CodegenError> {
+        let mut schema = Schema::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(word) if word == "syntax" => {
+                    self.bump()?;
+                    self.expect_punct('=')?;
+                    match self.bump()? {
+                        Tok::Str(s) if s == "proto2" || s == "proto3" => {}
+                        other => {
+                            return Err(self.err(format!("unsupported syntax {other:?}")))
+                        }
+                    }
+                    self.expect_punct(';')?;
+                }
+                Tok::Ident(word) if word == "package" => {
+                    self.bump()?;
+                    // Dotted package path, ignored.
+                    self.expect_ident()?;
+                    while self.peek() == Some(&Tok::Punct('.')) {
+                        self.bump()?;
+                        self.expect_ident()?;
+                    }
+                    self.expect_punct(';')?;
+                }
+                Tok::Ident(word) if word == "message" => {
+                    self.bump()?;
+                    self.parse_message(&mut schema)?;
+                }
+                other => return Err(self.err(format!("expected `message`, found {other:?}"))),
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Parses a message body, hoisting nested messages into `schema`.
+    fn parse_message(&mut self, schema: &mut Schema) -> Result<(), CodegenError> {
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut fields = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.bump()?;
+                    break;
+                }
+                Some(Tok::Ident(w)) if w == "message" => {
+                    self.bump()?;
+                    self.parse_message(schema)?;
+                }
+                Some(_) => fields.push(self.parse_field()?),
+                None => return Err(self.err("unterminated message body")),
+            }
+        }
+        schema.messages.push(Message { name, fields });
+        Ok(())
+    }
+
+    fn parse_field(&mut self) -> Result<Field, CodegenError> {
+        let mut repeated = false;
+        let mut first = self.expect_ident()?;
+        if first == "repeated" {
+            repeated = true;
+            first = self.expect_ident()?;
+        } else if first == "optional" {
+            // proto2 keyword: all our singular fields are optional anyway.
+            first = self.expect_ident()?;
+        }
+        let ty = match first.as_str() {
+            "int32" => FieldType::Scalar(ScalarType::Int32),
+            "uint32" => FieldType::Scalar(ScalarType::Uint32),
+            "int64" => FieldType::Scalar(ScalarType::Int64),
+            "uint64" => FieldType::Scalar(ScalarType::Uint64),
+            "float" => FieldType::Scalar(ScalarType::Float),
+            "double" => FieldType::Scalar(ScalarType::Double),
+            "bool" => FieldType::Scalar(ScalarType::Bool),
+            "string" => FieldType::Str,
+            "bytes" => FieldType::Bytes,
+            _ => FieldType::Message(first),
+        };
+        let name = self.expect_ident()?;
+        self.expect_punct('=')?;
+        let number = match self.bump()? {
+            Tok::Number(n) => n,
+            other => return Err(self.err(format!("expected field number, found {other:?}"))),
+        };
+        self.expect_punct(';')?;
+        Ok(Field {
+            name,
+            number,
+            ty,
+            repeated,
+        })
+    }
+}
+
+/// Parses schema source text.
+pub fn parse(src: &str) -> Result<Schema, CodegenError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next()? {
+        toks.push(t);
+    }
+    Parser { toks, pos: 0 }.parse_schema()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_1_schema() {
+        let s = parse(
+            r#"
+            syntax = "proto3";
+            message GetM {
+                int32 id = 1;
+                repeated bytes keys = 2;
+                repeated bytes vals = 3;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.messages.len(), 1);
+        let m = &s.messages[0];
+        assert_eq!(m.name, "GetM");
+        assert_eq!(m.fields.len(), 3);
+        assert_eq!(m.fields[0].ty, FieldType::Scalar(ScalarType::Int32));
+        assert!(!m.fields[0].repeated);
+        assert!(m.fields[1].repeated);
+        assert_eq!(m.fields[2].name, "vals");
+        assert_eq!(m.fields[2].number, 3);
+    }
+
+    #[test]
+    fn parses_comments_package_and_nested() {
+        let s = parse(
+            r#"
+            // line comment
+            package com.example.kv;
+            /* block
+               comment */
+            message Outer {
+                message Inner { uint64 x = 1; }
+                Inner inner = 1;
+                repeated Inner many = 2;
+                optional string name = 3;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.messages.len(), 2);
+        assert_eq!(s.messages[0].name, "Inner");
+        let outer = s.message("Outer").unwrap();
+        assert_eq!(outer.fields[0].ty, FieldType::Message("Inner".into()));
+        assert!(outer.fields[1].repeated);
+        assert_eq!(outer.fields[2].ty, FieldType::Str);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("message M {\n  int32 id 1;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected `=`"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(parse("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unterminated_message_rejected() {
+        assert!(parse("message M { int32 x = 1;").is_err());
+    }
+
+    #[test]
+    fn bad_syntax_decl_rejected() {
+        assert!(parse(r#"syntax = "proto9";"#).is_err());
+    }
+
+    #[test]
+    fn all_scalars_parse() {
+        let s = parse(
+            "message S { int32 a = 1; uint32 b = 2; int64 c = 3; uint64 d = 4;
+             float e = 5; double f = 6; bool g = 7; }",
+        )
+        .unwrap();
+        assert_eq!(s.messages[0].fields.len(), 7);
+    }
+}

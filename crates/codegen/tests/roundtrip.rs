@@ -1,0 +1,122 @@
+//! Property tests for the schema front end: random valid schemas survive a
+//! print → parse round trip unchanged, and the emitter stays structurally
+//! sound on all of them.
+
+use proptest::prelude::*;
+
+use cf_codegen::ast::{Field, FieldType, Message, ScalarType, Schema};
+use cf_codegen::{compile_schema, print_schema};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+fn type_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9]{0,8}".prop_map(|s| s)
+}
+
+fn scalar() -> impl Strategy<Value = ScalarType> {
+    prop_oneof![
+        Just(ScalarType::Int32),
+        Just(ScalarType::Uint32),
+        Just(ScalarType::Int64),
+        Just(ScalarType::Uint64),
+        Just(ScalarType::Float),
+        Just(ScalarType::Double),
+        Just(ScalarType::Bool),
+    ]
+}
+
+/// A random valid schema: unique message names, unique field names and
+/// numbers per message, nested references only to *earlier* messages (so
+/// there is never recursion).
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    (
+        proptest::collection::vec(type_name(), 1..5),
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (ident(), prop_oneof![
+                    scalar().prop_map(FieldType::Scalar),
+                    Just(FieldType::Str),
+                    Just(FieldType::Bytes),
+                    // Placeholder resolved below to an earlier message.
+                    Just(FieldType::Message(String::new())),
+                ], any::<bool>()),
+                1..8,
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(mut names, fields_per_msg)| {
+            names.sort();
+            names.dedup();
+            let mut messages = Vec::new();
+            for (mi, field_specs) in fields_per_msg.iter().enumerate() {
+                if mi >= names.len() {
+                    break;
+                }
+                let mut fields = Vec::new();
+                let mut used = std::collections::HashSet::new();
+                for (fi, (name, ty, repeated)) in field_specs.iter().enumerate() {
+                    if !used.insert(name.clone()) {
+                        continue;
+                    }
+                    let ty = match ty {
+                        FieldType::Message(_) if mi > 0 => {
+                            FieldType::Message(names[fi % mi].clone())
+                        }
+                        FieldType::Message(_) => FieldType::Bytes,
+                        other => other.clone(),
+                    };
+                    fields.push(Field {
+                        name: name.clone(),
+                        number: (fi + 1) as u32,
+                        ty,
+                        repeated: *repeated,
+                    });
+                }
+                messages.push(Message {
+                    name: names[mi].clone(),
+                    fields,
+                });
+            }
+            Schema { messages }
+        })
+        .prop_filter("nonempty schema with nonempty messages", |s| {
+            !s.messages.is_empty() && s.messages.iter().all(|m| !m.fields.is_empty())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(schema in schema_strategy()) {
+        prop_assert!(schema.validate().is_ok(), "generated schema valid");
+        let printed = print_schema(&schema);
+        let reparsed = cf_codegen::parser::parse(&printed)
+            .expect("canonical output parses");
+        prop_assert_eq!(schema, reparsed);
+    }
+
+    #[test]
+    fn emitter_output_structurally_sound(schema in schema_strategy()) {
+        let code = compile_schema(&print_schema(&schema)).expect("compiles");
+        // Structural sanity on arbitrary schemas: balanced braces, one
+        // struct + one CornflakesObj impl + one ListElem impl per message.
+        prop_assert_eq!(code.matches('{').count(), code.matches('}').count());
+        for m in &schema.messages {
+            let has_struct = code.contains(&format!("pub struct {} {{", m.name));
+            let has_impl = code.contains(&format!("impl CornflakesObj for {} {{", m.name));
+            let has_elem = code.contains(&format!("impl_message_list_elem!({});", m.name));
+            prop_assert!(has_struct, "missing struct for {}", m.name);
+            prop_assert!(has_impl, "missing CornflakesObj impl for {}", m.name);
+            prop_assert!(has_elem, "missing ListElem impl for {}", m.name);
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_parser(text in "\\PC*") {
+        let _ = cf_codegen::parser::parse(&text);
+    }
+}

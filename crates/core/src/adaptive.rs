@@ -1,0 +1,206 @@
+//! Adaptive zero-copy threshold (paper §7, "Static zero-copy threshold").
+//!
+//! The paper ships a per-platform constant (512 B) measured offline and
+//! notes that "if Cornflakes automatically monitored the cache and memory
+//! bandwidth pressure and adjusted the threshold dynamically, the threshold
+//! could both become more application-specific and work in multitenant
+//! environments". This module implements that future-work item: the
+//! serialization path reports what each copy and each zero-copy actually
+//! cost; copy cost is fitted as an affine function of the field size
+//! (`ns ≈ a + b·bytes`), and the threshold converges to the observed
+//! crossover
+//!
+//! ```text
+//! threshold ≈ (zc_fixed_cost − a) / b
+//! ```
+//!
+//! Moments are tracked as exponentially weighted moving averages, so the
+//! threshold follows shifts in cache/memory pressure (e.g. a co-located
+//! workload suddenly evicting the refcount metadata) within a few hundred
+//! fields.
+
+use std::cell::Cell;
+
+/// EWMA smoothing factor: each observation contributes 2 %.
+const ALPHA: f64 = 0.02;
+/// Observations required on both paths before the threshold moves.
+const MIN_SAMPLES: u32 = 64;
+/// Clamp bounds for the derived threshold, in bytes.
+const MIN_THRESHOLD: usize = 64;
+/// Upper clamp: a jumbo frame. Above this, copying never wins anyway.
+const MAX_THRESHOLD: usize = 9000;
+
+/// A self-tuning zero-copy threshold.
+///
+/// Thread-compatible (not `Sync`): one instance per datapath, like the
+/// rest of the per-core serialization state.
+#[derive(Debug)]
+pub struct AdaptiveThreshold {
+    threshold: Cell<usize>,
+    // Copy cost is modeled as affine in the field size, `ns ≈ a + b·bytes`
+    // (a captures per-operation startup, b the streaming per-byte cost).
+    // The fit comes from exponentially weighted first and second moments.
+    mx: Cell<f64>,
+    my: Cell<f64>,
+    mxx: Cell<f64>,
+    mxy: Cell<f64>,
+    zc_fixed_ns: Cell<f64>,
+    copy_samples: Cell<u32>,
+    zc_samples: Cell<u32>,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a tuner starting from `initial` bytes (typically the
+    /// statically measured 512).
+    pub fn new(initial: usize) -> Self {
+        AdaptiveThreshold {
+            threshold: Cell::new(initial.clamp(MIN_THRESHOLD, MAX_THRESHOLD)),
+            mx: Cell::new(0.0),
+            my: Cell::new(0.0),
+            mxx: Cell::new(0.0),
+            mxy: Cell::new(0.0),
+            zc_fixed_ns: Cell::new(0.0),
+            copy_samples: Cell::new(0),
+            zc_samples: Cell::new(0),
+        }
+    }
+
+    /// The current threshold in bytes.
+    pub fn threshold(&self) -> usize {
+        self.threshold.get()
+    }
+
+    /// Number of observations consumed so far (diagnostic).
+    pub fn samples(&self) -> (u32, u32) {
+        (self.copy_samples.get(), self.zc_samples.get())
+    }
+
+    /// The fitted copy model `(intercept ns, slope ns/byte)` (diagnostic).
+    pub fn copy_model(&self) -> (f64, f64) {
+        let var = self.mxx.get() - self.mx.get() * self.mx.get();
+        if var <= f64::EPSILON {
+            return (self.my.get(), 0.0);
+        }
+        let slope = (self.mxy.get() - self.mx.get() * self.my.get()) / var;
+        (self.my.get() - slope * self.mx.get(), slope)
+    }
+
+    fn ewma(cell: &Cell<f64>, sample: f64, fresh: bool) {
+        if fresh {
+            cell.set(sample);
+        } else {
+            cell.set(cell.get() * (1.0 - ALPHA) + sample * ALPHA);
+        }
+    }
+
+    /// Reports that copying a `bytes`-byte field cost `ns` nanoseconds.
+    pub fn observe_copy(&self, bytes: usize, ns: f64) {
+        if bytes == 0 {
+            return;
+        }
+        let n = self.copy_samples.get();
+        let x = bytes as f64;
+        Self::ewma(&self.mx, x, n == 0);
+        Self::ewma(&self.my, ns, n == 0);
+        Self::ewma(&self.mxx, x * x, n == 0);
+        Self::ewma(&self.mxy, x * ns, n == 0);
+        self.copy_samples.set(n.saturating_add(1));
+        self.retune();
+    }
+
+    /// Reports that a zero-copy field's bookkeeping (recover_ptr, refcount
+    /// touches, descriptor posting) cost `ns` nanoseconds, independent of
+    /// its size.
+    pub fn observe_zero_copy(&self, ns: f64) {
+        let n = self.zc_samples.get();
+        Self::ewma(&self.zc_fixed_ns, ns, n == 0);
+        self.zc_samples.set(n.saturating_add(1));
+        self.retune();
+    }
+
+    fn retune(&self) {
+        if self.copy_samples.get() < MIN_SAMPLES || self.zc_samples.get() < MIN_SAMPLES {
+            return;
+        }
+        let (intercept, slope) = self.copy_model();
+        if slope <= 0.0 {
+            // Copy cost not yet resolvable as size-dependent (e.g. all
+            // samples one size, or noise-dominated): keep the threshold.
+            return;
+        }
+        // Solve intercept + slope·x = zc_fixed for the crossover size.
+        let crossover = (self.zc_fixed_ns.get() - intercept) / slope;
+        self.threshold
+            .set((crossover.max(0.0) as usize).clamp(MIN_THRESHOLD, MAX_THRESHOLD));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds a synthetic affine copy model `ns = 30 + per_byte * bytes`
+    /// over a spread of sizes, plus a fixed zero-copy cost.
+    fn feed(t: &AdaptiveThreshold, copy_per_byte: f64, zc_fixed: f64, rounds: u32) {
+        for i in 0..rounds {
+            let bytes = [128usize, 512, 1024, 4096][(i % 4) as usize];
+            t.observe_copy(bytes, 30.0 + copy_per_byte * bytes as f64);
+            t.observe_zero_copy(zc_fixed);
+        }
+    }
+
+    #[test]
+    fn holds_initial_until_enough_samples() {
+        let t = AdaptiveThreshold::new(512);
+        feed(&t, 1.0, 64.0, MIN_SAMPLES - 1);
+        assert_eq!(t.threshold(), 512, "no retune before MIN_SAMPLES");
+        feed(&t, 1.0, 64.0, 2);
+        assert_ne!(t.threshold(), 512, "retunes once warmed");
+    }
+
+    #[test]
+    fn converges_to_observed_crossover() {
+        let t = AdaptiveThreshold::new(512);
+        // Copy costs 30 + 0.2·bytes ns, zero-copy bookkeeping 150 ns
+        // fixed: crossover at (150 - 30) / 0.2 = 600 bytes.
+        feed(&t, 0.2, 150.0, 500);
+        let got = t.threshold();
+        assert!(
+            (550..=650).contains(&got),
+            "expected ~600, got {got}"
+        );
+    }
+
+    #[test]
+    fn tracks_pressure_shifts() {
+        let t = AdaptiveThreshold::new(512);
+        feed(&t, 0.2, 150.0, 500);
+        let before = t.threshold();
+        // Memory pressure doubles the metadata-miss cost: zero-copy gets
+        // less attractive, threshold rises toward (300-30)/0.2 = 1350.
+        feed(&t, 0.2, 300.0, 500);
+        let after = t.threshold();
+        assert!(after > before, "threshold should rise: {before} -> {after}");
+        assert!((1150..=1550).contains(&after), "expected ~1350, got {after}");
+        // Pressure drops again: threshold falls back.
+        feed(&t, 0.2, 150.0, 800);
+        assert!(t.threshold() < after);
+    }
+
+    #[test]
+    fn clamped_to_sane_bounds() {
+        let t = AdaptiveThreshold::new(512);
+        // Absurdly cheap zero-copy: clamps at the floor.
+        feed(&t, 10.0, 1.0, 200);
+        assert_eq!(t.threshold(), MIN_THRESHOLD);
+        // Absurdly expensive zero-copy: clamps at a jumbo frame.
+        feed(&t, 0.001, 10_000.0, 5_000);
+        assert_eq!(t.threshold(), MAX_THRESHOLD);
+    }
+
+    #[test]
+    fn initial_is_clamped_too() {
+        assert_eq!(AdaptiveThreshold::new(1).threshold(), MIN_THRESHOLD);
+        assert_eq!(AdaptiveThreshold::new(1 << 20).threshold(), MAX_THRESHOLD);
+    }
+}

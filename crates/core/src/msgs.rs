@@ -1,0 +1,667 @@
+//! Hand-written Cornflakes message types.
+//!
+//! These mirror the code `cf-codegen` generates (same trait impl shape,
+//! same wire layout) and serve three purposes: they document the generated
+//! API, they let the core crate test the full wire format without a build
+//! step, and they are the message set used by the workspace's key-value
+//! store and echo applications.
+//!
+//! `GetM` is the paper's Listing 1 message:
+//!
+//! ```protobuf
+//! message GetM {
+//!     int32 id = 1;
+//!     repeated bytes keys = 2;
+//!     repeated bytes vals = 3;
+//! }
+//! ```
+
+use cf_mem::RcBuf;
+
+use crate::cfbytes::CFBytes;
+use crate::ctx::SerCtx;
+use crate::list::{CFList, ListElem, PrimList};
+use crate::obj::{charge_deserialize, CornflakesObj, HeaderWriter};
+use crate::wire::{
+    bitmap_bytes, bitmap_set, get_u32, put_u32, Bitmap, WireError, BITMAP_LEN_PREFIX, PTR_SIZE,
+};
+
+/// Reads and validates a header block prelude (bitmap length prefix +
+/// bitmap), returning the bitmap copy and the offset of the first field
+/// entry. Shared by all message deserializers.
+fn read_prelude(
+    payload: &[u8],
+    block: usize,
+    num_fields: usize,
+) -> Result<([u8; 8], usize), WireError> {
+    let bm_len = get_u32(payload, block)? as usize;
+    let expected = bitmap_bytes(num_fields);
+    if bm_len != expected {
+        return Err(WireError::BadBitmap {
+            found: bm_len,
+            expected,
+        });
+    }
+    let start = block + BITMAP_LEN_PREFIX;
+    let bytes = payload
+        .get(start..start + bm_len)
+        .ok_or(WireError::Truncated {
+            needed: start + bm_len,
+            available: payload.len(),
+        })?;
+    let mut bm = [0u8; 8];
+    bm[..bm_len.min(8)].copy_from_slice(&bytes[..bm_len.min(8)]);
+    Ok((bm, start + bm_len))
+}
+
+/// The paper's multi-get message: used both as the request (keys filled)
+/// and the response (vals filled).
+#[derive(Clone, Debug, Default)]
+pub struct GetM {
+    /// Request identifier.
+    pub id: Option<u32>,
+    /// Queried keys.
+    pub keys: CFList<CFBytes>,
+    /// Returned values.
+    pub vals: CFList<CFBytes>,
+}
+
+impl GetM {
+    const F_ID: usize = 0;
+    const F_KEYS: usize = 1;
+    const F_VALS: usize = 2;
+    const NUM_FIELDS: usize = 3;
+
+    /// Creates an empty message (paper Listing 1's `new`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves capacity for `cap` values (paper Listing 1's `init_vals`).
+    pub fn init_vals(&mut self, cap: usize) {
+        self.vals = CFList::with_capacity(cap);
+    }
+
+    /// Mutable access to the values list (paper Listing 1's
+    /// `get_mut_vals`).
+    pub fn get_mut_vals(&mut self) -> &mut CFList<CFBytes> {
+        &mut self.vals
+    }
+
+    /// The keys list.
+    pub fn get_keys(&self) -> &CFList<CFBytes> {
+        &self.keys
+    }
+
+    fn bitmap(&self) -> [u8; 4] {
+        let mut bm = [0u8; 4];
+        if self.id.is_some() {
+            bitmap_set(&mut bm, Self::F_ID);
+        }
+        if !self.keys.is_empty() {
+            bitmap_set(&mut bm, Self::F_KEYS);
+        }
+        if !self.vals.is_empty() {
+            bitmap_set(&mut bm, Self::F_VALS);
+        }
+        bm
+    }
+}
+
+impl CornflakesObj for GetM {
+    fn fixed_block_bytes(&self) -> usize {
+        BITMAP_LEN_PREFIX
+            + bitmap_bytes(Self::NUM_FIELDS)
+            + self.id.map_or(0, |_| 4)
+            + if self.keys.is_empty() { 0 } else { PTR_SIZE }
+            + if self.vals.is_empty() { 0 } else { PTR_SIZE }
+    }
+
+    fn aux_bytes(&self) -> usize {
+        self.keys.aux_bytes() + self.vals.aux_bytes()
+    }
+
+    fn copy_bytes(&self) -> usize {
+        self.keys.copy_bytes() + self.vals.copy_bytes()
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.keys.zc_entries() + self.vals.zc_entries()
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.keys.zc_bytes() + self.vals.zc_bytes()
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let bm = self.bitmap();
+        put_u32(w.buf(), block, bitmap_bytes(Self::NUM_FIELDS) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(Self::NUM_FIELDS);
+        if let Some(id) = self.id {
+            put_u32(w.buf(), cursor, id);
+            w.count_entry();
+            cursor += 4;
+        }
+        if !self.keys.is_empty() {
+            self.keys.write(w, cursor);
+            cursor += PTR_SIZE;
+        }
+        if !self.vals.is_empty() {
+            self.vals.write(w, cursor);
+        }
+    }
+
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8])) {
+        self.keys.for_each_copy(f);
+        self.vals.for_each_copy(f);
+    }
+
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf)) {
+        self.keys.for_each_zc(f);
+        self.vals.for_each_zc(f);
+    }
+
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError> {
+        let buf = payload.as_slice();
+        let (bm, mut cursor) = read_prelude(buf, block, Self::NUM_FIELDS)?;
+        let bitmap = Bitmap(&bm);
+        let mut present = 0;
+        let id = if bitmap.is_set(Self::F_ID) {
+            let v = get_u32(buf, cursor)?;
+            cursor += 4;
+            present += 1;
+            Some(v)
+        } else {
+            None
+        };
+        let keys = if bitmap.is_set(Self::F_KEYS) {
+            let l = CFList::read(ctx, payload, cursor)?;
+            cursor += PTR_SIZE;
+            present += 1;
+            l
+        } else {
+            CFList::new()
+        };
+        let vals = if bitmap.is_set(Self::F_VALS) {
+            present += 1;
+            CFList::read(ctx, payload, cursor)?
+        } else {
+            CFList::new()
+        };
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor + PTR_SIZE - block,
+            present,
+        );
+        Ok(GetM { id, keys, vals })
+    }
+}
+
+/// A put request: one key, one value.
+#[derive(Clone, Debug, Default)]
+pub struct Put {
+    /// Request identifier.
+    pub id: Option<u32>,
+    /// Key to store under.
+    pub key: Option<CFBytes>,
+    /// Value to store.
+    pub val: Option<CFBytes>,
+}
+
+impl Put {
+    const F_ID: usize = 0;
+    const F_KEY: usize = 1;
+    const F_VAL: usize = 2;
+    const NUM_FIELDS: usize = 3;
+}
+
+impl CornflakesObj for Put {
+    fn fixed_block_bytes(&self) -> usize {
+        BITMAP_LEN_PREFIX
+            + bitmap_bytes(Self::NUM_FIELDS)
+            + self.id.map_or(0, |_| 4)
+            + self.key.as_ref().map_or(0, |_| PTR_SIZE)
+            + self.val.as_ref().map_or(0, |_| PTR_SIZE)
+    }
+
+    fn aux_bytes(&self) -> usize {
+        0
+    }
+
+    fn copy_bytes(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_copy_bytes())
+            + self.val.as_ref().map_or(0, |v| v.elem_copy_bytes())
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_zc_entries())
+            + self.val.as_ref().map_or(0, |v| v.elem_zc_entries())
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_zc_bytes())
+            + self.val.as_ref().map_or(0, |v| v.elem_zc_bytes())
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let mut bm = [0u8; 4];
+        if self.id.is_some() {
+            bitmap_set(&mut bm, Self::F_ID);
+        }
+        if self.key.is_some() {
+            bitmap_set(&mut bm, Self::F_KEY);
+        }
+        if self.val.is_some() {
+            bitmap_set(&mut bm, Self::F_VAL);
+        }
+        put_u32(w.buf(), block, bitmap_bytes(Self::NUM_FIELDS) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(Self::NUM_FIELDS);
+        if let Some(id) = self.id {
+            put_u32(w.buf(), cursor, id);
+            w.count_entry();
+            cursor += 4;
+        }
+        if let Some(key) = &self.key {
+            key.write_elem(w, cursor);
+            cursor += PTR_SIZE;
+        }
+        if let Some(val) = &self.val {
+            val.write_elem(w, cursor);
+        }
+    }
+
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8])) {
+        if let Some(k) = &self.key {
+            k.elem_for_each_copy(f);
+        }
+        if let Some(v) = &self.val {
+            v.elem_for_each_copy(f);
+        }
+    }
+
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf)) {
+        if let Some(k) = &self.key {
+            k.elem_for_each_zc(f);
+        }
+        if let Some(v) = &self.val {
+            v.elem_for_each_zc(f);
+        }
+    }
+
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError> {
+        let buf = payload.as_slice();
+        let (bm, mut cursor) = read_prelude(buf, block, Self::NUM_FIELDS)?;
+        let bitmap = Bitmap(&bm);
+        let mut present = 0;
+        let id = if bitmap.is_set(Self::F_ID) {
+            let v = get_u32(buf, cursor)?;
+            cursor += 4;
+            present += 1;
+            Some(v)
+        } else {
+            None
+        };
+        let key = if bitmap.is_set(Self::F_KEY) {
+            let b = CFBytes::read_elem(ctx, payload, cursor)?;
+            cursor += PTR_SIZE;
+            present += 1;
+            Some(b)
+        } else {
+            None
+        };
+        let val = if bitmap.is_set(Self::F_VAL) {
+            present += 1;
+            Some(CFBytes::read_elem(ctx, payload, cursor)?)
+        } else {
+            None
+        };
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor + PTR_SIZE - block,
+            present,
+        );
+        Ok(Put { id, key, val })
+    }
+}
+
+/// A single-value response (`get` reply).
+#[derive(Clone, Debug, Default)]
+pub struct Single {
+    /// Request identifier echoed back.
+    pub id: Option<u32>,
+    /// The value.
+    pub val: Option<CFBytes>,
+}
+
+impl Single {
+    const F_ID: usize = 0;
+    const F_VAL: usize = 1;
+    const NUM_FIELDS: usize = 2;
+}
+
+impl CornflakesObj for Single {
+    fn fixed_block_bytes(&self) -> usize {
+        BITMAP_LEN_PREFIX
+            + bitmap_bytes(Self::NUM_FIELDS)
+            + self.id.map_or(0, |_| 4)
+            + self.val.as_ref().map_or(0, |_| PTR_SIZE)
+    }
+
+    fn aux_bytes(&self) -> usize {
+        0
+    }
+
+    fn copy_bytes(&self) -> usize {
+        self.val.as_ref().map_or(0, |v| v.elem_copy_bytes())
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.val.as_ref().map_or(0, |v| v.elem_zc_entries())
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.val.as_ref().map_or(0, |v| v.elem_zc_bytes())
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let mut bm = [0u8; 4];
+        if self.id.is_some() {
+            bitmap_set(&mut bm, Self::F_ID);
+        }
+        if self.val.is_some() {
+            bitmap_set(&mut bm, Self::F_VAL);
+        }
+        put_u32(w.buf(), block, bitmap_bytes(Self::NUM_FIELDS) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(Self::NUM_FIELDS);
+        if let Some(id) = self.id {
+            put_u32(w.buf(), cursor, id);
+            w.count_entry();
+            cursor += 4;
+        }
+        if let Some(val) = &self.val {
+            val.write_elem(w, cursor);
+        }
+    }
+
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8])) {
+        if let Some(v) = &self.val {
+            v.elem_for_each_copy(f);
+        }
+    }
+
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf)) {
+        if let Some(v) = &self.val {
+            v.elem_for_each_zc(f);
+        }
+    }
+
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError> {
+        let buf = payload.as_slice();
+        let (bm, mut cursor) = read_prelude(buf, block, Self::NUM_FIELDS)?;
+        let bitmap = Bitmap(&bm);
+        let mut present = 0;
+        let id = if bitmap.is_set(Self::F_ID) {
+            let v = get_u32(buf, cursor)?;
+            cursor += 4;
+            present += 1;
+            Some(v)
+        } else {
+            None
+        };
+        let val = if bitmap.is_set(Self::F_VAL) {
+            present += 1;
+            Some(CFBytes::read_elem(ctx, payload, cursor)?)
+        } else {
+            None
+        };
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor + PTR_SIZE - block,
+            present,
+        );
+        Ok(Single { id, val })
+    }
+}
+
+/// A key-value pair (nested message demo).
+#[derive(Clone, Debug, Default)]
+pub struct KvPair {
+    /// The key.
+    pub key: Option<CFBytes>,
+    /// The value.
+    pub val: Option<CFBytes>,
+}
+
+impl KvPair {
+    const F_KEY: usize = 0;
+    const F_VAL: usize = 1;
+    const NUM_FIELDS: usize = 2;
+}
+
+impl CornflakesObj for KvPair {
+    fn fixed_block_bytes(&self) -> usize {
+        BITMAP_LEN_PREFIX
+            + bitmap_bytes(Self::NUM_FIELDS)
+            + self.key.as_ref().map_or(0, |_| PTR_SIZE)
+            + self.val.as_ref().map_or(0, |_| PTR_SIZE)
+    }
+
+    fn aux_bytes(&self) -> usize {
+        0
+    }
+
+    fn copy_bytes(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_copy_bytes())
+            + self.val.as_ref().map_or(0, |v| v.elem_copy_bytes())
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_zc_entries())
+            + self.val.as_ref().map_or(0, |v| v.elem_zc_entries())
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.elem_zc_bytes())
+            + self.val.as_ref().map_or(0, |v| v.elem_zc_bytes())
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let mut bm = [0u8; 4];
+        if self.key.is_some() {
+            bitmap_set(&mut bm, Self::F_KEY);
+        }
+        if self.val.is_some() {
+            bitmap_set(&mut bm, Self::F_VAL);
+        }
+        put_u32(w.buf(), block, bitmap_bytes(Self::NUM_FIELDS) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(Self::NUM_FIELDS);
+        if let Some(key) = &self.key {
+            key.write_elem(w, cursor);
+            cursor += PTR_SIZE;
+        }
+        if let Some(val) = &self.val {
+            val.write_elem(w, cursor);
+        }
+    }
+
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8])) {
+        if let Some(k) = &self.key {
+            k.elem_for_each_copy(f);
+        }
+        if let Some(v) = &self.val {
+            v.elem_for_each_copy(f);
+        }
+    }
+
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf)) {
+        if let Some(k) = &self.key {
+            k.elem_for_each_zc(f);
+        }
+        if let Some(v) = &self.val {
+            v.elem_for_each_zc(f);
+        }
+    }
+
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError> {
+        let buf = payload.as_slice();
+        let (bm, mut cursor) = read_prelude(buf, block, Self::NUM_FIELDS)?;
+        let bitmap = Bitmap(&bm);
+        let mut present = 0;
+        let key = if bitmap.is_set(Self::F_KEY) {
+            let b = CFBytes::read_elem(ctx, payload, cursor)?;
+            cursor += PTR_SIZE;
+            present += 1;
+            Some(b)
+        } else {
+            None
+        };
+        let val = if bitmap.is_set(Self::F_VAL) {
+            present += 1;
+            Some(CFBytes::read_elem(ctx, payload, cursor)?)
+        } else {
+            None
+        };
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor + PTR_SIZE - block,
+            present,
+        );
+        Ok(KvPair { key, val })
+    }
+}
+
+crate::impl_message_list_elem!(KvPair);
+
+/// A batch of pairs plus a packed primitive list — exercises nested
+/// messages and `repeated uint64` (as in the paper's replicated key-value
+/// store, which serializes nested Protobuf objects).
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    /// Batch identifier.
+    pub id: Option<u32>,
+    /// Nested key-value pairs.
+    pub pairs: CFList<KvPair>,
+    /// Per-pair version numbers (packed).
+    pub versions: PrimList<u64>,
+}
+
+impl Batch {
+    const F_ID: usize = 0;
+    const F_PAIRS: usize = 1;
+    const F_VERSIONS: usize = 2;
+    const NUM_FIELDS: usize = 3;
+}
+
+impl CornflakesObj for Batch {
+    fn fixed_block_bytes(&self) -> usize {
+        BITMAP_LEN_PREFIX
+            + bitmap_bytes(Self::NUM_FIELDS)
+            + self.id.map_or(0, |_| 4)
+            + if self.pairs.is_empty() { 0 } else { PTR_SIZE }
+            + if self.versions.is_empty() { 0 } else { PTR_SIZE }
+    }
+
+    fn aux_bytes(&self) -> usize {
+        self.pairs.aux_bytes()
+    }
+
+    fn copy_bytes(&self) -> usize {
+        self.pairs.copy_bytes() + self.versions.byte_len()
+    }
+
+    fn zero_copy_entries(&self) -> usize {
+        self.pairs.zc_entries()
+    }
+
+    fn zero_copy_bytes(&self) -> usize {
+        self.pairs.zc_bytes()
+    }
+
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize) {
+        let mut bm = [0u8; 4];
+        if self.id.is_some() {
+            bitmap_set(&mut bm, Self::F_ID);
+        }
+        if !self.pairs.is_empty() {
+            bitmap_set(&mut bm, Self::F_PAIRS);
+        }
+        if !self.versions.is_empty() {
+            bitmap_set(&mut bm, Self::F_VERSIONS);
+        }
+        put_u32(w.buf(), block, bitmap_bytes(Self::NUM_FIELDS) as u32);
+        w.buf()[block + BITMAP_LEN_PREFIX..block + BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+        let mut cursor = block + BITMAP_LEN_PREFIX + bitmap_bytes(Self::NUM_FIELDS);
+        if let Some(id) = self.id {
+            put_u32(w.buf(), cursor, id);
+            w.count_entry();
+            cursor += 4;
+        }
+        if !self.pairs.is_empty() {
+            self.pairs.write(w, cursor);
+            cursor += PTR_SIZE;
+        }
+        if !self.versions.is_empty() {
+            self.versions.write(w, cursor);
+        }
+    }
+
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8])) {
+        self.pairs.for_each_copy(f);
+        if !self.versions.is_empty() {
+            f(self.versions.packed());
+        }
+    }
+
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf)) {
+        self.pairs.for_each_zc(f);
+    }
+
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError> {
+        let buf = payload.as_slice();
+        let (bm, mut cursor) = read_prelude(buf, block, Self::NUM_FIELDS)?;
+        let bitmap = Bitmap(&bm);
+        let mut present = 0;
+        let id = if bitmap.is_set(Self::F_ID) {
+            let v = get_u32(buf, cursor)?;
+            cursor += 4;
+            present += 1;
+            Some(v)
+        } else {
+            None
+        };
+        let pairs = if bitmap.is_set(Self::F_PAIRS) {
+            let l = CFList::read(ctx, payload, cursor)?;
+            cursor += PTR_SIZE;
+            present += 1;
+            l
+        } else {
+            CFList::new()
+        };
+        let versions = if bitmap.is_set(Self::F_VERSIONS) {
+            present += 1;
+            PrimList::read(ctx, payload, cursor)?
+        } else {
+            PrimList::new()
+        };
+        charge_deserialize(
+            ctx,
+            payload.addr() + block as u64,
+            cursor + PTR_SIZE - block,
+            present,
+        );
+        Ok(Batch { id, pairs, versions })
+    }
+}
+
+crate::impl_message_list_elem!(GetM);
+crate::impl_message_list_elem!(Put);
+crate::impl_message_list_elem!(Single);
+crate::impl_message_list_elem!(Batch);

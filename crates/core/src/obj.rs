@@ -1,0 +1,212 @@
+//! The `CornflakesObj` trait: serialization objects the networking stack
+//! consumes directly (paper Listing 1, §3.2.3).
+//!
+//! Rather than exposing an explicit `serialize()` that materializes a
+//! scatter-gather array, a Cornflakes object describes itself to the stack:
+//! its header size, how many bytes of copied data it carries, how many
+//! zero-copy entries it contributes, and iterators over both kinds of
+//! entries. The stack uses these to write the header and copied data into
+//! one DMA buffer and to post the zero-copy references as additional
+//! scatter-gather entries — the *combined serialize-and-send* API.
+
+use cf_mem::RcBuf;
+use cf_sim::cost::Category;
+
+use crate::ctx::SerCtx;
+use crate::wire::WireError;
+
+/// Cursor state for writing an object tree's header region.
+///
+/// The header region is written with three cursors: an *aux* cursor
+/// allocating header-region blocks (the root fixed block, list tables,
+/// nested object blocks), a *copy* cursor assigning absolute offsets in the
+/// copied-data region, and a *zero-copy* cursor assigning absolute offsets
+/// in the NIC-gathered region. Offsets handed out by `assign_*` are
+/// absolute from the object start, which is what forward pointers encode.
+#[derive(Debug)]
+pub struct HeaderWriter<'a> {
+    buf: &'a mut [u8],
+    aux_cursor: usize,
+    copy_cursor: usize,
+    zc_cursor: usize,
+    entries: usize,
+}
+
+impl<'a> HeaderWriter<'a> {
+    /// Creates a writer over the header region `buf`, with the copied-data
+    /// region starting at absolute offset `copy_start` and the zero-copy
+    /// region at `zc_start`.
+    pub fn new(buf: &'a mut [u8], copy_start: usize, zc_start: usize) -> Self {
+        HeaderWriter {
+            buf,
+            aux_cursor: 0,
+            copy_cursor: copy_start,
+            zc_cursor: zc_start,
+
+
+            entries: 0,
+        }
+    }
+
+    /// Allocates a `size`-byte block in the header region, returning its
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overflows — a layout-computation bug, not a
+    /// runtime condition.
+    pub fn alloc_block(&mut self, size: usize) -> usize {
+        let off = self.aux_cursor;
+        assert!(
+            off + size <= self.buf.len(),
+            "header region overflow: object layout inconsistent"
+        );
+        self.aux_cursor += size;
+        off
+    }
+
+    /// The header-region bytes.
+    pub fn buf(&mut self) -> &mut [u8] {
+        self.buf
+    }
+
+    /// Assigns `len` bytes in the copied-data region; returns the absolute
+    /// offset.
+    pub fn assign_copy(&mut self, len: usize) -> u32 {
+        let off = self.copy_cursor;
+        self.copy_cursor += len;
+        off as u32
+    }
+
+    /// Assigns `len` bytes in the zero-copy region; returns the absolute
+    /// offset.
+    pub fn assign_zc(&mut self, len: usize) -> u32 {
+        let off = self.zc_cursor;
+        self.zc_cursor += len;
+        off as u32
+    }
+
+    /// Records one written field entry (for per-field cost accounting).
+    pub fn count_entry(&mut self) {
+        self.entries += 1;
+    }
+
+    /// Number of field entries written so far.
+    pub fn entries_written(&self) -> usize {
+        self.entries
+    }
+}
+
+/// A serializable Cornflakes object (generated from a schema by
+/// `cf-codegen`, or hand-written to the same shape).
+///
+/// Layout invariants every implementation must uphold:
+///
+/// - `header_bytes() == fixed_block_bytes() + aux_bytes()`.
+/// - `write_header` assigns copied-data offsets in exactly the order
+///   `for_each_copy_entry` yields entries, and zero-copy offsets in exactly
+///   the order `for_each_zero_copy_entry` yields them.
+/// - `object_len() == header_bytes() + copy_bytes() + zero_copy_bytes()`.
+pub trait CornflakesObj: Sized {
+    /// Size of this object's fixed header block (bitmap prefix + bitmap +
+    /// per-present-field entries).
+    fn fixed_block_bytes(&self) -> usize;
+
+    /// Size of auxiliary header blocks (list tables, nested objects'
+    /// blocks, recursively).
+    fn aux_bytes(&self) -> usize;
+
+    /// Total header-region size.
+    fn header_bytes(&self) -> usize {
+        self.fixed_block_bytes() + self.aux_bytes()
+    }
+
+    /// Bytes of copied field data.
+    fn copy_bytes(&self) -> usize;
+
+    /// Number of zero-copy scatter-gather entries this object contributes.
+    fn zero_copy_entries(&self) -> usize;
+
+    /// Total bytes across zero-copy entries.
+    fn zero_copy_bytes(&self) -> usize;
+
+    /// Total serialized size (paper Listing 1's `object_len`).
+    fn object_len(&self) -> usize {
+        self.header_bytes() + self.copy_bytes() + self.zero_copy_bytes()
+    }
+
+    /// Writes this object's header block at `block` (already allocated in
+    /// `w`), allocating aux blocks and assigning data offsets as it goes.
+    fn write_header(&self, w: &mut HeaderWriter<'_>, block: usize);
+
+    /// Visits each copied-data entry, in offset-assignment order.
+    fn for_each_copy_entry(&self, f: &mut dyn FnMut(&[u8]));
+
+    /// Visits each zero-copy entry, in offset-assignment order.
+    fn for_each_zero_copy_entry(&self, f: &mut dyn FnMut(&RcBuf));
+
+    /// Deserializes an object whose header block starts at `block` within
+    /// `payload`. Variable-length fields become zero-copy views into
+    /// `payload` (which stays alive via reference counting).
+    fn deserialize_at(ctx: &SerCtx, payload: &RcBuf, block: usize) -> Result<Self, WireError>;
+
+    /// Deserializes a root object (paper Listing 1's `deserialize`).
+    fn deserialize(ctx: &SerCtx, payload: &RcBuf) -> Result<Self, WireError> {
+        Self::deserialize_at(ctx, payload, 0)
+    }
+}
+
+/// Writes the complete header region of `obj` into `out`
+/// (`out.len() == obj.header_bytes()`), with data offsets laid out as
+/// `[header | copied data | zero-copy data]`.
+///
+/// Returns the number of field entries written (for per-field cost
+/// accounting).
+///
+/// # Panics
+///
+/// Panics if `out` is not exactly the header region size.
+pub fn write_full_header(obj: &impl CornflakesObj, out: &mut [u8]) -> usize {
+    let hb = obj.header_bytes();
+    assert_eq!(out.len(), hb, "header buffer must be exactly header_bytes()");
+    let copy_start = hb;
+    let zc_start = hb + obj.copy_bytes();
+    let mut w = HeaderWriter::new(out, copy_start, zc_start);
+    let root = w.alloc_block(obj.fixed_block_bytes());
+    obj.write_header(&mut w, root);
+    w.entries_written()
+}
+
+/// Serializes `obj` into one contiguous buffer — the byte string a receiver
+/// observes after the NIC gathers all scatter entries. Used by tests and by
+/// single-buffer transports; the zero-copy datapath never materializes this.
+pub fn serialize_to_vec(obj: &impl CornflakesObj) -> Vec<u8> {
+    let mut out = vec![0u8; obj.object_len()];
+    let hb = obj.header_bytes();
+    write_full_header(obj, &mut out[..hb]);
+    let mut cursor = hb;
+    obj.for_each_copy_entry(&mut |bytes| {
+        out[cursor..cursor + bytes.len()].copy_from_slice(bytes);
+        cursor += bytes.len();
+    });
+    obj.for_each_zero_copy_entry(&mut |rc| {
+        out[cursor..cursor + rc.len()].copy_from_slice(rc.as_slice());
+        cursor += rc.len();
+    });
+    debug_assert_eq!(cursor, obj.object_len());
+    out
+}
+
+/// Charges the virtual-time cost of deserializing a header block: a read of
+/// the block plus per-field pointer decoding. Implementations call this once
+/// per block.
+pub fn charge_deserialize(ctx: &SerCtx, block_addr: u64, block_bytes: usize, present_fields: usize) {
+    let costs = ctx.sim.costs();
+    ctx.sim.charge(Category::Deserialize, costs.header_fixed * 0.5);
+    ctx.sim
+        .charge_read(Category::Deserialize, block_addr, block_bytes);
+    ctx.sim.charge(
+        Category::Deserialize,
+        present_fields as f64 * costs.per_field_deser,
+    );
+}

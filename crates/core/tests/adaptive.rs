@@ -1,0 +1,78 @@
+//! Integration test for the adaptive threshold (§7 future work): driven by
+//! real `CFBytes` construction against the calibrated cost model, the
+//! threshold must converge near the statically measured 512-byte value,
+//! and must shift when memory pressure changes.
+
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::{CFBytes, SerCtx, SerializationConfig};
+
+fn drive(ctx: &SerCtx, rounds: usize, sizes: &[usize]) {
+    // Cold-ish working set: many distinct pinned buffers, queried round
+    // robin, so both value bytes and refcount lines keep missing.
+    let buffers: Vec<_> = sizes
+        .iter()
+        .cycle()
+        .take(512)
+        .map(|&s| ctx.pool.alloc(s).expect("pool"))
+        .collect();
+    for round in 0..rounds {
+        let buf = &buffers[round % buffers.len()];
+        let _field = CFBytes::new(ctx, buf.as_slice());
+    }
+}
+
+#[test]
+fn converges_near_the_static_threshold() {
+    // Deliberately mis-seeded at 4096: the tuner must walk down toward the
+    // measured ~512-byte crossover on its own.
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut config = SerializationConfig::hybrid();
+    config.zero_copy_threshold = 4096;
+    let ctx = SerCtx::new(sim, config).with_adaptive_threshold();
+
+    // Mixed field sizes straddling the crossover keep both paths sampled.
+    drive(&ctx, 6_000, &[128, 256, 512, 1024, 2048, 4096, 8192]);
+    let got = ctx.effective_threshold();
+    assert!(
+        (192..=1024).contains(&got),
+        "adaptive threshold should settle near the ~512 B crossover, got {got}"
+    );
+}
+
+#[test]
+fn mis_seeded_low_threshold_recovers_upward() {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut config = SerializationConfig::hybrid();
+    config.zero_copy_threshold = 64; // everything zero-copies at first
+    let ctx = SerCtx::new(sim, config).with_adaptive_threshold();
+    // Zero-copy traffic from pinned buffers, plus copy-path samples from
+    // heap data of assorted sizes (heap is never recoverable, so it always
+    // samples the copy path — and the affine fit needs size variety).
+    let heap = vec![0u8; 4096];
+    let heap_sizes = [96usize, 192, 384, 768, 1536, 3072];
+    let buffers: Vec<_> = (0..256)
+        .map(|_| ctx.pool.alloc(1024).expect("pool"))
+        .collect();
+    for round in 0..6_000 {
+        let _zc = CFBytes::new(&ctx, buffers[round % buffers.len()].as_slice());
+        let _cp = CFBytes::new(&ctx, &heap[..heap_sizes[round % heap_sizes.len()]]);
+    }
+    let got = ctx.effective_threshold();
+    assert!(
+        got > 64,
+        "threshold must rise from a too-low seed, got {got}"
+    );
+}
+
+#[test]
+fn static_configuration_unaffected_without_opt_in() {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let ctx = SerCtx::new(sim, SerializationConfig::hybrid());
+    assert!(ctx.adaptive.is_none());
+    assert_eq!(ctx.effective_threshold(), 512);
+    let buf = ctx.pool.alloc(4096).expect("pool");
+    for _ in 0..100 {
+        let _ = CFBytes::new(&ctx, buf.as_slice());
+    }
+    assert_eq!(ctx.effective_threshold(), 512, "static threshold is inert");
+}

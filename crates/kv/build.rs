@@ -1,0 +1,7 @@
+//! Generates Cornflakes serialization code for the KV message schema.
+
+fn main() {
+    let out = std::path::Path::new(&std::env::var("OUT_DIR").expect("OUT_DIR set by cargo"))
+        .join("kv_gen.rs");
+    cf_codegen::generate_to_file("schema/kv.proto", &out).expect("schema compiles");
+}

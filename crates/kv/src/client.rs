@@ -1,0 +1,226 @@
+//! The load-generating client, matching the server's serialization kind.
+//!
+//! The client runs on its own [`cf_sim::Sim`] (its own machine), so nothing
+//! it does counts toward server service time. Helper constructors wire a
+//! client/server pair over a simulated link.
+
+use cf_mem::PoolConfig;
+use cf_net::{FrameMeta, UdpStack, HEADER_BYTES};
+use cf_nic::link;
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::{CornflakesObj, SerializationConfig};
+
+use cf_baselines::capnlite::{CapnGetM, CapnReader};
+use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
+use cf_baselines::protolite::PGetM;
+
+use crate::msg_type;
+use crate::msgs::GetMsg;
+use crate::server::{KvServer, SerKind};
+
+/// Client-side ports.
+pub const CLIENT_PORT: u16 = 4000;
+/// Server-side port.
+pub const SERVER_PORT: u16 = 9000;
+
+/// A decoded response, with values copied out for validation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: Option<u32>,
+    /// Value buffers, in order.
+    pub vals: Vec<Vec<u8>>,
+    /// Total payload bytes on the wire (for Gbps accounting).
+    pub payload_bytes: usize,
+}
+
+/// The key-value client.
+#[derive(Debug)]
+pub struct KvClient {
+    /// The client's datapath (own simulation).
+    pub stack: UdpStack,
+    kind: SerKind,
+    next_id: u32,
+}
+
+/// Creates a connected (client, server) pair: the client on its own
+/// throwaway simulation, the server on `server_sim` with the given config.
+pub fn client_server_pair(
+    server_sim: Sim,
+    kind: SerKind,
+    config: SerializationConfig,
+    server_pool: PoolConfig,
+) -> (KvClient, KvServer) {
+    let (cp, sp) = link();
+    let client_sim = Sim::new(MachineProfile::cloudlab_c6525());
+    let client_stack = UdpStack::new(client_sim, cp, CLIENT_PORT, SerializationConfig::hybrid());
+    let server_stack =
+        UdpStack::with_pool_config(server_sim, sp, SERVER_PORT, config, server_pool);
+    (
+        KvClient {
+            stack: client_stack,
+            kind,
+            next_id: 1,
+        },
+        KvServer::new(server_stack, kind),
+    )
+}
+
+impl KvClient {
+    /// Creates a client over an existing stack.
+    pub fn new(stack: UdpStack, kind: SerKind) -> Self {
+        KvClient {
+            stack,
+            kind,
+            next_id: 1,
+        }
+    }
+
+    fn meta(&mut self, msg_type: u8) -> FrameMeta {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        FrameMeta {
+            msg_type,
+            flags: 0,
+            req_id: id,
+        }
+    }
+
+    /// Sends a GetM-shaped request: `keys` (+ optional `vals` for puts,
+    /// and an auxiliary index in `id` for segment gets). Returns the
+    /// request id.
+    pub fn send_request(
+        &mut self,
+        mtype: u8,
+        index: Option<u32>,
+        keys: &[&[u8]],
+        vals: &[&[u8]],
+    ) -> u32 {
+        let meta = self.meta(mtype);
+        let hdr = self.stack.header_to(SERVER_PORT, meta);
+        match self.kind {
+            SerKind::Cornflakes => {
+                let mut req = GetMsg::new();
+                req.id = index.map(|i| i as i32);
+                {
+                    let ctx = self.stack.ctx();
+                    for k in keys {
+                        req.add_keys(ctx, k);
+                    }
+                    for v in vals {
+                        req.add_vals(ctx, v);
+                    }
+                }
+                self.stack.send_object(hdr, &req).expect("request send");
+            }
+            SerKind::Protobuf => {
+                let sim = self.stack.sim().clone();
+                let mut req = PGetM::new();
+                req.id = index;
+                for k in keys {
+                    req.add_key(&sim, k);
+                }
+                for v in vals {
+                    req.add_val(&sim, v);
+                }
+                let mut tx = self.stack.alloc_tx(req.encoded_len()).expect("alloc");
+                let payload = req.encode(&sim, tx.addr() + HEADER_BYTES as u64);
+                tx.write_at(HEADER_BYTES, &payload);
+                self.stack
+                    .send_built(hdr, tx, payload.len())
+                    .expect("request send");
+            }
+            SerKind::FlatBuffers => {
+                let sim = self.stack.sim().clone();
+                let built = FlatGetM::encode(&sim, index, keys, vals);
+                let mut tx = self.stack.alloc_tx(built.len()).expect("alloc");
+                tx.write_at(HEADER_BYTES, &built);
+                self.stack
+                    .send_built(hdr, tx, built.len())
+                    .expect("request send");
+            }
+            SerKind::CapnProto => {
+                let sim = self.stack.sim().clone();
+                let mut req = CapnGetM::new();
+                if let Some(i) = index {
+                    req.set_id(i);
+                }
+                for k in keys {
+                    req.add_key(&sim, k);
+                }
+                for v in vals {
+                    req.add_val(&sim, v);
+                }
+                let framed = CapnGetM::frame(&req.finish(&sim));
+                let mut tx = self.stack.alloc_tx(framed.len()).expect("alloc");
+                tx.write_at(HEADER_BYTES, &framed);
+                self.stack
+                    .send_built(hdr, tx, framed.len())
+                    .expect("request send");
+            }
+        }
+        meta.req_id
+    }
+
+    /// Sends a get for one or more keys.
+    pub fn send_get(&mut self, keys: &[&[u8]]) -> u32 {
+        self.send_request(msg_type::GET, None, keys, &[])
+    }
+
+    /// Sends a put.
+    pub fn send_put(&mut self, key: &[u8], val: &[u8]) -> u32 {
+        self.send_request(msg_type::PUT, None, &[key], &[val])
+    }
+
+    /// Sends a get for one segment of a segmented value.
+    pub fn send_get_segment(&mut self, key: &[u8], segment: u32) -> u32 {
+        self.send_request(msg_type::GET_SEGMENT, Some(segment), &[key], &[])
+    }
+
+    /// Receives and decodes the next response, if any.
+    pub fn recv_response(&mut self) -> Option<Response> {
+        let pkt = self.stack.recv_packet()?;
+        let payload_bytes = pkt.payload.len();
+        let sim = self.stack.sim().clone();
+        let resp = match self.kind {
+            SerKind::Cornflakes => {
+                let m = GetMsg::deserialize(self.stack.ctx(), &pkt.payload).ok()?;
+                Response {
+                    id: m.id.map(|i| i as u32),
+                    vals: m.vals.iter().map(|v| v.as_slice().to_vec()).collect(),
+                    payload_bytes,
+                }
+            }
+            SerKind::Protobuf => {
+                let m = PGetM::decode(&sim, &pkt.payload).ok()?;
+                Response {
+                    id: m.id,
+                    vals: m.vals,
+                    payload_bytes,
+                }
+            }
+            SerKind::FlatBuffers => {
+                let v = FlatGetMView::parse(&sim, &pkt.payload).ok()?;
+                let n = v.vals_len().ok()?;
+                let vals = (0..n)
+                    .map(|i| v.val(i).map(|b| b.to_vec()))
+                    .collect::<Result<_, _>>()
+                    .ok()?;
+                Response {
+                    id: v.id().ok()?,
+                    vals,
+                    payload_bytes,
+                }
+            }
+            SerKind::CapnProto => {
+                let r = CapnReader::parse(&sim, &pkt.payload).ok()?;
+                Response {
+                    id: r.id().ok()?,
+                    vals: r.vals(&sim).ok()?.iter().map(|b| b.to_vec()).collect(),
+                    payload_bytes,
+                }
+            }
+        };
+        Some(resp)
+    }
+}

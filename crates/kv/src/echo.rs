@@ -1,0 +1,360 @@
+//! The echo server (paper §2.2, Figure 2; §6.2.3, Figure 9).
+//!
+//! Clients send a serialized message (a list of byte fields); the server
+//! deserializes, reserializes, and sends it back. Variants cover the
+//! paper's Figure 1/2 spectrum:
+//!
+//! - [`EchoKind::NoSerialization`] — L3 forwarding of the raw frame.
+//! - [`EchoKind::ZeroCopyRaw`] — parse the object header, then post
+//!   scatter-gather entries pointing into the receive buffer with **no**
+//!   memory-safety bookkeeping (the unattainable upper bound for
+//!   scatter-gather serialization).
+//! - [`EchoKind::OneCopy`] — copy each field directly into the DMA buffer.
+//! - [`EchoKind::TwoCopy`] — copy fields into a staging buffer, then into
+//!   the DMA buffer.
+//! - [`EchoKind::Cornflakes`] — full hybrid Cornflakes (deserialize →
+//!   `CFBytes::new` per field → combined serialize-and-send).
+//! - [`EchoKind::Protobuf`] / [`EchoKind::FlatBuffers`] /
+//!   [`EchoKind::CapnProto`] — the baseline libraries.
+//!
+//! All variants exchange the *Cornflakes* wire format for the manual paths
+//! and each library's own format for the library paths, so every variant
+//! parses and regenerates a real message.
+
+use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
+use cf_sim::cost::Category;
+use cornflakes_core::{CFBytes, CornflakesObj};
+
+use cf_baselines::capnlite::{CapnGetM, CapnReader};
+use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
+use cf_baselines::protolite::PGetM;
+
+use crate::msg_type;
+use crate::msgs::GetMsg;
+
+/// Echo-server serialization variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EchoKind {
+    /// Forward the frame (no serialization).
+    NoSerialization,
+    /// Scatter-gather without safety bookkeeping.
+    ZeroCopyRaw,
+    /// One copy into the DMA buffer.
+    OneCopy,
+    /// Copy to staging, then to the DMA buffer.
+    TwoCopy,
+    /// Hybrid Cornflakes.
+    Cornflakes,
+    /// Protobuf-style baseline.
+    Protobuf,
+    /// FlatBuffers-style baseline.
+    FlatBuffers,
+    /// Cap'n Proto-style baseline.
+    CapnProto,
+}
+
+impl EchoKind {
+    /// Display name matching Figure 2's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            EchoKind::NoSerialization => "No serialization",
+            EchoKind::ZeroCopyRaw => "Zero-copy (raw)",
+            EchoKind::OneCopy => "One-copy",
+            EchoKind::TwoCopy => "Two-copy",
+            EchoKind::Cornflakes => "Cornflakes",
+            EchoKind::Protobuf => "Protobuf",
+            EchoKind::FlatBuffers => "FlatBuffers",
+            EchoKind::CapnProto => "Cap'n Proto",
+        }
+    }
+
+    /// The variants of Figure 2, in its legend order.
+    pub fn figure2() -> [EchoKind; 7] {
+        [
+            EchoKind::NoSerialization,
+            EchoKind::ZeroCopyRaw,
+            EchoKind::OneCopy,
+            EchoKind::TwoCopy,
+            EchoKind::Protobuf,
+            EchoKind::FlatBuffers,
+            EchoKind::CapnProto,
+        ]
+    }
+}
+
+/// The echo server.
+#[derive(Debug)]
+pub struct EchoServer {
+    /// The server datapath.
+    pub stack: UdpStack,
+    /// Serialization variant.
+    pub kind: EchoKind,
+}
+
+impl EchoServer {
+    /// Creates an echo server.
+    pub fn new(stack: UdpStack, kind: EchoKind) -> Self {
+        EchoServer { stack, kind }
+    }
+
+    /// Processes all pending requests; returns how many were handled.
+    pub fn poll(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(pkt) = self.stack.recv_packet() {
+            self.handle(pkt);
+            n += 1;
+        }
+        n
+    }
+
+    fn reply_meta(pkt: &Packet) -> FrameMeta {
+        FrameMeta {
+            msg_type: msg_type::ECHO | msg_type::RESPONSE,
+            flags: 0,
+            req_id: pkt.hdr.meta.req_id,
+        }
+    }
+
+    /// Handles one echo request.
+    pub fn handle(&mut self, pkt: Packet) {
+        match self.kind {
+            EchoKind::NoSerialization => {
+                let _ = self.stack.forward_frame(pkt);
+            }
+            EchoKind::ZeroCopyRaw => self.echo_zero_copy_raw(pkt),
+            EchoKind::OneCopy => self.echo_n_copy(pkt, 1),
+            EchoKind::TwoCopy => self.echo_n_copy(pkt, 2),
+            EchoKind::Cornflakes => self.echo_cornflakes(pkt),
+            EchoKind::Protobuf => self.echo_protobuf(pkt),
+            EchoKind::FlatBuffers => self.echo_flatbuffers(pkt),
+            EchoKind::CapnProto => self.echo_capnproto(pkt),
+        }
+    }
+
+    /// Raw scatter-gather: deserialize the Cornflakes message, then post
+    /// the field views directly as scatter entries — *without* the
+    /// recover_ptr/refcount bookkeeping Cornflakes itself performs. The
+    /// field views are `RcBuf` slices of the receive buffer, so the post is
+    /// functionally safe; what is omitted is the *charged* safety cost.
+    fn echo_zero_copy_raw(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let Ok(req) = GetMsg::deserialize(self.stack.ctx(), &pkt.payload) else {
+            return;
+        };
+        // Rebuild the same message reusing the deserialized views verbatim
+        // (they are already zero-copy references into the rx buffer).
+        let _ = if self.stack.ctx().config.serialize_and_send {
+            self.stack.send_object(hdr, &req)
+        } else {
+            self.stack.send_object_sga(hdr, &req)
+        };
+    }
+
+    /// Manual 1- or 2-copy echo of the Cornflakes message fields.
+    fn echo_n_copy(&mut self, pkt: Packet, copies: usize) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let Ok(req) = GetMsg::deserialize(self.stack.ctx(), &pkt.payload) else {
+            return;
+        };
+        let sim = self.stack.sim().clone();
+        // Staging pass (the "first copy" of the two-copy variant).
+        let mut staged: Vec<Vec<u8>> = Vec::with_capacity(req.vals.len());
+        if copies >= 2 {
+            for v in req.vals.iter() {
+                let s = v.as_slice();
+                let mut buf = vec![0u8; s.len()];
+                sim.charge_memcpy(
+                    Category::SerializeCopy,
+                    s.as_ptr() as u64,
+                    buf.as_ptr() as u64,
+                    s.len(),
+                );
+                buf.copy_from_slice(s);
+                staged.push(buf);
+            }
+        }
+        // Final copy into the DMA buffer, behind a regenerated header
+        // (Cornflakes wire layout with every field in the copied region).
+        let total: usize = req.vals.iter().map(|v| v.len()).sum();
+        let Ok(mut tx) = self.stack.alloc_tx(wire_header_size(&req) + total) else {
+            return;
+        };
+        let header = build_all_copied_header(&req);
+        sim.charge(
+            Category::HeaderWrite,
+            sim.costs().header_fixed
+                + req.vals.len() as f64 * sim.costs().per_field,
+        );
+        tx.write_at(HEADER_BYTES, &header);
+        let mut cursor = HEADER_BYTES + header.len();
+        for (i, v) in req.vals.iter().enumerate() {
+            let src: &[u8] = if copies >= 2 {
+                &staged[i]
+            } else {
+                v.as_slice()
+            };
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                src.as_ptr() as u64,
+                tx.addr() + cursor as u64,
+                src.len(),
+            );
+            tx.write_at(cursor, src);
+            cursor += src.len();
+        }
+        let payload_len = cursor - HEADER_BYTES;
+        let _ = self.stack.send_built(hdr, tx, payload_len);
+    }
+
+    /// Full Cornflakes echo: re-run the hybrid heuristic per field.
+    fn echo_cornflakes(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut resp = GetMsg::new();
+        {
+            let ctx = self.stack.ctx();
+            let Ok(req) = GetMsg::deserialize(ctx, &pkt.payload) else {
+                return;
+            };
+            resp.id = req.id;
+            resp.init_vals(req.vals.len());
+            for v in req.vals.iter() {
+                resp.get_mut_vals().append(CFBytes::new(ctx, v.as_slice()));
+            }
+        }
+        let _ = if self.stack.ctx().config.serialize_and_send {
+            self.stack.send_object(hdr, &resp)
+        } else {
+            self.stack.send_object_sga(hdr, &resp)
+        };
+    }
+
+    fn echo_protobuf(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        // Protobuf deserialization copies fields into the owned struct;
+        // re-serialization encodes them into DMA memory.
+        let Ok(req) = PGetM::decode(&sim, &pkt.payload) else {
+            return;
+        };
+        let Ok(mut tx) = self.stack.alloc_tx(req.encoded_len()) else {
+            return;
+        };
+        let payload = req.encode(&sim, tx.addr() + HEADER_BYTES as u64);
+        tx.write_at(HEADER_BYTES, &payload);
+        let _ = self.stack.send_built(hdr, tx, payload.len());
+    }
+
+    fn echo_flatbuffers(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        let Ok(req) = FlatGetMView::parse(&sim, &pkt.payload) else {
+            return;
+        };
+        let n = req.vals_len().unwrap_or(0);
+        let mut vals: Vec<&[u8]> = Vec::with_capacity(n);
+        for i in 0..n {
+            let Ok(v) = req.val(i) else { return };
+            vals.push(v);
+        }
+        let built = FlatGetM::encode(&sim, req.id().ok().flatten(), &[], &vals);
+        let Ok(mut tx) = self.stack.alloc_tx(built.len()) else {
+            return;
+        };
+        sim.charge_memcpy(
+            Category::SerializeCopy,
+            built.as_ptr() as u64,
+            tx.addr() + HEADER_BYTES as u64,
+            built.len(),
+        );
+        tx.write_at(HEADER_BYTES, &built);
+        let _ = self.stack.send_built(hdr, tx, built.len());
+    }
+
+    fn echo_capnproto(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        let Ok(req) = CapnReader::parse(&sim, &pkt.payload) else {
+            return;
+        };
+        let Ok(vals) = req.vals(&sim) else { return };
+        let mut resp = CapnGetM::new();
+        if let Ok(Some(id)) = req.id() {
+            resp.set_id(id);
+        }
+        for v in &vals {
+            resp.add_val(&sim, v);
+        }
+        let segments = resp.finish(&sim);
+        let framed = CapnGetM::frame(&segments);
+        let Ok(mut tx) = self.stack.alloc_tx(framed.len()) else {
+            return;
+        };
+        let table_len = framed.len() - segments.iter().map(Vec::len).sum::<usize>();
+        tx.write_at(HEADER_BYTES, &framed[..table_len]);
+        let mut off = HEADER_BYTES + table_len;
+        for seg in &segments {
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                seg.as_ptr() as u64,
+                tx.addr() + off as u64,
+                seg.len(),
+            );
+            tx.write_at(off, seg);
+            off += seg.len();
+        }
+        let _ = self.stack.send_built(hdr, tx, framed.len());
+    }
+}
+
+/// Header-region size of an all-copied serialization of `m` (GetMsg with
+/// only `vals` and possibly `id`).
+fn wire_header_size(m: &GetMsg) -> usize {
+    use cornflakes_core::wire::{bitmap_bytes, BITMAP_LEN_PREFIX, PTR_SIZE};
+    BITMAP_LEN_PREFIX
+        + bitmap_bytes(3)
+        + m.id.map_or(0, |_| 4)
+        + if m.vals.is_empty() { 0 } else { PTR_SIZE }
+        + m.vals.len() * PTR_SIZE
+}
+
+/// Builds the Cornflakes header region for an echo response in which every
+/// field lands in the copied-data region right after the header, in order.
+fn build_all_copied_header(m: &GetMsg) -> Vec<u8> {
+    use cornflakes_core::wire::{
+        bitmap_bytes, bitmap_set, put_u32, ForwardPtr, BITMAP_LEN_PREFIX, PTR_SIZE,
+    };
+    let hb = wire_header_size(m);
+    let mut out = vec![0u8; hb];
+    let mut bm = [0u8; 4];
+    if m.id.is_some() {
+        bitmap_set(&mut bm, 0);
+    }
+    if !m.vals.is_empty() {
+        bitmap_set(&mut bm, 2);
+    }
+    put_u32(&mut out, 0, bitmap_bytes(3) as u32);
+    out[BITMAP_LEN_PREFIX..BITMAP_LEN_PREFIX + 4].copy_from_slice(&bm);
+    let mut cursor = BITMAP_LEN_PREFIX + bitmap_bytes(3);
+    if let Some(id) = m.id {
+        put_u32(&mut out, cursor, id as u32);
+        cursor += 4;
+    }
+    if !m.vals.is_empty() {
+        let table = cursor + PTR_SIZE;
+        ForwardPtr {
+            offset: table as u32,
+            len: m.vals.len() as u32,
+        }
+        .put(&mut out, cursor);
+        let mut data_off = hb;
+        for (i, v) in m.vals.iter().enumerate() {
+            ForwardPtr {
+                offset: data_off as u32,
+                len: v.len() as u32,
+            }
+            .put(&mut out, table + i * PTR_SIZE);
+            data_off += v.len();
+        }
+    }
+    out
+}

@@ -1,0 +1,47 @@
+//! The evaluation applications (paper §6.1.2): a custom key-value store, a
+//! mini-Redis, and echo servers — each parameterized over its serialization
+//! approach.
+//!
+//! - [`store`] — the store engine: string keys mapping to values stored as
+//!   one or more pinned (DMA-safe) buffers (single buffers, linked lists,
+//!   or vectors of segments).
+//! - [`server`] — the UDP key-value server, generic over
+//!   [`server::SerKind`]: Cornflakes (via generated messages), Protobuf-,
+//!   FlatBuffers-, or Cap'n Proto-style baselines.
+//! - [`client`] — the matching load-generator client (request encoding and
+//!   response validation per serialization kind). Clients run on their own
+//!   [`cf_sim::Sim`] so client-side costs never pollute server service
+//!   times.
+//! - [`echo`] — the §2.2 echo server in all its variants: no
+//!   serialization, one-copy, two-copy, raw scatter-gather, the three
+//!   libraries, and Cornflakes.
+//! - [`redis`] — mini-Redis: RESP command parsing with either handwritten
+//!   RESP serialization or Cornflakes responses (§6.2.2).
+//! - [`msgs`] — the schema-generated message types (`GetMsg`, `PairMsg`,
+//!   `BatchMsg`), compiled by `cf-codegen` from `schema/kv.proto` at build
+//!   time.
+
+pub mod client;
+pub mod echo;
+pub mod redis;
+pub mod server;
+pub mod store;
+
+/// Messages generated from `schema/kv.proto` by `cf-codegen` at build time.
+pub mod msgs {
+    include!(concat!(env!("OUT_DIR"), "/kv_gen.rs"));
+}
+
+/// Application message types carried in the frame header's `msg_type`.
+pub mod msg_type {
+    /// Multi-get request (response: `GetMsg` with `vals`).
+    pub const GET: u8 = 1;
+    /// Put request (`keys[0]` = key, `vals[0]` = value).
+    pub const PUT: u8 = 2;
+    /// Get one segment of a segmented value (`id` = segment index).
+    pub const GET_SEGMENT: u8 = 3;
+    /// Echo request.
+    pub const ECHO: u8 = 4;
+    /// Response marker.
+    pub const RESPONSE: u8 = 0x80;
+}

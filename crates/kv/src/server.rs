@@ -1,0 +1,352 @@
+//! The UDP key-value server, generic over the serialization approach
+//! (paper §6.1.3: each baseline gets the network API that minimizes its
+//! copies).
+
+use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
+use cf_sim::cost::Category;
+use cornflakes_core::{CFBytes, CornflakesObj};
+
+use cf_baselines::capnlite::{CapnGetM, CapnReader};
+use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
+use cf_baselines::protolite::PGetM;
+
+use crate::msg_type;
+use crate::msgs::GetMsg;
+use crate::store::KvStore;
+
+/// Which serialization library the server (and its clients) use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SerKind {
+    /// Cornflakes (hybrid zero-copy; the threshold comes from the stack's
+    /// [`cornflakes_core::SerializationConfig`]).
+    Cornflakes,
+    /// Protobuf-style baseline.
+    Protobuf,
+    /// FlatBuffers-style baseline.
+    FlatBuffers,
+    /// Cap'n Proto-style baseline.
+    CapnProto,
+}
+
+impl SerKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SerKind::Cornflakes => "Cornflakes",
+            SerKind::Protobuf => "Protobuf",
+            SerKind::FlatBuffers => "FlatBuffers",
+            SerKind::CapnProto => "Cap'n Proto",
+        }
+    }
+
+    /// All kinds, Cornflakes first.
+    pub fn all() -> [SerKind; 4] {
+        [
+            SerKind::Cornflakes,
+            SerKind::Protobuf,
+            SerKind::FlatBuffers,
+            SerKind::CapnProto,
+        ]
+    }
+}
+
+/// The key-value server: store + datapath + serialization strategy.
+#[derive(Debug)]
+pub struct KvServer {
+    /// The server's datapath.
+    pub stack: UdpStack,
+    /// The store engine.
+    pub store: KvStore,
+    /// Serialization strategy.
+    pub kind: SerKind,
+    /// Segment size used when storing put values.
+    pub put_segment_size: usize,
+    /// Raw scatter-gather mode (measurement study, §2.4/Figure 3): skip the
+    /// memory-safety bookkeeping entirely and post value buffers directly.
+    /// Only meaningful with [`SerKind::Cornflakes`].
+    pub raw_zero_copy: bool,
+}
+
+impl KvServer {
+    /// Creates a server over `stack` with the given strategy.
+    pub fn new(stack: UdpStack, kind: SerKind) -> Self {
+        let store = KvStore::new(stack.sim().clone());
+        KvServer {
+            stack,
+            store,
+            kind,
+            put_segment_size: 8192,
+            raw_zero_copy: false,
+        }
+    }
+
+    /// Processes all pending requests; returns how many were handled.
+    pub fn poll(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(pkt) = self.stack.recv_packet() {
+            self.handle(pkt);
+            n += 1;
+        }
+        n
+    }
+
+    /// Handles one request packet.
+    pub fn handle(&mut self, pkt: Packet) {
+        match self.kind {
+            SerKind::Cornflakes => self.handle_cornflakes(pkt),
+            SerKind::Protobuf => self.handle_protobuf(pkt),
+            SerKind::FlatBuffers => self.handle_flatbuffers(pkt),
+            SerKind::CapnProto => self.handle_capnproto(pkt),
+        }
+    }
+
+    fn reply_meta(pkt: &Packet) -> FrameMeta {
+        FrameMeta {
+            msg_type: pkt.hdr.meta.msg_type | msg_type::RESPONSE,
+            flags: 0,
+            req_id: pkt.hdr.meta.req_id,
+        }
+    }
+
+    // ---- Cornflakes ----------------------------------------------------
+
+    fn handle_cornflakes(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut resp = GetMsg::new();
+        resp.id = pkt.hdr.meta.req_id.checked_into_i32();
+        {
+            let ctx = self.stack.ctx();
+            let req = match GetMsg::deserialize(ctx, &pkt.payload) {
+                Ok(r) => r,
+                Err(_) => return, // malformed request: drop, as the paper's server would
+            };
+            match pkt.hdr.meta.msg_type {
+                msg_type::PUT => {
+                    let (Some(key), Some(val)) = (req.keys.get(0), req.vals.get(0)) else {
+                        return;
+                    };
+                    let (key, val) = (key.as_slice().to_vec(), val.as_slice().to_vec());
+                    drop(req);
+                    self.store
+                        .put(ctx, &key, &val, self.put_segment_size);
+                }
+                msg_type::GET_SEGMENT => {
+                    let Some(key) = req.keys.get(0) else { return };
+                    let seg = req.id.unwrap_or(0) as usize;
+                    if let Some(value) = self.store.get(key.as_slice()) {
+                        if let Some(buf) = value.segments.get(seg) {
+                            resp.init_vals(1);
+                            resp.get_mut_vals()
+                                .append(CFBytes::new(ctx, buf.as_slice()));
+                        }
+                    }
+                }
+                _ => {
+                    // GET / multi-get / list query: all segments of every
+                    // requested key, in order (paper Listing 4).
+                    resp.init_vals(req.keys.len());
+                    for key in req.keys.iter() {
+                        if let Some(value) = self.store.get(key.as_slice()) {
+                            for buf in &value.segments {
+                                let field = if self.raw_zero_copy {
+                                    // No recover_ptr, no charged refcounts:
+                                    // the idealized upper bound.
+                                    CFBytes::from_rcbuf(buf.clone())
+                                } else {
+                                    CFBytes::new(ctx, buf.as_slice())
+                                };
+                                resp.get_mut_vals().append(field);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let _ = if self.stack.ctx().config.serialize_and_send {
+            self.stack.send_object(hdr, &resp)
+        } else {
+            self.stack.send_object_sga(hdr, &resp)
+        };
+    }
+
+    // ---- Protobuf baseline ----------------------------------------------
+
+    fn handle_protobuf(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        let req = match PGetM::decode(&sim, &pkt.payload) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let mut resp = PGetM::new();
+        resp.id = Some(pkt.hdr.meta.req_id);
+        match pkt.hdr.meta.msg_type {
+            msg_type::PUT => {
+                let (Some(key), Some(val)) = (req.keys.first(), req.vals.first()) else {
+                    return;
+                };
+                self.store
+                    .put(self.stack.ctx(), key, val, self.put_segment_size);
+            }
+            msg_type::GET_SEGMENT => {
+                if let Some(key) = req.keys.first() {
+                    let seg = req.id.unwrap_or(0) as usize;
+                    if let Some(value) = self.store.get(key) {
+                        if let Some(buf) = value.segments.get(seg) {
+                            resp.add_val(&sim, buf.as_slice());
+                        }
+                    }
+                }
+            }
+            _ => {
+                for key in &req.keys {
+                    if let Some(value) = self.store.get(key) {
+                        for buf in &value.segments {
+                            resp.add_val(&sim, buf.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+        // Protobuf encodes from its structs directly into DMA-safe memory.
+        let Ok(mut tx) = self.stack.alloc_tx(resp.encoded_len()) else {
+            return;
+        };
+        let payload = resp.encode(&sim, tx.addr() + HEADER_BYTES as u64);
+        tx.write_at(HEADER_BYTES, &payload);
+        let _ = self.stack.send_built(hdr, tx, payload.len());
+    }
+
+    // ---- FlatBuffers baseline --------------------------------------------
+
+    fn handle_flatbuffers(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        let Ok(req) = FlatGetMView::parse(&sim, &pkt.payload) else {
+            return;
+        };
+        let nkeys = req.keys_len().unwrap_or(0);
+        let mut vals: Vec<&[u8]> = Vec::new();
+        match pkt.hdr.meta.msg_type {
+            msg_type::PUT => {
+                let (Ok(key), Ok(val)) = (req.key(0), req.val(0)) else {
+                    return;
+                };
+                let (key, val) = (key.to_vec(), val.to_vec());
+                self.store
+                    .put(self.stack.ctx(), &key, &val, self.put_segment_size);
+            }
+            msg_type::GET_SEGMENT => {
+                if let Ok(key) = req.key(0) {
+                    let seg = req.id().ok().flatten().unwrap_or(0) as usize;
+                    if let Some(value) = self.store.get(key) {
+                        if let Some(buf) = value.segments.get(seg) {
+                            vals.push(buf.as_slice());
+                        }
+                    }
+                }
+            }
+            _ => {
+                for i in 0..nkeys {
+                    let Ok(key) = req.key(i) else { continue };
+                    if let Some(value) = self.store.get(key) {
+                        for buf in &value.segments {
+                            vals.push(buf.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+        // Builder copies fields into its heap buffer (cold), then the
+        // contiguous buffer is staged into DMA memory (warm).
+        let built = FlatGetM::encode(&sim, Some(pkt.hdr.meta.req_id), &[], &vals);
+        let Ok(mut tx) = self.stack.alloc_tx(built.len()) else {
+            return;
+        };
+        sim.charge_memcpy(
+            Category::SerializeCopy,
+            built.as_ptr() as u64,
+            tx.addr() + HEADER_BYTES as u64,
+            built.len(),
+        );
+        tx.write_at(HEADER_BYTES, &built);
+        let _ = self.stack.send_built(hdr, tx, built.len());
+    }
+
+    // ---- Cap'n Proto baseline ---------------------------------------------
+
+    fn handle_capnproto(&mut self, pkt: Packet) {
+        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let sim = self.stack.sim().clone();
+        let Ok(req) = CapnReader::parse(&sim, &pkt.payload) else {
+            return;
+        };
+        let Ok(keys) = req.keys(&sim) else { return };
+        let mut resp = CapnGetM::new();
+        resp.set_id(pkt.hdr.meta.req_id);
+        match pkt.hdr.meta.msg_type {
+            msg_type::PUT => {
+                let Ok(vals) = req.vals(&sim) else { return };
+                let (Some(key), Some(val)) = (keys.first(), vals.first()) else {
+                    return;
+                };
+                let (key, val) = (key.to_vec(), val.to_vec());
+                self.store
+                    .put(self.stack.ctx(), &key, &val, self.put_segment_size);
+            }
+            msg_type::GET_SEGMENT => {
+                if let Some(key) = keys.first() {
+                    let seg = req.id().ok().flatten().unwrap_or(0) as usize;
+                    if let Some(value) = self.store.get(key) {
+                        if let Some(buf) = value.segments.get(seg) {
+                            resp.add_val(&sim, buf.as_slice());
+                        }
+                    }
+                }
+            }
+            _ => {
+                for key in &keys {
+                    if let Some(value) = self.store.get(key) {
+                        for buf in &value.segments {
+                            resp.add_val(&sim, buf.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+        // The library yields a non-contiguous segment list; the stack
+        // stages each heap segment into the DMA buffer (warm copies).
+        let segments = resp.finish(&sim);
+        let framed = CapnGetM::frame(&segments);
+        let Ok(mut tx) = self.stack.alloc_tx(framed.len()) else {
+            return;
+        };
+        let mut off = HEADER_BYTES;
+        // Frame table first (small), then per-segment staging.
+        let table_len = framed.len() - segments.iter().map(Vec::len).sum::<usize>();
+        tx.write_at(off, &framed[..table_len]);
+        off += table_len;
+        for seg in &segments {
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                seg.as_ptr() as u64,
+                tx.addr() + off as u64,
+                seg.len(),
+            );
+            tx.write_at(off, seg);
+            off += seg.len();
+        }
+        let _ = self.stack.send_built(hdr, tx, framed.len());
+    }
+}
+
+/// Extension: `u32` request ids fit the schema's `int32 id` field.
+trait CheckedIntoI32 {
+    fn checked_into_i32(self) -> Option<i32>;
+}
+
+impl CheckedIntoI32 for u32 {
+    fn checked_into_i32(self) -> Option<i32> {
+        Some(self as i32)
+    }
+}

@@ -1,0 +1,293 @@
+//! Bump arena for copied serialization data.
+//!
+//! When the hybrid heuristic decides to *copy* a field, Cornflakes stores
+//! the copied bytes "using efficient arena allocation ... that offers fast
+//! allocation and mass deallocation in order to avoid more expensive heap
+//! allocations" (paper §3.2.2). [`Arena`] is a bump allocator over chunks;
+//! [`ArenaBytes`] handles pin their chunk, so [`Arena::reset`] is safe at
+//! any time: a chunk's memory is recycled only once no handles reference it.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// Default arena chunk size: large enough for a jumbo frame of copied
+/// fields plus headers.
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+struct Chunk {
+    /// Raw backing storage. Access goes through raw pointers only (never a
+    /// `&mut` to the whole buffer), so shared `ArenaBytes` readers and the
+    /// arena's writes to *disjoint, not-yet-handed-out* tail bytes can
+    /// coexist.
+    data: *mut u8,
+    capacity: usize,
+    used: Cell<usize>,
+}
+
+impl Chunk {
+    fn new(capacity: usize) -> Rc<Self> {
+        let layout = std::alloc::Layout::from_size_align(capacity, 64).expect("chunk layout");
+        // SAFETY: `capacity` is non-zero (asserted by Arena::with_chunk_size).
+        let data = unsafe { std::alloc::alloc_zeroed(layout) };
+        assert!(!data.is_null(), "arena chunk allocation failed");
+        Rc::new(Chunk {
+            data,
+            capacity,
+            used: Cell::new(0),
+        })
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        let layout =
+            std::alloc::Layout::from_size_align(self.capacity, 64).expect("chunk layout");
+        // SAFETY: `data` was allocated in `Chunk::new` with this exact
+        // layout and is freed exactly once, here.
+        unsafe { std::alloc::dealloc(self.data, layout) };
+    }
+}
+
+impl fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chunk")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used.get())
+            .finish()
+    }
+}
+
+/// A bump allocator for copied field data.
+///
+/// # Examples
+///
+/// ```
+/// let arena = cf_mem::Arena::new();
+/// let a = arena.copy_in(b"copied field");
+/// assert_eq!(a.as_slice(), b"copied field");
+/// arena.reset(); // mass deallocation; `a` stays valid (it pins its chunk)
+/// assert_eq!(a.as_slice(), b"copied field");
+/// ```
+#[derive(Debug)]
+pub struct Arena {
+    current: RefCell<Rc<Chunk>>,
+    chunk_size: usize,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// Creates an arena with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK)
+    }
+
+    /// Creates an arena with a custom chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Arena {
+            current: RefCell::new(Chunk::new(chunk_size)),
+            chunk_size,
+        }
+    }
+
+    /// Copies `src` into the arena, returning a handle to the copy.
+    ///
+    /// Allocations larger than the chunk size get a dedicated chunk.
+    pub fn copy_in(&self, src: &[u8]) -> ArenaBytes {
+        let len = src.len();
+        if len > self.chunk_size {
+            // Oversized: dedicated chunk, not installed as current.
+            let chunk = Chunk::new(len.max(1));
+            // SAFETY: the fresh chunk's [0, len) range is exclusively ours.
+            unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), chunk.data, len) };
+            chunk.used.set(len);
+            return ArenaBytes {
+                chunk,
+                offset: 0,
+                len,
+            };
+        }
+        let mut current = self.current.borrow_mut();
+        if current.used.get() + len > current.capacity {
+            *current = Chunk::new(self.chunk_size);
+        }
+        let offset = current.used.get();
+        // SAFETY: `[offset, offset + len)` is in bounds (checked above) and
+        // has never been handed out from this chunk, so no `ArenaBytes`
+        // aliases it; `src` is a distinct live allocation.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), current.data.add(offset), len);
+        }
+        current.used.set(offset + len);
+        ArenaBytes {
+            chunk: Rc::clone(&current),
+            offset,
+            len,
+        }
+    }
+
+    /// Mass deallocation (paper §3.2.2): recycles the current chunk if no
+    /// handles reference it, otherwise swaps in a fresh chunk and lets the
+    /// old one die when its last handle drops.
+    pub fn reset(&self) {
+        let mut current = self.current.borrow_mut();
+        if Rc::strong_count(&current) == 1 {
+            current.used.set(0);
+        } else {
+            *current = Chunk::new(self.chunk_size);
+        }
+    }
+
+    /// Bytes bump-allocated in the current chunk (diagnostic).
+    pub fn current_used(&self) -> usize {
+        self.current.borrow().used.get()
+    }
+}
+
+/// An owned handle to bytes copied into an [`Arena`].
+///
+/// Cloning is cheap (bumps the chunk's `Rc`). The handle keeps its chunk
+/// alive independently of the arena, so arena resets never dangle.
+#[derive(Clone)]
+pub struct ArenaBytes {
+    chunk: Rc<Chunk>,
+    offset: usize,
+    len: usize,
+}
+
+impl ArenaBytes {
+    /// The copied bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `[offset, offset+len)` was initialized by `copy_in`, is in
+        // bounds of the chunk, and is never written again (the bump pointer
+        // only moves forward and reset recycles only unreferenced chunks).
+        unsafe { std::slice::from_raw_parts(self.chunk.data.add(self.offset), self.len) }
+    }
+
+    /// Length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the copy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of the first byte (for cache-cost accounting).
+    pub fn addr(&self) -> u64 {
+        self.chunk.data as u64 + self.offset as u64
+    }
+}
+
+impl std::ops::Deref for ArenaBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ArenaBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for ArenaBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArenaBytes({} bytes @ {:#x})", self.len, self.addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_roundtrip() {
+        let a = Arena::new();
+        let h = a.copy_in(b"hello arena");
+        assert_eq!(&*h, b"hello arena");
+        assert_eq!(h.len(), 11);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let a = Arena::new();
+        let x = a.copy_in(b"xxxx");
+        let y = a.copy_in(b"yyyy");
+        assert_eq!(&*x, b"xxxx");
+        assert_eq!(&*y, b"yyyy");
+        assert!(y.addr() >= x.addr() + 4);
+    }
+
+    #[test]
+    fn empty_copy() {
+        let a = Arena::new();
+        let h = a.copy_in(b"");
+        assert!(h.is_empty());
+        assert_eq!(h.as_slice(), b"");
+    }
+
+    #[test]
+    fn reset_recycles_when_unreferenced() {
+        let a = Arena::with_chunk_size(1024);
+        let addr1 = a.copy_in(&[1u8; 100]).addr();
+        // handle dropped immediately
+        a.reset();
+        let addr2 = a.copy_in(&[2u8; 100]).addr();
+        assert_eq!(addr1, addr2, "chunk memory reused after reset");
+    }
+
+    #[test]
+    fn reset_preserves_live_handles() {
+        let a = Arena::with_chunk_size(1024);
+        let h = a.copy_in(b"still alive");
+        a.reset();
+        let j = a.copy_in(b"new data after reset");
+        assert_eq!(&*h, b"still alive", "old handle survives reset");
+        assert_eq!(&*j, b"new data after reset");
+        assert_ne!(h.addr() & !63, j.addr() & !63, "different chunks");
+    }
+
+    #[test]
+    fn chunk_rollover() {
+        let a = Arena::with_chunk_size(128);
+        let x = a.copy_in(&[7u8; 100]);
+        let y = a.copy_in(&[8u8; 100]); // doesn't fit: new chunk
+        assert_eq!(x.as_slice(), &[7u8; 100][..]);
+        assert_eq!(y.as_slice(), &[8u8; 100][..]);
+    }
+
+    #[test]
+    fn oversized_allocation_gets_dedicated_chunk() {
+        let a = Arena::with_chunk_size(64);
+        let big = vec![9u8; 10_000];
+        let h = a.copy_in(&big);
+        assert_eq!(&*h, &big[..]);
+        // Current chunk untouched by the oversized allocation.
+        assert_eq!(a.current_used(), 0);
+    }
+
+    #[test]
+    fn clone_shares_bytes() {
+        let a = Arena::new();
+        let h = a.copy_in(b"shared");
+        let c = h.clone();
+        drop(h);
+        assert_eq!(&*c, b"shared");
+    }
+}

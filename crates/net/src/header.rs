@@ -1,0 +1,152 @@
+//! Packet headers for the simulated datapath.
+//!
+//! Frames carry a fixed 48-byte header: 42 bytes standing in for
+//! Ethernet + IPv4 + UDP (ports and length are filled in at their real UDP
+//! offsets; other L2/L3 bytes are zero in the simulation), followed by a
+//! 6-byte application header (message type, flags, request id) like the one
+//! the paper's key-value applications prepend.
+
+use crate::udp::NetError;
+
+/// Total frame header size in bytes (L2 + L3 + L4 + app).
+pub const HEADER_BYTES: usize = 48;
+
+/// Byte offset of the UDP source port within the header.
+const OFF_SRC_PORT: usize = 34;
+/// Byte offset of the UDP destination port.
+const OFF_DST_PORT: usize = 36;
+/// Byte offset of the UDP length field.
+const OFF_UDP_LEN: usize = 38;
+/// Byte offset of the application message type.
+const OFF_MSG_TYPE: usize = 42;
+/// Byte offset of the application flags.
+const OFF_FLAGS: usize = 43;
+/// Byte offset of the application request id.
+const OFF_REQ_ID: usize = 44;
+
+/// Application-level framing metadata supplied on every send.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Application message type (request/response kind).
+    pub msg_type: u8,
+    /// Application flags.
+    pub flags: u8,
+    /// Request identifier, echoed in responses.
+    pub req_id: u32,
+}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Application metadata.
+    pub meta: FrameMeta,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+impl PacketHeader {
+    /// Encodes the header into `out[..HEADER_BYTES]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`HEADER_BYTES`].
+    pub fn encode(&self, out: &mut [u8]) {
+        assert!(out.len() >= HEADER_BYTES);
+        out[..HEADER_BYTES].fill(0);
+        out[OFF_SRC_PORT..OFF_SRC_PORT + 2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[OFF_DST_PORT..OFF_DST_PORT + 2].copy_from_slice(&self.dst_port.to_be_bytes());
+        let udp_len = (self.payload_len + 8 + 6) as u16;
+        out[OFF_UDP_LEN..OFF_UDP_LEN + 2].copy_from_slice(&udp_len.to_be_bytes());
+        out[OFF_MSG_TYPE] = self.meta.msg_type;
+        out[OFF_FLAGS] = self.meta.flags;
+        out[OFF_REQ_ID..OFF_REQ_ID + 4].copy_from_slice(&self.meta.req_id.to_le_bytes());
+    }
+
+    /// Decodes a header from the start of `frame`.
+    pub fn decode(frame: &[u8]) -> Result<PacketHeader, NetError> {
+        if frame.len() < HEADER_BYTES {
+            return Err(NetError::RuntFrame { len: frame.len() });
+        }
+        let src_port = u16::from_be_bytes([frame[OFF_SRC_PORT], frame[OFF_SRC_PORT + 1]]);
+        let dst_port = u16::from_be_bytes([frame[OFF_DST_PORT], frame[OFF_DST_PORT + 1]]);
+        let meta = FrameMeta {
+            msg_type: frame[OFF_MSG_TYPE],
+            flags: frame[OFF_FLAGS],
+            req_id: u32::from_le_bytes(
+                frame[OFF_REQ_ID..OFF_REQ_ID + 4]
+                    .try_into()
+                    .expect("4-byte slice"),
+            ),
+        };
+        Ok(PacketHeader {
+            src_port,
+            dst_port,
+            meta,
+            payload_len: (frame.len() - HEADER_BYTES) as u32,
+        })
+    }
+
+    /// A header with source and destination ports swapped (for replies).
+    pub fn reply(&self, meta: FrameMeta) -> PacketHeader {
+        PacketHeader {
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            meta,
+            payload_len: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = PacketHeader {
+            src_port: 4791,
+            dst_port: 53,
+            meta: FrameMeta {
+                msg_type: 3,
+                flags: 0x80,
+                req_id: 0xDEADBEEF,
+            },
+            payload_len: 0,
+        };
+        let mut frame = vec![0u8; HEADER_BYTES + 100];
+        h.encode(&mut frame);
+        let d = PacketHeader::decode(&frame).unwrap();
+        assert_eq!(d.src_port, 4791);
+        assert_eq!(d.dst_port, 53);
+        assert_eq!(d.meta, h.meta);
+        assert_eq!(d.payload_len, 100);
+    }
+
+    #[test]
+    fn runt_frame_rejected() {
+        let r = PacketHeader::decode(&[0u8; 10]);
+        assert!(matches!(r, Err(NetError::RuntFrame { len: 10 })));
+    }
+
+    #[test]
+    fn reply_swaps_ports() {
+        let h = PacketHeader {
+            src_port: 1111,
+            dst_port: 2222,
+            meta: FrameMeta::default(),
+            payload_len: 5,
+        };
+        let r = h.reply(FrameMeta {
+            msg_type: 9,
+            flags: 0,
+            req_id: 42,
+        });
+        assert_eq!(r.src_port, 2222);
+        assert_eq!(r.dst_port, 1111);
+        assert_eq!(r.meta.req_id, 42);
+    }
+}

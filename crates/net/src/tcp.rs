@@ -1,0 +1,457 @@
+//! A small TCP stack over the simulated NIC ("Demikernel-style", §6.2.3).
+//!
+//! Cornflakes's TCP integration must extend the zero-copy memory-safety
+//! guarantee: a transmitted buffer may be *retransmitted*, so its references
+//! are held in the retransmission queue until cumulatively ACKed — not
+//! merely until the first DMA completes. This module implements enough TCP
+//! to exercise that property end to end: a three-way handshake, sequence
+//! numbers and cumulative ACKs, in-order delivery with re-ACK of
+//! out-of-order segments, and timeout-based retransmission.
+//!
+//! Messages are length-prefixed on the byte stream; `send_object` gathers
+//! `[TCP header | length prefix | object header | copied fields]` in the
+//! first scatter-gather entry and zero-copy fields in further entries —
+//! the same combined serialize-and-send structure as UDP.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cf_mem::{PoolConfig, RcBuf};
+use cf_nic::{Nic, Port};
+use cf_sim::cost::Category;
+use cf_sim::Sim;
+use cornflakes_core::obj::write_full_header;
+use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
+
+use crate::udp::NetError;
+
+/// TCP frame header size (L2/L3 stub + ports + seq/ack + flags).
+pub const TCP_HEADER_BYTES: usize = 48;
+
+const OFF_SRC: usize = 34;
+const OFF_DST: usize = 36;
+const OFF_SEQ: usize = 38;
+const OFF_ACK: usize = 42;
+const OFF_FLAGS: usize = 46;
+
+const FLAG_SYN: u8 = 1;
+const FLAG_ACK: u8 = 2;
+
+/// Default retransmission timeout in virtual nanoseconds (200 µs: generous
+/// against the ~10 µs simulated RTT).
+pub const DEFAULT_RTO_NS: u64 = 200_000;
+
+/// `a < b` in sequence-number space (RFC 1982 style).
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < u32::MAX / 2
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed,
+    SynSent,
+    SynReceived,
+    Established,
+}
+
+struct TxRecord {
+    seq: u32,
+    len: u32,
+    entries: Vec<RcBuf>,
+    sent_at: u64,
+}
+
+/// A TCP connection endpoint.
+pub struct TcpStack {
+    ctx: SerCtx,
+    nic: Nic,
+    local_port: u16,
+    remote_port: u16,
+    state: State,
+    snd_nxt: u32,
+    snd_una: u32,
+    rcv_nxt: u32,
+    rtx: VecDeque<TxRecord>,
+    reasm: Vec<u8>,
+    rto_ns: u64,
+    scratch: Vec<u8>,
+    retransmissions: u64,
+}
+
+impl TcpStack {
+    /// Creates an endpoint on `wire_port` with the given local port.
+    pub fn new(sim: Sim, wire_port: Port, local_port: u16, config: SerializationConfig) -> Self {
+        let ctx = SerCtx::with_pool_config(sim.clone(), config, PoolConfig::default());
+        TcpStack {
+            ctx,
+            nic: Nic::new(sim, wire_port),
+            local_port,
+            remote_port: 0,
+            state: State::Closed,
+            snd_nxt: 1,
+            snd_una: 1,
+            rcv_nxt: 1,
+            rtx: VecDeque::new(),
+            reasm: Vec::new(),
+            rto_ns: DEFAULT_RTO_NS,
+            scratch: Vec::with_capacity(4096),
+            retransmissions: 0,
+        }
+    }
+
+    /// The serialization context.
+    pub fn ctx(&self) -> &SerCtx {
+        &self.ctx
+    }
+
+    /// Whether the handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// Bytes sent but not yet cumulatively ACKed.
+    pub fn unacked_bytes(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Segments currently held for possible retransmission.
+    pub fn retransmit_queue_len(&self) -> usize {
+        self.rtx.len()
+    }
+
+    /// Total retransmissions performed (diagnostic).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Overrides the retransmission timeout.
+    pub fn set_rto(&mut self, rto_ns: u64) {
+        self.rto_ns = rto_ns;
+    }
+
+    /// Test hook: silently drops the next frame waiting to be received by
+    /// this endpoint, simulating wire loss.
+    pub fn wire_drop_next(&self) -> bool {
+        self.nic.port().pop_rx().is_some()
+    }
+
+    /// Test hook: returns a copy of the next frame waiting on the wire,
+    /// re-queueing the original (at the back; callers that care about
+    /// ordering should use it with a single in-flight frame).
+    pub fn wire_peek_duplicate(&self) -> Option<cf_nic::Frame> {
+        let frame = self.nic.port().pop_rx()?;
+        self.nic.port().push_rx(frame.clone());
+        Some(frame)
+    }
+
+    /// Test hook: injects a frame into this endpoint's receive queue,
+    /// simulating wire duplication.
+    pub fn wire_inject(&self, frame: cf_nic::Frame) {
+        self.nic.port().push_rx(frame);
+    }
+
+    fn header(&self, seq: u32, ack: u32, flags: u8) -> [u8; TCP_HEADER_BYTES] {
+        let mut h = [0u8; TCP_HEADER_BYTES];
+        h[OFF_SRC..OFF_SRC + 2].copy_from_slice(&self.local_port.to_be_bytes());
+        h[OFF_DST..OFF_DST + 2].copy_from_slice(&self.remote_port.to_be_bytes());
+        h[OFF_SEQ..OFF_SEQ + 4].copy_from_slice(&seq.to_le_bytes());
+        h[OFF_ACK..OFF_ACK + 4].copy_from_slice(&ack.to_le_bytes());
+        h[OFF_FLAGS] = flags;
+        h
+    }
+
+    fn send_control(&mut self, flags: u8) -> Result<(), NetError> {
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Tx, costs.per_packet_base * 0.25);
+        let hdr = self.header(self.snd_nxt, self.rcv_nxt, flags);
+        let mut buf = self.ctx.pool.alloc(TCP_HEADER_BYTES)?;
+        buf.write_at(0, &hdr);
+        self.nic.post_tx(vec![buf])?;
+        self.nic.poll_completions();
+        Ok(())
+    }
+
+    /// Initiates a connection to `remote_port` (sends SYN).
+    pub fn connect(&mut self, remote_port: u16) -> Result<(), NetError> {
+        self.remote_port = remote_port;
+        self.state = State::SynSent;
+        self.send_control(FLAG_SYN)
+    }
+
+    /// Sends a serialization object as one length-prefixed message on the
+    /// stream, using the combined serialize-and-send gather.
+    ///
+    /// The posted buffers are retained in the retransmission queue until
+    /// cumulatively ACKed — Cornflakes's use-after-free guarantee over TCP.
+    pub fn send_object(&mut self, obj: &impl CornflakesObj) -> Result<(), NetError> {
+        assert!(
+            self.state == State::Established,
+            "send_object on an unestablished connection"
+        );
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Tx, costs.per_packet_base * 0.55);
+
+        let hb = obj.header_bytes();
+        let cb = obj.copy_bytes();
+        let msg_len = obj.object_len() as u32;
+        let stream_len = 4 + msg_len; // length prefix + object
+
+        let mut first = self.ctx.pool.alloc(TCP_HEADER_BYTES + 4 + hb + cb)?;
+        let hdr = self.header(self.snd_nxt, self.rcv_nxt, FLAG_ACK);
+        first.write_at(0, &hdr);
+        first.write_at(TCP_HEADER_BYTES, &msg_len.to_le_bytes());
+
+        self.scratch.clear();
+        self.scratch.resize(hb, 0);
+        let mut hdr_scratch = std::mem::take(&mut self.scratch);
+        let entries_written = write_full_header(obj, &mut hdr_scratch);
+        self.ctx.sim.charge(
+            Category::HeaderWrite,
+            costs.header_fixed + entries_written as f64 * costs.per_field,
+        );
+        self.ctx.sim.charge_write(
+            Category::HeaderWrite,
+            first.addr() + (TCP_HEADER_BYTES + 4) as u64,
+            hb,
+        );
+        first.write_at(TCP_HEADER_BYTES + 4, &hdr_scratch);
+        self.scratch = hdr_scratch;
+
+        let mut cursor = TCP_HEADER_BYTES + 4 + hb;
+        let sim = &self.ctx.sim;
+        let first_addr = first.addr();
+        obj.for_each_copy_entry(&mut |bytes: &[u8]| {
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                bytes.as_ptr() as u64,
+                first_addr + cursor as u64,
+                bytes.len(),
+            );
+            first.write_at(cursor, bytes);
+            cursor += bytes.len();
+        });
+
+        let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
+        entries.push(first);
+        obj.for_each_zero_copy_entry(&mut |rc: &RcBuf| {
+            self.ctx
+                .sim
+                .charge_meta_access(Category::SerializeZeroCopy, rc.refcount_addr());
+            self.ctx
+                .sim
+                .charge(Category::SerializeZeroCopy, costs.refcount_update);
+            entries.push(rc.clone());
+        });
+
+        // Post, but keep the entry references until ACKed.
+        self.nic.post_tx(entries.clone())?;
+        self.nic.poll_completions();
+        self.rtx.push_back(TxRecord {
+            seq: self.snd_nxt,
+            len: stream_len,
+            entries,
+            sent_at: self.ctx.sim.now(),
+        });
+        self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
+        self.ctx.end_request();
+        Ok(())
+    }
+
+    /// Sends pre-serialized bytes as one length-prefixed message: the
+    /// contiguous-buffer transports (FlatBuffers and friends) over TCP. The
+    /// bytes are staged into a DMA buffer (charged copy) behind the TCP
+    /// header.
+    pub fn send_bytes(&mut self, data: &[u8]) -> Result<(), NetError> {
+        assert!(
+            self.state == State::Established,
+            "send_bytes on an unestablished connection"
+        );
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Tx, costs.per_packet_base * 0.55);
+        let stream_len = 4 + data.len() as u32;
+        let mut buf = self
+            .ctx
+            .pool
+            .alloc(TCP_HEADER_BYTES + 4 + data.len())?;
+        let hdr = self.header(self.snd_nxt, self.rcv_nxt, FLAG_ACK);
+        buf.write_at(0, &hdr);
+        buf.write_at(TCP_HEADER_BYTES, &(data.len() as u32).to_le_bytes());
+        self.ctx.sim.charge_memcpy(
+            Category::SerializeCopy,
+            data.as_ptr() as u64,
+            buf.addr() + (TCP_HEADER_BYTES + 4) as u64,
+            data.len(),
+        );
+        buf.write_at(TCP_HEADER_BYTES + 4, data);
+        let entries = vec![buf];
+        self.nic.post_tx(entries.clone())?;
+        self.nic.poll_completions();
+        self.rtx.push_back(TxRecord {
+            seq: self.snd_nxt,
+            len: stream_len,
+            entries,
+            sent_at: self.ctx.sim.now(),
+        });
+        self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
+        Ok(())
+    }
+
+    /// Processes incoming segments, ACKs, and retransmission timers. Call
+    /// regularly (each scheduling quantum).
+    pub fn poll(&mut self) -> Result<(), NetError> {
+        while let Some(frame) = self.nic.recv_into(&self.ctx.pool) {
+            self.handle_segment(frame)?;
+        }
+        self.check_retransmit()?;
+        Ok(())
+    }
+
+    fn handle_segment(&mut self, frame: RcBuf) -> Result<(), NetError> {
+        if frame.len() < TCP_HEADER_BYTES {
+            return Ok(()); // runt; drop
+        }
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Rx, costs.per_packet_base * 0.25);
+        let b = frame.as_slice();
+        let src = u16::from_be_bytes([b[OFF_SRC], b[OFF_SRC + 1]]);
+        let seq = u32::from_le_bytes(b[OFF_SEQ..OFF_SEQ + 4].try_into().expect("4 bytes"));
+        let ack = u32::from_le_bytes(b[OFF_ACK..OFF_ACK + 4].try_into().expect("4 bytes"));
+        let flags = b[OFF_FLAGS];
+
+        match self.state {
+            State::Closed => {
+                if flags & FLAG_SYN != 0 {
+                    // Passive open.
+                    self.remote_port = src;
+                    self.rcv_nxt = seq.wrapping_add(1);
+                    self.state = State::SynReceived;
+                    self.send_control(FLAG_SYN | FLAG_ACK)?;
+                }
+            }
+            State::SynSent => {
+                if flags & FLAG_SYN != 0 && flags & FLAG_ACK != 0 {
+                    self.rcv_nxt = seq.wrapping_add(1);
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.snd_una = self.snd_nxt;
+                    self.state = State::Established;
+                    self.send_control(FLAG_ACK)?;
+                }
+            }
+            State::SynReceived => {
+                if flags & FLAG_ACK != 0 {
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.snd_una = self.snd_nxt;
+                    self.state = State::Established;
+                }
+            }
+            State::Established => {
+                // Cumulative ACK: release fully-acknowledged records.
+                if flags & FLAG_ACK != 0 && seq_lt(self.snd_una, ack.wrapping_add(1)) {
+                    self.snd_una = ack;
+                    while let Some(rec) = self.rtx.front() {
+                        let end = rec.seq.wrapping_add(rec.len);
+                        if seq_lt(end, self.snd_una.wrapping_add(1)) {
+                            self.rtx.pop_front(); // drops the RcBuf references
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let payload = &b[TCP_HEADER_BYTES..];
+                if !payload.is_empty() {
+                    if seq == self.rcv_nxt {
+                        // In-order data: append to the reassembly buffer.
+                        self.ctx.sim.charge_memcpy(
+                            Category::Rx,
+                            frame.addr() + TCP_HEADER_BYTES as u64,
+                            self.reasm.as_ptr() as u64 + self.reasm.len() as u64,
+                            payload.len(),
+                        );
+                        self.reasm.extend_from_slice(payload);
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                    }
+                    // ACK rcv_nxt (also re-ACKs out-of-order/duplicate data).
+                    self.send_control(FLAG_ACK)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_retransmit(&mut self) -> Result<(), NetError> {
+        if self.state != State::Established {
+            return Ok(());
+        }
+        let now = self.ctx.sim.now();
+        let rto = self.rto_ns;
+        // Only the head-of-line record retransmits (go-back-N would resend
+        // the rest once the head is repaired; our in-order receiver re-ACKs).
+        let needs_rtx = self
+            .rtx
+            .front()
+            .is_some_and(|r| now.saturating_sub(r.sent_at) >= rto);
+        if needs_rtx {
+            let costs = self.ctx.sim.costs();
+            self.ctx
+                .sim
+                .charge(Category::Tx, costs.per_packet_base * 0.55);
+            let rec = self.rtx.front_mut().expect("checked nonempty");
+            rec.sent_at = now;
+            let entries = rec.entries.clone();
+            self.retransmissions += 1;
+            self.nic.post_tx(entries)?;
+            self.nic.poll_completions();
+        }
+        Ok(())
+    }
+
+    /// Extracts the next complete length-prefixed message from the stream,
+    /// copied into a pinned buffer (TCP receive is not zero-copy; the paper
+    /// integrates with a TCP stack the same way).
+    pub fn recv_msg(&mut self) -> Option<RcBuf> {
+        if self.reasm.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.reasm[..4].try_into().expect("4 bytes")) as usize;
+        if self.reasm.len() < 4 + len {
+            return None;
+        }
+        let mut buf = self
+            .ctx
+            .pool
+            .alloc(len.max(1))
+            .expect("rx pool exhausted in TCP reassembly");
+        self.ctx.sim.charge_memcpy(
+            Category::Rx,
+            self.reasm.as_ptr() as u64 + 4,
+            buf.addr(),
+            len,
+        );
+        if len > 0 {
+            buf.write_at(0, &self.reasm[4..4 + len]);
+        }
+        buf.truncate(len);
+        self.reasm.drain(..4 + len);
+        Some(buf)
+    }
+}
+
+impl fmt::Debug for TcpStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpStack")
+            .field("state", &self.state)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("snd_una", &self.snd_una)
+            .field("rcv_nxt", &self.rcv_nxt)
+            .field("rtx_queue", &self.rtx.len())
+            .finish()
+    }
+}

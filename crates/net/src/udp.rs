@@ -1,0 +1,409 @@
+//! The main Cornflakes UDP datapath (paper Listing 2).
+
+use std::fmt;
+
+use cf_mem::{AllocError, PoolConfig, RcBuf};
+use cf_nic::{Nic, NicError, Port};
+use cf_sim::cost::Category;
+use cf_sim::Sim;
+use cornflakes_core::obj::write_full_header;
+use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
+
+use crate::header::{FrameMeta, PacketHeader, HEADER_BYTES};
+
+/// Datapath errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// A frame shorter than the packet header arrived.
+    RuntFrame {
+        /// Frame length.
+        len: usize,
+    },
+    /// The NIC rejected a descriptor.
+    Nic(NicError),
+    /// Pinned memory allocation failed.
+    Alloc(AllocError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::RuntFrame { len } => write!(f, "runt frame of {len} bytes"),
+            NetError::Nic(e) => write!(f, "nic error: {e}"),
+            NetError::Alloc(e) => write!(f, "allocation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<NicError> for NetError {
+    fn from(e: NicError) -> Self {
+        NetError::Nic(e)
+    }
+}
+
+impl From<AllocError> for NetError {
+    fn from(e: AllocError) -> Self {
+        NetError::Alloc(e)
+    }
+}
+
+/// A received packet: parsed header plus zero-copy payload view.
+#[derive(Debug)]
+pub struct Packet {
+    /// Parsed frame header.
+    pub hdr: PacketHeader,
+    /// The whole frame in its pinned receive buffer.
+    pub frame: RcBuf,
+    /// The payload portion of `frame` (a sub-view sharing the refcount).
+    pub payload: RcBuf,
+}
+
+/// The Cornflakes UDP networking stack: a kernel-bypass datapath co-designed
+/// with the serialization library.
+///
+/// Owns the machine's [`SerCtx`] (registry, pools, arena, hybrid config) and
+/// the simulated NIC. All virtual-time costs of the datapath are charged
+/// here or in the NIC; application/serialization costs are charged by
+/// [`cornflakes_core`].
+pub struct UdpStack {
+    ctx: SerCtx,
+    nic: Nic,
+    local_port: u16,
+    scratch: Vec<u8>,
+    auto_complete: bool,
+}
+
+impl UdpStack {
+    /// Creates a stack on `wire_port`, charging costs to `sim`.
+    pub fn new(sim: Sim, wire_port: Port, local_port: u16, config: SerializationConfig) -> Self {
+        Self::with_pool_config(sim, wire_port, local_port, config, PoolConfig::default())
+    }
+
+    /// Creates a stack with an explicit pinned-pool configuration (large
+    /// experiments size the pool to their working set).
+    pub fn with_pool_config(
+        sim: Sim,
+        wire_port: Port,
+        local_port: u16,
+        config: SerializationConfig,
+        pool_cfg: PoolConfig,
+    ) -> Self {
+        let ctx = SerCtx::with_pool_config(sim.clone(), config, pool_cfg);
+        let nic = Nic::new(sim, wire_port);
+        UdpStack {
+            ctx,
+            nic,
+            local_port,
+            scratch: Vec::with_capacity(4096),
+            auto_complete: true,
+        }
+    }
+
+    /// The serialization context (registry, arena, pool, config).
+    pub fn ctx(&self) -> &SerCtx {
+        &self.ctx
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.ctx.sim
+    }
+
+    /// This stack's UDP port.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Allocates a pinned, DMA-safe buffer (paper Listing 2's `alloc`).
+    pub fn alloc(&self, size: usize) -> Result<RcBuf, NetError> {
+        self.ctx
+            .sim
+            .charge(Category::Alloc, self.ctx.sim.costs().arena_alloc);
+        Ok(self.ctx.pool.alloc(size)?)
+    }
+
+    /// Recovers the pinned buffer containing `data`, if any (paper Listing
+    /// 2's `recover_ptr`). Cost accounting happens in
+    /// [`cornflakes_core::CFBytes::new`], which is the hot caller.
+    pub fn recover_ptr(&self, data: &[u8]) -> Option<RcBuf> {
+        self.ctx.registry.recover(data)
+    }
+
+    /// When disabled, transmit completions (and thus buffer-reference
+    /// releases) only happen on explicit [`UdpStack::poll_completions`] —
+    /// used by memory-safety tests to observe in-flight references.
+    pub fn set_auto_complete(&mut self, on: bool) {
+        self.auto_complete = on;
+    }
+
+    /// Drains transmit completions, releasing in-flight buffer references.
+    pub fn poll_completions(&mut self) -> usize {
+        self.nic.poll_completions()
+    }
+
+    /// Receives the next packet, if any (paper Listing 2's `recv_packet`).
+    /// The payload is a zero-copy view into the pinned receive buffer.
+    pub fn recv_packet(&mut self) -> Option<Packet> {
+        let frame = self.nic.recv_into(&self.ctx.pool)?;
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Rx, costs.per_packet_base * 0.45);
+        let hdr = match PacketHeader::decode(frame.as_slice()) {
+            Ok(h) => h,
+            Err(_) => return None, // runt frames are dropped, as hardware would
+        };
+        let payload = frame.slice(HEADER_BYTES, frame.len() - HEADER_BYTES);
+        Some(Packet { hdr, frame, payload })
+    }
+
+    fn charge_tx_base(&self) {
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Tx, costs.per_packet_base * 0.55);
+    }
+
+    fn finish_tx(&mut self) {
+        if self.auto_complete {
+            self.nic.poll_completions();
+        }
+        self.ctx.end_request();
+    }
+
+    /// Builds the first scatter-gather entry for `obj`: packet header +
+    /// object header + copied field data, in one pinned buffer. Returns the
+    /// buffer. Charges header-write and copy costs.
+    fn build_first_entry(
+        &mut self,
+        hdr: &PacketHeader,
+        obj: &impl CornflakesObj,
+        include_packet_header: bool,
+    ) -> Result<RcBuf, NetError> {
+        let hb = obj.header_bytes();
+        let cb = obj.copy_bytes();
+        let base = if include_packet_header { HEADER_BYTES } else { 0 };
+        let mut tx = self.ctx.pool.alloc(base + hb + cb)?;
+        let costs = self.ctx.sim.costs();
+
+        if include_packet_header {
+            self.scratch.resize(HEADER_BYTES, 0);
+            let mut h = *hdr;
+            h.payload_len = (hb + cb + obj.zero_copy_bytes()) as u32;
+            h.encode(&mut self.scratch);
+            let pkt_hdr = std::mem::take(&mut self.scratch);
+            tx.write_at(0, &pkt_hdr);
+            self.scratch = pkt_hdr;
+        }
+
+        // Object header: assembled in scratch, then stored to the DMA
+        // buffer. Charged as header-write bytes plus per-field accounting.
+        self.scratch.clear();
+        self.scratch.resize(hb, 0);
+        let mut hdr_scratch = std::mem::take(&mut self.scratch);
+        let entries = write_full_header(obj, &mut hdr_scratch);
+        self.ctx.sim.charge(
+            Category::HeaderWrite,
+            costs.header_fixed + entries as f64 * costs.per_field,
+        );
+        self.ctx
+            .sim
+            .charge_write(Category::HeaderWrite, tx.addr() + base as u64, hb);
+        tx.write_at(base, &hdr_scratch);
+        self.scratch = hdr_scratch;
+
+        // Copied field data, in iteration order (which matches the offsets
+        // the header writer assigned).
+        let mut cursor = base + hb;
+        let sim = &self.ctx.sim;
+        let tx_addr = tx.addr();
+        obj.for_each_copy_entry(&mut |bytes: &[u8]| {
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                bytes.as_ptr() as u64,
+                tx_addr + cursor as u64,
+                bytes.len(),
+            );
+            tx.write_at(cursor, bytes);
+            cursor += bytes.len();
+        });
+        Ok(tx)
+    }
+
+    /// Collects the zero-copy entries of `obj`, charging the per-entry
+    /// reference-count clone.
+    fn collect_zc_entries(&self, obj: &impl CornflakesObj, entries: &mut Vec<RcBuf>) {
+        let costs = self.ctx.sim.costs();
+        let raw = self.ctx.config.raw_scatter_gather;
+        obj.for_each_zero_copy_entry(&mut |rc: &RcBuf| {
+            if !raw {
+                self.ctx
+                    .sim
+                    .charge_meta_access(Category::SerializeZeroCopy, rc.refcount_addr());
+                self.ctx
+                    .sim
+                    .charge(Category::SerializeZeroCopy, costs.refcount_update);
+            }
+            entries.push(rc.clone());
+        });
+    }
+
+    /// The combined serialize-and-send API (paper Listing 2's
+    /// `send_object`, §3.2.3): the packet header, object header, and copied
+    /// fields share the first scatter-gather entry; each zero-copy field is
+    /// one further entry.
+    pub fn send_object(
+        &mut self,
+        hdr: PacketHeader,
+        obj: &impl CornflakesObj,
+    ) -> Result<(), NetError> {
+        self.charge_tx_base();
+        let first = self.build_first_entry(&hdr, obj, true)?;
+        let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
+        entries.push(first);
+        self.collect_zc_entries(obj, &mut entries);
+        self.nic.post_tx(entries)?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// The ablation path *without* serialize-and-send (Table 5): the
+    /// serialization layer materializes an intermediate scatter-gather
+    /// array (object header + copied data in its own buffer, one slot per
+    /// zero-copy field), and the networking stack prepends a separate
+    /// packet-header entry.
+    pub fn send_object_sga(
+        &mut self,
+        hdr: PacketHeader,
+        obj: &impl CornflakesObj,
+    ) -> Result<(), NetError> {
+        self.charge_tx_base();
+        let costs = self.ctx.sim.costs();
+        // The intermediate array allocation plus per-slot materialization.
+        self.ctx.sim.charge(Category::Alloc, costs.heap_alloc);
+        self.ctx.sim.charge(
+            Category::SerializeCopy,
+            (1 + obj.zero_copy_entries()) as f64 * costs.sga_entry_materialize,
+        );
+        let obj_buf = self.build_first_entry(&hdr, obj, false)?;
+        // Separate packet-header entry.
+        let mut h = hdr;
+        h.payload_len = obj.object_len() as u32;
+        self.scratch.resize(HEADER_BYTES, 0);
+        let mut pkt_hdr = std::mem::take(&mut self.scratch);
+        h.encode(&mut pkt_hdr);
+        let mut hdr_buf = self.ctx.pool.alloc(HEADER_BYTES)?;
+        hdr_buf.write_at(0, &pkt_hdr);
+        self.scratch = pkt_hdr;
+
+        let mut entries = Vec::with_capacity(2 + obj.zero_copy_entries());
+        entries.push(hdr_buf);
+        entries.push(obj_buf);
+        self.collect_zc_entries(obj, &mut entries);
+        self.nic.post_tx(entries)?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// Allocates a transmit buffer whose payload region starts at
+    /// [`HEADER_BYTES`]; baselines build contiguous payloads (FlatBuffers
+    /// tables, RESP strings, Protobuf encodings) directly into it.
+    pub fn alloc_tx(&self, payload_capacity: usize) -> Result<RcBuf, NetError> {
+        Ok(self.ctx.pool.alloc(HEADER_BYTES + payload_capacity)?)
+    }
+
+    /// Sends a buffer from [`UdpStack::alloc_tx`] after the caller wrote
+    /// `payload_len` payload bytes at offset [`HEADER_BYTES`]. Single
+    /// scatter-gather entry.
+    pub fn send_built(
+        &mut self,
+        hdr: PacketHeader,
+        mut tx: RcBuf,
+        payload_len: usize,
+    ) -> Result<(), NetError> {
+        self.charge_tx_base();
+        let mut h = hdr;
+        h.payload_len = payload_len as u32;
+        self.scratch.resize(HEADER_BYTES, 0);
+        let mut pkt_hdr = std::mem::take(&mut self.scratch);
+        h.encode(&mut pkt_hdr);
+        tx.write_at(0, &pkt_hdr);
+        self.scratch = pkt_hdr;
+        tx.truncate(HEADER_BYTES + payload_len);
+        self.nic.post_tx(vec![tx])?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// Sends pre-existing pinned segments zero-copy, with the packet header
+    /// in its own leading entry (Cap'n Proto-style segment lists, manual
+    /// scatter-gather baselines).
+    pub fn send_segments(
+        &mut self,
+        hdr: PacketHeader,
+        segments: Vec<RcBuf>,
+    ) -> Result<(), NetError> {
+        self.charge_tx_base();
+        let payload: usize = segments.iter().map(|s| s.len()).sum();
+        let mut h = hdr;
+        h.payload_len = payload as u32;
+        self.scratch.resize(HEADER_BYTES, 0);
+        let mut pkt_hdr = std::mem::take(&mut self.scratch);
+        h.encode(&mut pkt_hdr);
+        let mut hdr_buf = self.ctx.pool.alloc(HEADER_BYTES)?;
+        hdr_buf.write_at(0, &pkt_hdr);
+        self.scratch = pkt_hdr;
+        let mut entries = Vec::with_capacity(1 + segments.len());
+        entries.push(hdr_buf);
+        entries.extend(segments);
+        self.nic.post_tx(entries)?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// L3-forwards a received frame back to its sender after swapping the
+    /// UDP ports in place — the paper's "no serialization" echo baseline.
+    pub fn forward_frame(&mut self, packet: Packet) -> Result<(), NetError> {
+        self.charge_tx_base();
+        let mut frame = packet.frame;
+        drop(packet.payload); // release the payload view of the same slot
+        let src = packet.hdr.src_port;
+        let dst = packet.hdr.dst_port;
+        frame.write_at(34, &dst.to_be_bytes());
+        frame.write_at(36, &src.to_be_bytes());
+        self.nic.post_tx(vec![frame])?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// NIC statistics.
+    pub fn nic_stats(&self) -> cf_nic::NicStats {
+        self.nic.stats()
+    }
+
+    /// Whether frames are waiting to be received.
+    pub fn has_pending_rx(&self) -> bool {
+        self.nic.has_pending_rx()
+    }
+
+    /// A default packet header originating from this stack.
+    pub fn header_to(&self, dst_port: u16, meta: FrameMeta) -> PacketHeader {
+        PacketHeader {
+            src_port: self.local_port,
+            dst_port,
+            meta,
+            payload_len: 0,
+        }
+    }
+}
+
+impl fmt::Debug for UdpStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdpStack")
+            .field("local_port", &self.local_port)
+            .field("nic", &self.nic)
+            .finish()
+    }
+}

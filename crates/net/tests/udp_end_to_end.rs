@@ -1,0 +1,228 @@
+//! End-to-end UDP datapath tests: two stacks over a simulated wire.
+
+#![allow(clippy::field_reassign_with_default)] // builder-style test setup
+
+
+use cf_nic::link;
+use cf_sim::{MachineProfile, Sim};
+use cornflakes_core::msgs::{GetM, Single};
+use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
+use cf_net::{FrameMeta, UdpStack};
+
+fn pair() -> (UdpStack, UdpStack) {
+    let (pa, pb) = link();
+    let a = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pa,
+        1000,
+        SerializationConfig::hybrid(),
+    );
+    let b = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pb,
+        2000,
+        SerializationConfig::hybrid(),
+    );
+    (a, b)
+}
+
+fn meta(req_id: u32) -> FrameMeta {
+    FrameMeta {
+        msg_type: 1,
+        flags: 0,
+        req_id,
+    }
+}
+
+#[test]
+fn send_object_roundtrip_hybrid() {
+    let (mut client, mut server) = pair();
+
+    // Server-side value in pinned memory; client sends a request, server
+    // replies with a mixed copy/zero-copy object.
+    let mut req = GetM::new();
+    req.id = Some(7);
+    req.keys.append(CFBytes::new(client.ctx(), b"the-key"));
+    let hdr = client.header_to(2000, meta(7));
+    client.send_object(hdr, &req).unwrap();
+
+    let pkt = server.recv_packet().expect("request arrives");
+    assert_eq!(pkt.hdr.meta.req_id, 7);
+    assert_eq!(pkt.hdr.src_port, 1000);
+    let req_d = GetM::deserialize(server.ctx(), &pkt.payload).unwrap();
+    assert_eq!(req_d.keys.get(0).unwrap().as_slice(), b"the-key");
+
+    // Server builds the response: one large pinned value (zero-copy) and
+    // the echoed key (copied).
+    let mut value = server.ctx().pool.alloc(2048).unwrap();
+    value.fill(0x77);
+    let mut resp = GetM::new();
+    resp.id = req_d.id;
+    resp.keys.append(CFBytes::new(server.ctx(), b"the-key"));
+    resp.init_vals(1);
+    resp.get_mut_vals()
+        .append(CFBytes::new(server.ctx(), value.as_slice()));
+    assert_eq!(resp.zero_copy_entries(), 1);
+    let reply_hdr = pkt.hdr.reply(meta(7));
+    server.send_object(reply_hdr, &resp).unwrap();
+
+    let reply = client.recv_packet().expect("reply arrives");
+    assert_eq!(reply.hdr.dst_port, 1000);
+    assert_eq!(reply.hdr.payload_len as usize, reply.payload.len());
+    let resp_d = GetM::deserialize(client.ctx(), &reply.payload).unwrap();
+    assert_eq!(resp_d.id, Some(7));
+    assert_eq!(resp_d.vals.get(0).unwrap().as_slice(), &[0x77u8; 2048][..]);
+}
+
+#[test]
+fn zero_copy_buffers_held_until_completion() {
+    let (mut a, mut _b) = pair();
+    a.set_auto_complete(false);
+    let value = a.ctx().pool.alloc(4096).unwrap();
+    let mut m = Single::default();
+    m.val = Some(CFBytes::new(a.ctx(), value.as_slice()));
+    assert_eq!(value.refcount(), 2, "CFBytes holds one reference");
+    let hdr = a.header_to(2000, meta(1));
+    a.send_object(hdr, &m).unwrap();
+    drop(m); // application frees its object right after send
+    assert_eq!(
+        value.refcount(),
+        2,
+        "NIC still holds the in-flight reference"
+    );
+    a.poll_completions();
+    assert_eq!(value.refcount(), 1, "completion released the reference");
+}
+
+#[test]
+fn sga_path_uses_one_more_entry_and_same_bytes() {
+    let (mut a, mut b) = pair();
+    let build = |stack: &UdpStack| {
+        let value = stack.ctx().pool.alloc(1024).unwrap();
+        let mut m = GetM::new();
+        m.id = Some(3);
+        m.vals.append(CFBytes::new(stack.ctx(), value.as_slice()));
+        (m, value)
+    };
+
+    let (m1, _v1) = build(&a);
+    let hdr = a.header_to(2000, meta(3));
+    a.send_object(hdr, &m1).unwrap();
+    let combined_entries = a.nic_stats().tx_sg_entries;
+
+    let (m2, _v2) = build(&a);
+    a.send_object_sga(hdr, &m2).unwrap();
+    let sga_entries = a.nic_stats().tx_sg_entries - combined_entries;
+    assert_eq!(
+        sga_entries,
+        combined_entries + 1,
+        "SGA path adds a separate packet-header entry"
+    );
+
+    // Both frames decode identically.
+    let p1 = b.recv_packet().unwrap();
+    let p2 = b.recv_packet().unwrap();
+    assert_eq!(p1.payload.as_slice(), p2.payload.as_slice());
+    let d = GetM::deserialize(b.ctx(), &p1.payload).unwrap();
+    assert_eq!(d.id, Some(3));
+    assert_eq!(d.vals.get(0).unwrap().len(), 1024);
+}
+
+#[test]
+fn send_built_contiguous_payload() {
+    let (mut a, mut b) = pair();
+    let payload = b"hand-rolled contiguous serialization";
+    let mut tx = a.alloc_tx(payload.len()).unwrap();
+    tx.write_at(cf_net::HEADER_BYTES, payload);
+    let hdr = a.header_to(2000, meta(9));
+    a.send_built(hdr, tx, payload.len()).unwrap();
+
+    let pkt = b.recv_packet().unwrap();
+    assert_eq!(pkt.hdr.meta.req_id, 9);
+    assert_eq!(&*pkt.payload, payload);
+}
+
+#[test]
+fn send_segments_gathers() {
+    let (mut a, mut b) = pair();
+    let s1 = a.ctx().pool.alloc_from(b"seg-one|").unwrap();
+    let s2 = a.ctx().pool.alloc_from(b"seg-two|").unwrap();
+    let s3 = a.ctx().pool.alloc_from(b"seg-three").unwrap();
+    let hdr = a.header_to(2000, meta(4));
+    a.send_segments(hdr, vec![s1, s2, s3]).unwrap();
+    let pkt = b.recv_packet().unwrap();
+    assert_eq!(&*pkt.payload, b"seg-one|seg-two|seg-three");
+}
+
+#[test]
+fn forward_frame_echoes_and_swaps_ports() {
+    let (mut a, mut b) = pair();
+    let payload = b"echo me without serialization";
+    let mut tx = a.alloc_tx(payload.len()).unwrap();
+    tx.write_at(cf_net::HEADER_BYTES, payload);
+    let hdr = a.header_to(2000, meta(11));
+    a.send_built(hdr, tx, payload.len()).unwrap();
+
+    let pkt = b.recv_packet().unwrap();
+    b.forward_frame(pkt).unwrap();
+
+    let echoed = a.recv_packet().unwrap();
+    assert_eq!(&*echoed.payload, payload);
+    assert_eq!(echoed.hdr.src_port, 2000);
+    assert_eq!(echoed.hdr.dst_port, 1000);
+}
+
+#[test]
+fn recv_packet_returns_none_when_idle() {
+    let (mut a, _b) = pair();
+    assert!(a.recv_packet().is_none());
+    assert!(!a.has_pending_rx());
+}
+
+#[test]
+fn service_time_depends_on_serialization_strategy() {
+    // A send with a large copied field must cost more virtual time than the
+    // same field zero-copied.
+    let (pa, _pb) = link();
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut zc_stack = UdpStack::new(sim.clone(), pa, 1, SerializationConfig::hybrid());
+    let value = zc_stack.ctx().pool.alloc(8 * 1024).unwrap();
+
+    let t0 = sim.now();
+    let mut m = Single::default();
+    m.val = Some(CFBytes::new(zc_stack.ctx(), value.as_slice()));
+    assert_eq!(m.zero_copy_entries(), 1);
+    let hdr = zc_stack.header_to(2, meta(0));
+    zc_stack.send_object(hdr, &m).unwrap();
+    let zc_cost = sim.now() - t0;
+
+    let (pc, _pd) = link();
+    let sim2 = Sim::new(MachineProfile::tiny_for_tests());
+    let mut cp_stack = UdpStack::new(sim2.clone(), pc, 1, SerializationConfig::always_copy());
+    let value2 = cp_stack.ctx().pool.alloc(8 * 1024).unwrap();
+    let t1 = sim2.now();
+    let mut m2 = Single::default();
+    m2.val = Some(CFBytes::new(cp_stack.ctx(), value2.as_slice()));
+    assert_eq!(m2.zero_copy_entries(), 0);
+    let hdr2 = cp_stack.header_to(2, meta(0));
+    cp_stack.send_object(hdr2, &m2).unwrap();
+    let cp_cost = sim2.now() - t1;
+
+    assert!(
+        cp_cost > zc_cost + 500,
+        "8 KiB copy ({cp_cost} ns) should dwarf zero-copy bookkeeping ({zc_cost} ns)"
+    );
+}
+
+#[test]
+fn frame_too_large_is_an_error() {
+    let (mut a, _b) = pair();
+    let v1 = a.ctx().pool.alloc(8 * 1024).unwrap();
+    let v2 = a.ctx().pool.alloc(8 * 1024).unwrap();
+    let mut m = GetM::new();
+    m.vals.append(CFBytes::new(a.ctx(), v1.as_slice()));
+    m.vals.append(CFBytes::new(a.ctx(), v2.as_slice()));
+    let hdr = a.header_to(2000, meta(0));
+    let err = a.send_object(hdr, &m).unwrap_err();
+    assert!(matches!(err, cf_net::NetError::Nic(_)), "{err}");
+}

@@ -1,0 +1,267 @@
+//! Set-associative LRU cache simulator.
+//!
+//! The copy-vs-zero-copy tradeoff that Cornflakes exploits is driven by CPU
+//! cache behaviour (paper §2.3–2.4): copying a field touches its *data*
+//! cache lines, while zero-copying it touches *metadata* lines (the pinned
+//! region lookup structure and the reference count). At microsecond packet
+//! rates each last-level-cache miss (~100 ns) is a significant fraction of
+//! the per-packet budget.
+//!
+//! [`CacheSim`] models a single unified last-level cache: set-associative,
+//! LRU replacement, 64-byte lines. Addresses are plain `u64`s — real heap
+//! addresses of the simulated buffers, or synthetic addresses for structures
+//! (such as hash-index buckets) whose residency matters but whose bytes are
+//! not simulated.
+
+/// Result of a multi-line cache access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Number of lines that hit in the cache.
+    pub hits: u64,
+    /// Number of lines that missed and were filled.
+    pub misses: u64,
+}
+
+impl AccessResult {
+    /// Total number of lines touched.
+    pub fn lines(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A set-associative LRU cache model.
+///
+/// # Examples
+///
+/// ```
+/// use cf_sim::cache::CacheSim;
+/// let mut cache = CacheSim::new(1 << 20, 16); // 1 MiB, 16-way
+/// let first = cache.access(0x1000, 256);
+/// assert_eq!(first.misses, 4); // 256 bytes = 4 cold lines
+/// let second = cache.access(0x1000, 256);
+/// assert_eq!(second.hits, 4); // now resident
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    /// `tags[set * ways + way]` holds the line address (address >> 6) plus
+    /// one, so that zero means "invalid".
+    tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`.
+    stamps: Vec<u64>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    capacity_bytes: usize,
+}
+
+/// Cache line size in bytes. Fixed at 64 (x86 servers).
+pub const LINE: u64 = 64;
+
+impl CacheSim {
+    /// Creates a cache of `capacity_bytes` with the given associativity.
+    ///
+    /// The number of sets is rounded down to a power of two so set indexing
+    /// is a mask. `capacity_bytes` must be at least one line per way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or the capacity is too small to hold one set.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let lines = capacity_bytes / LINE as usize;
+        let s = (lines / ways).max(1);
+        // Round the set count down to a power of two for mask indexing.
+        let sets = if s.is_power_of_two() { s } else { s.next_power_of_two() / 2 };
+        Self {
+            tags: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
+            ways,
+            set_mask: (sets - 1) as u64,
+            tick: 0,
+            capacity_bytes,
+        }
+    }
+
+    /// Returns the configured capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Touches a single cache line containing `addr`. Returns `true` on hit.
+    #[inline]
+    pub fn touch(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = (addr / LINE) + 1;
+        let set = ((line - 1) & self.set_mask) as usize;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+        // Hit path: refresh the LRU stamp.
+        if let Some(i) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + i] = self.tick;
+            return true;
+        }
+        // Miss path: evict the least recently used way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, &s) in self.stamps[base..base + self.ways].iter().enumerate() {
+            if self.tags[base + i] == 0 {
+                victim = i;
+                break;
+            }
+            if s < oldest {
+                oldest = s;
+                victim = i;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// Accesses `len` bytes starting at `addr`, touching every line in the
+    /// range. Returns hit/miss counts. A zero-length access touches nothing.
+    pub fn access(&mut self, addr: u64, len: usize) -> AccessResult {
+        let mut r = AccessResult::default();
+        if len == 0 {
+            return r;
+        }
+        let first = addr / LINE;
+        let last = (addr + len as u64 - 1) / LINE;
+        for line in first..=last {
+            if self.touch(line * LINE) {
+                r.hits += 1;
+            } else {
+                r.misses += 1;
+            }
+        }
+        r
+    }
+
+    /// Returns whether the line containing `addr` is currently resident,
+    /// without updating LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = (addr / LINE) + 1;
+        let set = ((line - 1) & self.set_mask) as usize;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Invalidates every line in `[addr, addr + len)`: a device DMA write.
+    ///
+    /// The evaluation machines are AMD EPYC servers without DDIO-style
+    /// cache injection, so NIC DMA writes invalidate any cached copies and
+    /// subsequent CPU reads of received data miss to memory (§2.2's "one
+    /// copy" being expensive depends on exactly this).
+    pub fn invalidate(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / LINE;
+        let last = (addr + len as u64 - 1) / LINE;
+        for line_no in first..=last {
+            let line = line_no + 1;
+            let set = ((line - 1) & self.set_mask) as usize;
+            let base = set * self.ways;
+            for i in 0..self.ways {
+                if self.tags[base + i] == line {
+                    self.tags[base + i] = 0;
+                    self.stamps[base + i] = 0;
+                }
+            }
+        }
+    }
+
+    /// Empties the cache (used between sweep points so every offered-load
+    /// point starts from the same state).
+    pub fn clear(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = 0);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_misses_then_hits() {
+        let mut c = CacheSim::new(1 << 16, 8);
+        assert!(!c.touch(0x40));
+        assert!(c.touch(0x40));
+        assert!(c.touch(0x7f)); // same line as 0x40
+        assert!(!c.touch(0x80)); // next line
+    }
+
+    #[test]
+    fn access_counts_lines() {
+        let mut c = CacheSim::new(1 << 16, 8);
+        let r = c.access(10, 100); // spans lines 0 and 1
+        assert_eq!(r, AccessResult { hits: 0, misses: 2 });
+        let r = c.access(10, 100);
+        assert_eq!(r, AccessResult { hits: 2, misses: 0 });
+    }
+
+    #[test]
+    fn zero_len_access_is_free() {
+        let mut c = CacheSim::new(1 << 16, 8);
+        assert_eq!(c.access(0, 0).lines(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // One set (64B * 2 ways = 128B capacity), 2-way.
+        let mut c = CacheSim::new(128, 2);
+        assert_eq!(c.set_mask, 0);
+        c.touch(0); // A
+        c.touch(1 << 20); // B
+        c.touch(0); // A again, so B is LRU
+        c.touch(2 << 20); // C evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(1 << 20));
+        assert!(c.probe(2 << 20));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let cap = 1 << 14; // 16 KiB
+        let mut c = CacheSim::new(cap, 8);
+        // Stream 10x the capacity twice; second pass should still mostly miss.
+        let span = (cap * 10) as u64;
+        for pass in 0..2 {
+            let r = c.access(0, span as usize);
+            if pass == 1 {
+                let ratio = r.hits as f64 / r.lines() as f64;
+                assert!(ratio < 0.2, "expected thrashing, hit ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_working_set_fully_resident() {
+        let mut c = CacheSim::new(1 << 20, 16);
+        c.access(0x5000, 4096);
+        let r = c.access(0x5000, 4096);
+        assert_eq!(r.misses, 0);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = CacheSim::new(128, 2);
+        c.touch(0);
+        c.touch(1 << 20);
+        // Probing A must not refresh it.
+        assert!(c.probe(0));
+        c.touch(2 << 20); // evicts A (LRU), not B
+        assert!(!c.probe(0));
+        assert!(c.probe(1 << 20));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = CacheSim::new(1 << 16, 8);
+        c.touch(0x40);
+        c.clear();
+        assert!(!c.probe(0x40));
+    }
+}

@@ -1,0 +1,123 @@
+//! Virtual nanosecond clock shared by all components of one simulation.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A shared virtual clock counting nanoseconds since simulation start.
+///
+/// Every component of a simulated machine (datapath, NIC, serialization
+/// library) holds a clone of the same `Clock` and advances it as it performs
+/// work. The clock is intentionally single-threaded (`Rc<Cell<_>>`): one
+/// `Clock` models one CPU core, matching the paper's single-core server
+/// methodology. Multi-core experiments (Figure 13) instantiate one simulation
+/// per core.
+///
+/// # Examples
+///
+/// ```
+/// let clock = cf_sim::Clock::new();
+/// clock.advance(426);
+/// assert_eq!(clock.now(), 426);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now_ns: Rc<Cell<u64>>,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now_ns.get()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    #[inline]
+    pub fn advance(&self, ns: u64) {
+        self.now_ns.set(self.now_ns.get() + ns);
+    }
+
+    /// Advances the clock by a fractional number of nanoseconds, rounding to
+    /// the nearest integer. Sub-nanosecond costs accumulate via rounding; all
+    /// calibrated constants are ≥ 1 ns so the error is negligible.
+    #[inline]
+    pub fn advance_f(&self, ns: f64) {
+        debug_assert!(ns >= 0.0, "cannot advance the clock backwards");
+        self.now_ns.set(self.now_ns.get() + ns.round() as u64);
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future; otherwise
+    /// leaves it unchanged. Used by the queueing simulator when the server
+    /// idles until the next arrival.
+    #[inline]
+    pub fn advance_to(&self, t: u64) {
+        if t > self.now_ns.get() {
+            self.now_ns.set(t);
+        }
+    }
+
+    /// Resets the clock to zero (used between sweep points).
+    pub fn reset(&self) {
+        self.now_ns.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        c.advance(10);
+        c.advance(32);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(100);
+        assert_eq!(b.now(), 100);
+        b.advance(1);
+        assert_eq!(a.now(), 101);
+    }
+
+    #[test]
+    fn advance_f_rounds() {
+        let c = Clock::new();
+        c.advance_f(1.4);
+        assert_eq!(c.now(), 1);
+        c.advance_f(1.6);
+        assert_eq!(c.now(), 3);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = Clock::new();
+        c.advance(50);
+        c.advance_to(40);
+        assert_eq!(c.now(), 50);
+        c.advance_to(60);
+        assert_eq!(c.now(), 60);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = Clock::new();
+        c.advance(5);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

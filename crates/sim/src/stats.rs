@@ -1,0 +1,110 @@
+//! Small statistics and unit-conversion helpers shared by experiments.
+
+/// Converts a byte count moved over a duration into gigabits per second.
+///
+/// # Examples
+///
+/// ```
+/// // 4096 bytes in 426 ns ≈ 77 Gbps (the paper's no-serialization echo).
+/// let gbps = cf_sim::stats::gbps(4096, 426);
+/// assert!((76.0..78.0).contains(&gbps));
+/// ```
+pub fn gbps(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / ns as f64
+}
+
+/// Converts requests completed over a duration into requests per second.
+pub fn rps(requests: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    requests as f64 * 1e9 / ns as f64
+}
+
+/// Percent difference of `new` relative to `base`: `(new - base) / base * 100`.
+pub fn percent_diff(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (new - base) / base * 100.0
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Formats nanoseconds compactly for experiment tables ("12.3 us", "431 ns").
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Formats a requests-per-second value compactly ("844.7 krps", "1.2 Mrps").
+pub fn fmt_rps(rps: f64) -> String {
+    if rps >= 1e6 {
+        format!("{:.2} Mrps", rps / 1e6)
+    } else if rps >= 1e3 {
+        format!("{:.1} krps", rps / 1e3)
+    } else {
+        format!("{rps:.0} rps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_matches_paper_anchor() {
+        assert!((gbps(4096, 426) - 76.92).abs() < 0.1);
+        assert_eq!(gbps(100, 0), 0.0);
+    }
+
+    #[test]
+    fn rps_basic() {
+        assert_eq!(rps(1000, 1_000_000_000), 1000.0);
+        assert_eq!(rps(5, 0), 0.0);
+    }
+
+    #[test]
+    fn percent_diff_signs() {
+        assert_eq!(percent_diff(115.4, 100.0), 15.400000000000006);
+        assert!(percent_diff(90.0, 100.0) < 0.0);
+        assert_eq!(percent_diff(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_empty_and_nonempty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn fmt_ns_ranges() {
+        assert_eq!(fmt_ns(431), "431 ns");
+        assert_eq!(fmt_ns(53_000), "53.0 us");
+        assert_eq!(fmt_ns(2_500_000), "2.5 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn fmt_rps_ranges() {
+        assert_eq!(fmt_rps(844_700.0), "844.7 krps");
+        assert_eq!(fmt_rps(1_200_000.0), "1.20 Mrps");
+        assert_eq!(fmt_rps(12.0), "12 rps");
+    }
+}

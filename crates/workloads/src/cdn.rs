@@ -1,0 +1,167 @@
+//! A Tragen-style CDN trace, "image" class (paper §6.1.4, Table 2).
+//!
+//! The paper generates 1 M object sizes with Tragen's image traffic class:
+//! sizes between 1000 bytes and ≈116 MB, mean ≈ 20 KB. We reproduce that
+//! with a truncated log-normal (hash-quantile per object id, so sizes are
+//! stable). Each object is stored as a vector of jumbo-frame-sized
+//! sub-objects; a client request fetches one sub-object, and all
+//! sub-objects of an object are requested sequentially (throughput is
+//! reported in full objects).
+
+use cf_sim::rng::SplitMix64;
+
+use crate::{hash01, mix};
+
+/// Minimum object size (bytes).
+pub const MIN_OBJECT: usize = 1000;
+/// Maximum object size (≈116 MB).
+pub const MAX_OBJECT: usize = 116_000_000;
+/// Sub-object (segment) size: a jumbo frame with header headroom.
+pub const SEGMENT: usize = 8192;
+
+/// The CDN trace generator.
+#[derive(Clone, Debug)]
+pub struct CdnTrace {
+    num_objects: u64,
+    rng: SplitMix64,
+    /// Current position for the sequential sub-object walk.
+    current: Option<(u64, usize)>,
+}
+
+impl CdnTrace {
+    /// Creates a trace over `num_objects` distinct objects (the paper uses
+    /// 1 M).
+    pub fn new(num_objects: u64, seed: u64) -> Self {
+        assert!(num_objects > 0);
+        CdnTrace {
+            num_objects,
+            rng: SplitMix64::new(seed),
+            current: None,
+        }
+    }
+
+    /// Number of distinct objects.
+    pub fn num_objects(&self) -> u64 {
+        self.num_objects
+    }
+
+    /// Size of object `id` in bytes (deterministic): truncated log-normal
+    /// with ≈20 KB mean.
+    pub fn object_size(id: u64) -> usize {
+        // Box–Muller from two deterministic uniforms.
+        let u1 = hash01(mix(id ^ 0xCD41)).max(1e-12);
+        let u2 = hash01(mix(id ^ 0xCD42));
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        // mu/sigma chosen so the truncated mean lands near 20 KB with a
+        // heavy upper tail (Tragen image class).
+        let mu = 9.05f64; // ln(~8.5 KB) median
+        let sigma = 1.3f64;
+        let size = (mu + sigma * z).exp();
+        (size as usize).clamp(MIN_OBJECT, MAX_OBJECT)
+    }
+
+    /// Number of sub-objects (segments) object `id` is stored as.
+    pub fn num_segments(id: u64) -> usize {
+        Self::object_size(id).div_ceil(SEGMENT)
+    }
+
+    /// Size of segment `seg` of object `id`.
+    pub fn segment_size(id: u64, seg: usize) -> usize {
+        let total = Self::object_size(id);
+        let full = total / SEGMENT;
+        if seg < full {
+            SEGMENT
+        } else {
+            total - full * SEGMENT
+        }
+    }
+
+    /// Next request: `(object id, segment index, is_last_segment)`.
+    /// Sub-objects of one object are requested sequentially; objects are
+    /// drawn uniformly (the trace is looped, as in the paper).
+    #[allow(clippy::should_implement_trait)] // fallible-free, by-value sampler
+    pub fn next(&mut self) -> (u64, usize, bool) {
+        match self.current.take() {
+            Some((id, seg)) => {
+                let last = seg + 1 >= Self::num_segments(id);
+                if !last {
+                    self.current = Some((id, seg + 1));
+                }
+                (id, seg, last)
+            }
+            None => {
+                let id = self.rng.next_bounded(self.num_objects);
+                let last = Self::num_segments(id) == 1;
+                if !last {
+                    self.current = Some((id, 1));
+                }
+                (id, 0, last)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_in_documented_range() {
+        for id in 0..50_000u64 {
+            let s = CdnTrace::object_size(id);
+            assert!((MIN_OBJECT..=MAX_OBJECT).contains(&s));
+        }
+    }
+
+    #[test]
+    fn mean_near_20kb() {
+        let n = 200_000u64;
+        let sum: u128 = (0..n).map(|id| CdnTrace::object_size(id) as u128).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (12_000.0..35_000.0).contains(&mean),
+            "mean object size {mean}, paper reports ≈20 KB"
+        );
+    }
+
+    #[test]
+    fn segments_partition_object() {
+        for id in 0..5_000u64 {
+            let total = CdnTrace::object_size(id);
+            let n = CdnTrace::num_segments(id);
+            let sum: usize = (0..n).map(|s| CdnTrace::segment_size(id, s)).sum();
+            assert_eq!(sum, total, "id={id}");
+            for s in 0..n.saturating_sub(1) {
+                assert_eq!(CdnTrace::segment_size(id, s), SEGMENT);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_walk_covers_all_segments() {
+        let mut t = CdnTrace::new(100, 3);
+        // Walk a handful of full objects and check segment sequences.
+        for _ in 0..10 {
+            let (id, seg0, mut last) = t.next();
+            assert_eq!(seg0, 0);
+            let mut seen = 1;
+            while !last {
+                let (id2, seg, l) = t.next();
+                assert_eq!(id2, id);
+                assert_eq!(seg, seen);
+                seen += 1;
+                last = l;
+            }
+            assert_eq!(seen, CdnTrace::num_segments(id));
+        }
+    }
+
+    #[test]
+    fn all_segments_fit_a_jumbo_frame() {
+        for id in 0..20_000u64 {
+            for s in 0..CdnTrace::num_segments(id) {
+                assert!(CdnTrace::segment_size(id, s) <= SEGMENT);
+            }
+        }
+    }
+}

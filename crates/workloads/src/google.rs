@@ -1,0 +1,145 @@
+//! The Google Protobuf field-size distribution (paper §6.1.4).
+//!
+//! The paper builds a synthetic trace from Figure 4c of Google's fleetwide
+//! Protobuf study: "34 % of the sampled field sizes are 8 bytes or less and
+//! 94.9 % are 512 or less". We reproduce the distribution as a piecewise
+//! log-uniform CDF honoring those two published anchors, with the remaining
+//! ~5 % spread up to a jumbo frame. Objects are linked lists of 1–N fields
+//! (the paper evaluates N ∈ {1, 4, 8, 16}); lists whose total exceeds the
+//! MTU budget are resampled, as in the paper.
+
+use cf_sim::rng::SplitMix64;
+
+/// Piecewise CDF buckets: (cumulative probability, size low, size high).
+/// Anchors: P(size ≤ 8) = 0.34, P(size ≤ 512) = 0.949.
+const BUCKETS: &[(f64, usize, usize)] = &[
+    (0.34, 1, 8),
+    (0.55, 9, 64),
+    (0.78, 65, 256),
+    (0.949, 257, 512),
+    (0.985, 513, 2048),
+    (1.0, 2049, 8192),
+];
+
+/// Response payload budget per object (fields are resampled to fit a jumbo
+/// frame with headroom for headers).
+pub const MTU_BUDGET: usize = 8500;
+
+/// Sampler over the Google field-size distribution.
+#[derive(Clone, Debug)]
+pub struct GoogleSizeDist {
+    rng: SplitMix64,
+    /// Maximum fields per object list (uniform in `1..=max_fields`).
+    pub max_fields: usize,
+}
+
+impl GoogleSizeDist {
+    /// Creates a sampler for lists of up to `max_fields` fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_fields` is zero.
+    pub fn new(max_fields: usize, seed: u64) -> Self {
+        assert!(max_fields > 0);
+        GoogleSizeDist {
+            rng: SplitMix64::new(seed),
+            max_fields,
+        }
+    }
+
+    /// Samples one field size from the published distribution.
+    pub fn sample_field_size(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        let mut prev_p = 0.0;
+        for &(p, lo, hi) in BUCKETS {
+            if u <= p {
+                // Log-uniform within the bucket.
+                let frac = (u - prev_p) / (p - prev_p);
+                let (lo, hi) = (lo as f64, hi as f64);
+                let size = lo * (hi / lo).powf(frac);
+                return (size.round() as usize).clamp(lo as usize, hi as usize);
+            }
+            prev_p = p;
+        }
+        BUCKETS.last().expect("nonempty").2
+    }
+
+    /// Samples an object: a list of field sizes totaling at most
+    /// [`MTU_BUDGET`] (fields are resampled on overflow, as in the paper).
+    pub fn sample_object(&mut self) -> Vec<usize> {
+        let nfields = 1 + self.rng.next_bounded(self.max_fields as u64) as usize;
+        loop {
+            let sizes: Vec<usize> = (0..nfields).map(|_| self.sample_field_size()).collect();
+            if sizes.iter().sum::<usize>() <= MTU_BUDGET {
+                return sizes;
+            }
+        }
+    }
+
+    /// Deterministic per-key object shape (hash-quantile sampling), so a
+    /// store's contents are independent of insertion order.
+    pub fn object_for_key(key: u64, max_fields: usize) -> Vec<usize> {
+        let mut local = GoogleSizeDist::new(max_fields, crate::mix(key ^ 0x900913));
+        local.sample_object()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_matches_published_anchors() {
+        let mut g = GoogleSizeDist::new(1, 7);
+        let n = 200_000;
+        let mut le8 = 0usize;
+        let mut le512 = 0usize;
+        for _ in 0..n {
+            let s = g.sample_field_size();
+            assert!((1..=8192).contains(&s));
+            if s <= 8 {
+                le8 += 1;
+            }
+            if s <= 512 {
+                le512 += 1;
+            }
+        }
+        let p8 = le8 as f64 / n as f64;
+        let p512 = le512 as f64 / n as f64;
+        assert!((0.32..0.36).contains(&p8), "P(≤8)={p8}");
+        assert!((0.93..0.965).contains(&p512), "P(≤512)={p512}");
+    }
+
+    #[test]
+    fn object_fits_budget() {
+        let mut g = GoogleSizeDist::new(16, 9);
+        for _ in 0..2_000 {
+            let obj = g.sample_object();
+            assert!(!obj.is_empty() && obj.len() <= 16);
+            assert!(obj.iter().sum::<usize>() <= MTU_BUDGET);
+        }
+    }
+
+    #[test]
+    fn per_key_objects_are_deterministic() {
+        let a = GoogleSizeDist::object_for_key(123, 8);
+        let b = GoogleSizeDist::object_for_key(123, 8);
+        assert_eq!(a, b);
+        let c = GoogleSizeDist::object_for_key(124, 8);
+        assert_ne!(a, c, "different keys should (almost surely) differ");
+    }
+
+    #[test]
+    fn list_length_uniform() {
+        let mut g = GoogleSizeDist::new(4, 11);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[g.sample_object().len()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for (len, &count) in counts.iter().enumerate().skip(1) {
+            let frac = count as f64 / 10_000.0;
+            assert!((0.2..0.3).contains(&frac), "len={len} frac={frac}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Workspace-level memory-safety tests: the use-after-free guarantee under
+//! adversarial sequencing (paper §3 goal 1, §4.1).
+
+#![allow(clippy::field_reassign_with_default)] // builder-style test setup
+
+
+use cornflakes::core::msgs::{GetM, Single};
+use cornflakes::core::{CFBytes, CornflakesObj, SerializationConfig};
+use cornflakes::mem::{PinnedPool, PoolConfig, Registry};
+use cornflakes::net::{FrameMeta, TcpStack, UdpStack};
+use cornflakes::nic::link;
+use cornflakes::sim::{MachineProfile, Sim};
+
+fn meta(req_id: u32) -> FrameMeta {
+    FrameMeta {
+        msg_type: 1,
+        flags: 0,
+        req_id,
+    }
+}
+
+#[test]
+fn slot_not_recycled_while_dma_pending() {
+    // A single-slot pool: if the in-flight reference were dropped early,
+    // the next allocation would reuse (and clobber) the slot mid-"DMA".
+    let (pa, _pb) = link();
+    let mut stack = UdpStack::with_pool_config(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pa,
+        9000,
+        SerializationConfig::always_zero_copy(),
+        PoolConfig {
+            min_class: 4096,
+            max_class: 4096,
+            slots_per_region: 1,
+            max_regions_per_class: 4,
+        },
+    );
+    stack.set_auto_complete(false);
+
+    let value = stack.ctx().pool.alloc(4096).expect("slot 0");
+    let addr = value.addr();
+    let mut m = Single::default();
+    m.val = Some(CFBytes::new(stack.ctx(), value.as_slice()));
+    drop(value); // application's own handle goes away
+    let hdr = stack.header_to(1, meta(1));
+    stack.send_object(hdr, &m).expect("send");
+    drop(m);
+
+    // The slot is still referenced by the NIC; a new allocation must not
+    // land on the same address (the pool grows a new region instead).
+    let fresh = stack.ctx().pool.alloc(4096).expect("second region");
+    assert_ne!(fresh.addr(), addr, "in-flight slot must not be recycled");
+
+    stack.poll_completions();
+    drop(fresh);
+    // Now the slot is free and may be reused.
+    let reused = stack.ctx().pool.alloc(4096).expect("reuse");
+    let reused2 = stack.ctx().pool.alloc(4096).expect("other");
+    assert!(
+        reused.addr() == addr || reused2.addr() == addr,
+        "slot is reusable after completion"
+    );
+}
+
+#[test]
+fn overwritten_store_value_survives_inflight_send() {
+    // The allocate-and-swap put model: a value replaced mid-send keeps its
+    // old buffer alive for the in-flight transmission.
+    let (pa, pb) = link();
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut server = UdpStack::new(sim.clone(), pa, 9000, SerializationConfig::hybrid());
+    let mut client = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pb,
+        4000,
+        SerializationConfig::hybrid(),
+    );
+    server.set_auto_complete(false);
+
+    let mut store = cornflakes::kv::store::KvStore::new(sim);
+    store.put(server.ctx(), b"k", &[0xAAu8; 2048], 8192);
+
+    // Serialize a response referencing the current value.
+    let mut resp = GetM::new();
+    {
+        let ctx = server.ctx();
+        let v = store.get(b"k").expect("present");
+        resp.vals
+            .append(CFBytes::new(ctx, v.segments[0].as_slice()));
+    }
+    let hdr = server.header_to(4000, meta(9));
+    server.send_object(hdr, &resp).expect("send");
+    drop(resp);
+
+    // Overwrite the value while the DMA is "in flight".
+    store.put(server.ctx(), b"k", &[0xBBu8; 2048], 8192);
+
+    // The receiver sees the OLD bytes — the send snapshot is intact.
+    let pkt = client.recv_packet().expect("frame");
+    let d = GetM::deserialize(client.ctx(), &pkt.payload).expect("decode");
+    assert_eq!(d.vals.get(0).expect("val").as_slice(), &[0xAAu8; 2048][..]);
+    server.poll_completions();
+
+    // New reads serve the new value.
+    assert_eq!(
+        &*store.get(b"k").expect("present").segments[0],
+        &[0xBBu8; 2048][..]
+    );
+}
+
+#[test]
+fn recover_ptr_refuses_dangling_and_foreign_memory() {
+    let registry = Registry::new();
+    let pool = PinnedPool::new(registry.clone(), PoolConfig::small_for_tests());
+
+    // Live allocation: recoverable, and recovery pins it.
+    let buf = pool.alloc(1024).expect("alloc");
+    let addr = buf.addr();
+    let recovered = registry.recover_addr(addr + 10, 100).expect("recover");
+    assert_eq!(buf.refcount(), 2);
+    drop(recovered);
+
+    // Freed allocation: a stale pointer must NOT recover.
+    drop(buf);
+    assert!(
+        registry.recover_addr(addr + 10, 100).is_none(),
+        "dangling pointers are unrecoverable"
+    );
+
+    // Foreign (heap) memory: transparently unrecoverable → copy path.
+    let heap = vec![0u8; 256];
+    assert!(registry.recover(&heap).is_none());
+}
+
+#[test]
+fn tcp_retransmission_uses_original_buffers_after_app_mutation_window() {
+    // TCP holds the exact buffers until ACK; even if the application drops
+    // every handle and the wire loses the segment twice, the retransmitted
+    // bytes are the originals.
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (pa, pb) = link();
+    let mut a = TcpStack::new(sim.clone(), pa, 1, SerializationConfig::hybrid());
+    let mut b = TcpStack::new(sim.clone(), pb, 2, SerializationConfig::hybrid());
+    a.connect(2).expect("syn");
+    b.poll().expect("synack");
+    a.poll().expect("ack");
+    b.poll().expect("est");
+
+    {
+        let value = a.ctx().pool.alloc(1500).expect("pinned");
+        let mut m = Single::default();
+        m.val = Some(CFBytes::new(a.ctx(), value.as_slice()));
+        a.send_object(&m).expect("send");
+        // Both the app's message and its buffer handle die here.
+    }
+    // Lose the segment twice; retransmit twice.
+    for round in 0..2 {
+        assert!(b.wire_drop_next(), "segment lost (round {round})");
+        b.poll().expect("nothing");
+        sim.clock().advance(400_000);
+        a.poll().expect("retransmit");
+    }
+    assert_eq!(a.retransmissions(), 2);
+    b.poll().expect("rx");
+    let msg = b.recv_msg().expect("finally delivered");
+    let d = Single::deserialize(b.ctx(), &msg).expect("decode");
+    assert_eq!(d.val.expect("val").len(), 1500);
+    a.poll().expect("ack");
+    assert_eq!(a.retransmit_queue_len(), 0);
+}
+
+#[test]
+fn arena_reset_between_requests_never_corrupts_inflight_copies() {
+    // Copied fields live in the arena; end_request() recycles it. In-flight
+    // frames already hold their own DMA buffer, so resets are safe at any
+    // time — send many requests back to back and verify every frame.
+    let (pa, pb) = link();
+    let mut tx = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pa,
+        1,
+        SerializationConfig::always_copy(),
+    );
+    let mut rx = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        pb,
+        2,
+        SerializationConfig::hybrid(),
+    );
+    for i in 0..50u32 {
+        let payload = vec![i as u8; 700];
+        let mut m = Single::default();
+        m.id = Some(i);
+        m.val = Some(CFBytes::new(tx.ctx(), &payload));
+        let hdr = tx.header_to(2, meta(i));
+        tx.send_object(hdr, &m).expect("send");
+    }
+    for i in 0..50u32 {
+        let pkt = rx.recv_packet().expect("frame");
+        let d = Single::deserialize(rx.ctx(), &pkt.payload).expect("decode");
+        assert_eq!(d.id, Some(i));
+        assert_eq!(d.val.expect("val").as_slice(), &vec![i as u8; 700][..]);
+    }
+}
