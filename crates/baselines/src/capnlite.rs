@@ -73,7 +73,11 @@ impl Ptr {
         }
     }
 
-    const NULL: Ptr = Ptr { seg: 0, len: 0, off: 0 };
+    const NULL: Ptr = Ptr {
+        seg: 0,
+        len: 0,
+        off: 0,
+    };
 
     fn is_null(self) -> bool {
         self == Ptr::NULL
@@ -120,7 +124,8 @@ impl CapnGetM {
         } else if !fits {
             // Oversized blob: dedicated segment.
             sim.charge(Category::Alloc, costs.heap_alloc);
-            self.segments.push(Vec::with_capacity(data.len().div_ceil(8) * 8));
+            self.segments
+                .push(Vec::with_capacity(data.len().div_ceil(8) * 8));
         }
         let seg_idx = self.segments.len() - 1;
         let seg = &mut self.segments[seg_idx];
@@ -189,15 +194,16 @@ impl CapnGetM {
         // it at a fixed location (segment 0, offset 0).
         let mut root = Vec::with_capacity(24);
         root.extend_from_slice(&self.id.unwrap_or(0).to_le_bytes());
-        root.extend_from_slice(
-            &(if self.id.is_some() { PRESENT_ID } else { 0 }).to_le_bytes(),
-        );
+        root.extend_from_slice(&(if self.id.is_some() { PRESENT_ID } else { 0 }).to_le_bytes());
         // Shift segment indices by one for the prepended root segment.
         let shift = |p: Ptr| {
             if p.is_null() {
                 p
             } else {
-                Ptr { seg: p.seg + 1, ..p }
+                Ptr {
+                    seg: p.seg + 1,
+                    ..p
+                }
             }
         };
         root.extend_from_slice(&shift(keys_ptr).pack().to_le_bytes());
@@ -213,9 +219,11 @@ impl CapnGetM {
         let mut segments = vec![root];
         // Pointer tables also need their segment indices shifted.
         for (si, seg) in self.segments.iter_mut().enumerate() {
-            let is_table = |p: Ptr, tables: &[Ptr]| tables.iter().any(|t| {
-                !t.is_null() && t.seg as usize == si && t.off as usize == p.off as usize
-            });
+            let is_table = |p: Ptr, tables: &[Ptr]| {
+                tables.iter().any(|t| {
+                    !t.is_null() && t.seg as usize == si && t.off as usize == p.off as usize
+                })
+            };
             let _ = is_table; // tables rewritten below instead
             segments.push(std::mem::take(seg));
         }
@@ -269,8 +277,7 @@ impl<'a> CapnReader<'a> {
         if buf.len() < 4 {
             return Err(CapnError::Truncated);
         }
-        let nsegs =
-            u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        let nsegs = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
         if nsegs == 0 || nsegs > 1024 {
             return Err(CapnError::BadSegmentTable);
         }
@@ -281,9 +288,8 @@ impl<'a> CapnReader<'a> {
         let mut start = table_end.div_ceil(8) * 8;
         let mut segs = Vec::with_capacity(nsegs);
         for i in 0..nsegs {
-            let len = u32::from_le_bytes(
-                buf[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes"),
-            ) as usize;
+            let len =
+                u32::from_le_bytes(buf[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes")) as usize;
             if start + len > buf.len() {
                 return Err(CapnError::BadSegmentTable);
             }
@@ -396,7 +402,11 @@ mod tests {
         let v = vec![0x3Cu8; 3000];
         let wire = build(&s, None, &[], &[&v, &v, &v]);
         let r = CapnReader::parse(&s, &wire).unwrap();
-        assert!(r.segs.len() > 2, "expected multiple segments, got {}", r.segs.len());
+        assert!(
+            r.segs.len() > 2,
+            "expected multiple segments, got {}",
+            r.segs.len()
+        );
         let vals = r.vals(&s).unwrap();
         assert_eq!(vals.len(), 3);
         for got in vals {

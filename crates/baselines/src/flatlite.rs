@@ -179,7 +179,11 @@ impl<'a> FlatGetMView<'a> {
         if vtable_len < 4 || vtable + vtable_len > buf.len() {
             return Err(FlatError::BadVtable);
         }
-        sim.charge_read(Category::Deserialize, buf.as_ptr() as u64 + table as u64, 16);
+        sim.charge_read(
+            Category::Deserialize,
+            buf.as_ptr() as u64 + table as u64,
+            16,
+        );
         let view = FlatGetMView { buf, table, vtable };
         // Per-element access overhead for the values (vector navigation).
         for i in 0..view.vals_len()? {
@@ -283,12 +287,7 @@ mod tests {
     fn roundtrip_mixed() {
         let s = sim();
         let big = vec![9u8; 3000];
-        let wire = FlatGetM::encode(
-            &s,
-            Some(5),
-            &[b"alpha", b"beta"],
-            &[&big[..], b"small"],
-        );
+        let wire = FlatGetM::encode(&s, Some(5), &[b"alpha", b"beta"], &[&big[..], b"small"]);
         let v = FlatGetMView::parse(&s, &wire).unwrap();
         assert_eq!(v.id().unwrap(), Some(5));
         assert_eq!(v.keys_len().unwrap(), 2);

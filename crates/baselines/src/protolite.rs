@@ -184,10 +184,7 @@ impl PGetM {
                         2 => {
                             // Keys are strings: protobuf validates UTF-8
                             // eagerly at parse time.
-                            sim.charge(
-                                Category::Deserialize,
-                                len as f64 * costs.utf8_per_byte,
-                            );
+                            sim.charge(Category::Deserialize, len as f64 * costs.utf8_per_byte);
                             m.keys.push(data.to_vec());
                         }
                         3 => m.vals.push(data.to_vec()),
@@ -266,10 +263,7 @@ mod tests {
     fn bad_wire_type_rejected() {
         let s = sim();
         let wire = [tag(1, 5) as u8]; // wire type 5 unsupported
-        assert_eq!(
-            PGetM::decode(&s, &wire),
-            Err(ProtoError::BadWireType(5))
-        );
+        assert_eq!(PGetM::decode(&s, &wire), Err(ProtoError::BadWireType(5)));
     }
 
     #[test]

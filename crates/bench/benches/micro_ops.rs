@@ -1,15 +1,43 @@
-//! Criterion microbenchmarks of the hot-path operations: hybrid pointer
-//! construction, header writing, wire-format round trips, cache-simulator
-//! accesses, and workload generators. These measure the *real* (host) cost
-//! of the library code itself, complementing the virtual-time experiments.
+//! Microbenchmarks of the hot-path operations: hybrid pointer construction,
+//! header writing, wire-format round trips, cache-simulator accesses, and
+//! workload generators. These measure the *real* (host) cost of the library
+//! code itself, complementing the virtual-time experiments.
+//!
+//! Hand-rolled timing harness (median of per-batch averages) instead of
+//! criterion, so the workspace builds with no external dependencies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use cf_sim::{CacheSim, Histogram, MachineProfile, Sim};
 use cf_workloads::Zipf;
 use cornflakes_core::msgs::GetM;
 use cornflakes_core::obj::{serialize_to_vec, write_full_header};
 use cornflakes_core::{CFBytes, CornflakesObj, SerCtx, SerializationConfig};
+
+/// Runs `op` in batches and prints the median per-iteration latency.
+fn bench_function<R>(name: &str, mut op: impl FnMut() -> R) {
+    const BATCHES: usize = 30;
+    const ITERS_PER_BATCH: usize = 2_000;
+    // Warm up caches, branch predictors, and lazy init.
+    for _ in 0..ITERS_PER_BATCH {
+        black_box(op());
+    }
+    let mut per_iter_ns: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..ITERS_PER_BATCH {
+                black_box(op());
+            }
+            t0.elapsed().as_nanos() as f64 / ITERS_PER_BATCH as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[BATCHES / 2];
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[BATCHES - 1];
+    println!("{name:<36} median {median:>9.1} ns/iter   (min {min:.1}, max {max:.1})");
+}
 
 fn ctx() -> SerCtx {
     SerCtx::new(
@@ -18,19 +46,19 @@ fn ctx() -> SerCtx {
     )
 }
 
-fn bench_cfbytes(c: &mut Criterion) {
+fn bench_cfbytes() {
     let ctx = ctx();
     let pinned = ctx.pool.alloc(2048).expect("pool");
     let heap = vec![7u8; 256];
-    c.bench_function("cfbytes_new_zero_copy_2048", |b| {
-        b.iter(|| black_box(CFBytes::new(&ctx, black_box(pinned.as_slice()))))
+    bench_function("cfbytes_new_zero_copy_2048", || {
+        CFBytes::new(&ctx, black_box(pinned.as_slice()))
     });
-    c.bench_function("cfbytes_new_copy_256", |b| {
-        b.iter(|| black_box(CFBytes::new(&ctx, black_box(&heap))))
+    bench_function("cfbytes_new_copy_256", || {
+        CFBytes::new(&ctx, black_box(&heap))
     });
 }
 
-fn bench_header_write(c: &mut Criterion) {
+fn bench_header_write() {
     let ctx = ctx();
     let pinned = ctx.pool.alloc(1024).expect("pool");
     let mut m = GetM::new();
@@ -41,15 +69,13 @@ fn bench_header_write(c: &mut Criterion) {
     }
     let hb = m.header_bytes();
     let mut out = vec![0u8; hb];
-    c.bench_function("write_full_header_4keys_4vals", |b| {
-        b.iter(|| {
-            out.iter_mut().for_each(|x| *x = 0);
-            black_box(write_full_header(black_box(&m), &mut out))
-        })
+    bench_function("write_full_header_4keys_4vals", || {
+        out.iter_mut().for_each(|x| *x = 0);
+        write_full_header(black_box(&m), &mut out)
     });
 }
 
-fn bench_roundtrip(c: &mut Criterion) {
+fn bench_roundtrip() {
     let tx = ctx();
     let rx = ctx();
     let pinned = tx.pool.alloc(2048).expect("pool");
@@ -58,41 +84,35 @@ fn bench_roundtrip(c: &mut Criterion) {
     m.vals.append(CFBytes::new(&tx, b"small"));
     let wire = serialize_to_vec(&m);
     let pkt = rx.pool.alloc_from(&wire).expect("pool");
-    c.bench_function("deserialize_getm_2vals", |b| {
-        b.iter(|| black_box(GetM::deserialize(&rx, black_box(&pkt)).expect("ok")))
+    bench_function("deserialize_getm_2vals", || {
+        GetM::deserialize(&rx, black_box(&pkt)).expect("ok")
     });
 }
 
-fn bench_cache_sim(c: &mut Criterion) {
+fn bench_cache_sim() {
     let mut cache = CacheSim::new(16 << 20, 16);
     let mut addr = 0u64;
-    c.bench_function("cache_access_2048B", |b| {
-        b.iter(|| {
-            addr = addr.wrapping_add(4096) & 0xFFF_FFFF;
-            black_box(cache.access(black_box(addr), 2048))
-        })
+    bench_function("cache_access_2048B", || {
+        addr = addr.wrapping_add(4096) & 0xFFF_FFFF;
+        cache.access(black_box(addr), 2048)
     });
 }
 
-fn bench_workloads(c: &mut Criterion) {
+fn bench_workloads() {
     let mut zipf = Zipf::new(1_000_000, 0.99, 42);
-    c.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.next())));
+    bench_function("zipf_sample", || zipf.next());
     let mut h = Histogram::new();
     let mut v = 1u64;
-    c.bench_function("histogram_record", |b| {
-        b.iter(|| {
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(black_box(v % 1_000_000));
-        })
+    bench_function("histogram_record", || {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(black_box(v % 1_000_000));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cfbytes,
-    bench_header_write,
-    bench_roundtrip,
-    bench_cache_sim,
-    bench_workloads
-);
-criterion_main!(benches);
+fn main() {
+    bench_cfbytes();
+    bench_header_write();
+    bench_roundtrip();
+    bench_cache_sim();
+    bench_workloads();
+}

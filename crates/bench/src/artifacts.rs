@@ -1,0 +1,59 @@
+//! Per-experiment metrics artifacts.
+//!
+//! Experiments that install telemetry write their end-of-run metrics
+//! snapshot (counters, gauges, histograms, serializer decisions, span
+//! summary) as one JSON file per experiment, so runs leave a
+//! machine-readable record next to the printed tables.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use cf_telemetry::Telemetry;
+
+/// Directory artifacts are written to: `$CF_ARTIFACT_DIR` when set,
+/// `target/cf-artifacts` otherwise.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("CF_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/cf-artifacts"))
+}
+
+/// Writes `experiment`'s metrics snapshot to
+/// `<artifact_dir>/<experiment>-metrics.json`, creating the directory if
+/// needed. Returns the path written.
+pub fn write_metrics_artifact(experiment: &str, tele: &Telemetry) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{experiment}-metrics.json"));
+    fs::write(&path, tele.snapshot_json())?;
+    Ok(path)
+}
+
+/// Writes a Chrome Trace Event JSON file (`chrome://tracing` /
+/// `ui.perfetto.dev` loadable) for `experiment`'s recorded spans.
+pub fn write_trace_artifact(experiment: &str, tele: &Telemetry) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{experiment}-trace.json"));
+    fs::write(&path, tele.chrome_trace_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_sim::{MachineProfile, Sim};
+
+    #[test]
+    fn artifacts_are_valid_json() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let tele = Telemetry::attach(&sim);
+        tele.counter("test.counter").add(3);
+        let path = write_metrics_artifact("unit-test", &tele).expect("artifact written");
+        let text = fs::read_to_string(&path).expect("readable");
+        cf_telemetry::json::validate(&text).expect("valid JSON");
+        assert!(text.contains("test.counter"));
+        let _ = fs::remove_file(&path);
+    }
+}

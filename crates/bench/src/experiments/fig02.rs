@@ -102,7 +102,9 @@ impl EchoBench {
                 req_id: seq as u32,
             },
         );
-        self.client.send_built(hdr, tx, payload.len()).expect("send");
+        self.client
+            .send_built(hdr, tx, payload.len())
+            .expect("send");
         self.server.poll();
         self.client
             .recv_packet()
@@ -228,7 +230,11 @@ mod tests {
         assert!(g(EchoKind::NoSerialization) > g(EchoKind::ZeroCopyRaw));
         assert!(g(EchoKind::ZeroCopyRaw) > g(EchoKind::OneCopy));
         assert!(g(EchoKind::OneCopy) > g(EchoKind::TwoCopy));
-        for lib in [EchoKind::Protobuf, EchoKind::FlatBuffers, EchoKind::CapnProto] {
+        for lib in [
+            EchoKind::Protobuf,
+            EchoKind::FlatBuffers,
+            EchoKind::CapnProto,
+        ] {
             assert!(g(EchoKind::TwoCopy) > g(lib), "{lib:?}");
         }
         // Absolute anchors within a loose band of the paper's numbers.

@@ -170,7 +170,13 @@ pub fn run(num_keys: u64, requests: u64) -> Vec<Fig3Row> {
         "raw SG always wins; SG+overheads wins only for buffers >= 512 B",
         &rows
             .iter()
-            .map(|r| format!("{}B:{}", r.seg_size, if r.sg > r.copy { "sg" } else { "copy" }))
+            .map(|r| {
+                format!(
+                    "{}B:{}",
+                    r.seg_size,
+                    if r.sg > r.copy { "sg" } else { "copy" }
+                )
+            })
             .collect::<Vec<_>>()
             .join(" "),
     );

@@ -136,7 +136,9 @@ pub fn run_fig6_curves(num_keys: u64, duration_ns: u64) {
                 let key = key_string(zipf.next());
                 c.send_get(&[key.as_bytes()]);
                 s.poll();
-                c.recv_response().map(|r| r.payload_bytes as u64).unwrap_or(0)
+                c.recv_response()
+                    .map(|r| r.payload_bytes as u64)
+                    .unwrap_or(0)
             })
             .achieved_rps
         };
@@ -150,7 +152,9 @@ pub fn run_fig6_curves(num_keys: u64, duration_ns: u64) {
                     let key = key_string(zipf.next());
                     c.send_get(&[key.as_bytes()]);
                     s.poll();
-                    c.recv_response().map(|r| r.payload_bytes as u64).unwrap_or(0)
+                    c.recv_response()
+                        .map(|r| r.payload_bytes as u64)
+                        .unwrap_or(0)
                 })
             };
             println!(

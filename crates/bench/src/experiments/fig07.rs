@@ -22,8 +22,7 @@ pub fn twitter_fixture(
     num_keys: u64,
 ) -> (Sim, KvClient, KvServer) {
     let server_sim = Sim::new(MachineProfile::microbench());
-    let (client, mut server) =
-        client_server_pair(server_sim.clone(), kind, config, large_pool());
+    let (client, mut server) = client_server_pair(server_sim.clone(), kind, config, large_pool());
     for id in 0..num_keys {
         let size = TwitterTrace::value_size(id);
         server
@@ -122,7 +121,11 @@ pub fn run(num_keys: u64, duration_ns: u64, slo_ns: u64) -> Vec<(SerKind, SweepR
         .collect();
     print_table(
         "Figure 7: Twitter cache trace (custom KV store)",
-        &["System", "Max krps", &format!("krps @ p99<={}us", slo_ns / 1000)],
+        &[
+            "System",
+            "Max krps",
+            &format!("krps @ p99<={}us", slo_ns / 1000),
+        ],
         &rows,
     );
     let cf = results[0].1.rps_at_p99_slo(slo_ns);
@@ -155,12 +158,7 @@ mod tests {
     fn cornflakes_beats_baselines_on_twitter() {
         let mut caps = Vec::new();
         for kind in SerKind::all() {
-            let sweep = sweep_twitter(
-                kind,
-                SerializationConfig::hybrid(),
-                10_000,
-                3_000_000,
-            );
+            let sweep = sweep_twitter(kind, SerializationConfig::hybrid(), 10_000, 3_000_000);
             caps.push((kind, sweep.max_achieved_rps()));
         }
         let cf = caps[0].1;

@@ -83,11 +83,7 @@ impl RedisBench {
 }
 
 /// Figure 8: the Twitter trace through Redis get/set commands.
-pub fn sweep_redis_twitter(
-    backend: RedisBackend,
-    num_keys: u64,
-    duration_ns: u64,
-) -> SweepResult {
+pub fn sweep_redis_twitter(backend: RedisBackend, num_keys: u64, duration_ns: u64) -> SweepResult {
     let mut bench = RedisBench::new(backend);
     for id in 0..num_keys {
         let size = TwitterTrace::value_size(id);
@@ -211,13 +207,21 @@ pub fn run(num_keys: u64, duration_ns: u64, requests: u64, slo_ns: u64) {
     ];
     print_table(
         "Figure 8: Redis on the Twitter trace",
-        &["Backend", "Max krps", &format!("krps @ p99<={}us", slo_ns / 1000)],
+        &[
+            "Backend",
+            "Max krps",
+            &format!("krps @ p99<={}us", slo_ns / 1000),
+        ],
         &rows,
     );
     let gain = (cf.rps_at_p99_slo(slo_ns) - resp.rps_at_p99_slo(slo_ns))
         / resp.rps_at_p99_slo(slo_ns)
         * 100.0;
-    print_expectation("Cornflakes vs Redis serialization at the SLO", "+8.8%", &pct(gain));
+    print_expectation(
+        "Cornflakes vs Redis serialization at the SLO",
+        "+8.8%",
+        &pct(gain),
+    );
 
     // Table 3.
     let base = table3_krps(RedisBackend::Resp, num_keys, requests);
@@ -266,9 +270,8 @@ mod tests {
         // paper's 4M-key store is several times its 128 MB LLC.
         let resp = sweep_redis_twitter(RedisBackend::Resp, 60_000, 3_000_000);
         let cf = sweep_redis_twitter(RedisBackend::Cornflakes, 60_000, 3_000_000);
-        let gain = (cf.max_achieved_rps() - resp.max_achieved_rps())
-            / resp.max_achieved_rps()
-            * 100.0;
+        let gain =
+            (cf.max_achieved_rps() - resp.max_achieved_rps()) / resp.max_achieved_rps() * 100.0;
         assert!(
             (1.0..40.0).contains(&gain),
             "Twitter-on-Redis gain {gain:.1}% (paper: 8.8%)"

@@ -8,12 +8,14 @@
 
 use cf_sim::cost::Category;
 use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::Telemetry;
 use cornflakes_core::SerializationConfig;
 
-use cf_kv::client::client_server_pair;
-use cf_kv::server::SerKind;
+use cf_kv::client::{client_server_pair, KvClient};
+use cf_kv::server::{KvServer, SerKind};
 use cf_workloads::{key_string, CdnTrace};
 
+use crate::artifacts::write_metrics_artifact;
 use crate::harness::large_pool;
 use crate::tables::{f1, print_expectation, print_table};
 
@@ -30,6 +32,17 @@ pub struct Breakdown {
 
 /// Measures the attribution breakdown for one system on the CDN workload.
 pub fn breakdown(kind: SerKind, num_objects: u64, requests: u64) -> Breakdown {
+    breakdown_instrumented(kind, num_objects, requests).0
+}
+
+/// [`breakdown`] plus the telemetry handle that observed the measured
+/// window — spans, metrics, and serializer decisions cover exactly the
+/// post-warmup requests (the handle attaches at the attribution reset).
+pub fn breakdown_instrumented(
+    kind: SerKind,
+    num_objects: u64,
+    requests: u64,
+) -> (Breakdown, Telemetry) {
     let server_sim = Sim::new(MachineProfile::microbench());
     let (mut client, mut server) = client_server_pair(
         server_sim.clone(),
@@ -47,7 +60,7 @@ pub fn breakdown(kind: SerKind, num_objects: u64, requests: u64) -> Breakdown {
             .expect("pool sized");
     }
     let mut trace = CdnTrace::new(num_objects, 0xF16);
-    let mut drive = |_seq: u64| {
+    let mut drive = |client: &mut KvClient, server: &mut KvServer| {
         let (id, seg, _last) = trace.next();
         let key = key_string(id);
         client.send_get_segment(key.as_bytes(), seg as u32);
@@ -58,13 +71,15 @@ pub fn breakdown(kind: SerKind, num_objects: u64, requests: u64) -> Breakdown {
             .unwrap_or(0)
     };
     // Warm:
-    for s in 0..requests / 5 {
-        drive(s);
+    for _ in 0..requests / 5 {
+        drive(&mut client, &mut server);
     }
+    let tele = Telemetry::attach(&server_sim);
+    server.set_telemetry(&tele);
     server_sim.with_core(|c| c.attribution.reset());
     let t0 = server_sim.now();
-    for s in 0..requests {
-        drive(s);
+    for _ in 0..requests {
+        drive(&mut client, &mut server);
     }
     let elapsed = (server_sim.now() - t0) as f64;
     let attr = server_sim.attribution();
@@ -78,22 +93,32 @@ pub fn breakdown(kind: SerKind, num_objects: u64, requests: u64) -> Breakdown {
         Category::Alloc,
         Category::Tx,
     ];
-    Breakdown {
+    let result = Breakdown {
         kind,
         per_request_ns: order
             .iter()
             .map(|&c| (c, attr.get(c) / requests as f64))
             .collect(),
         total_ns: elapsed / requests as f64,
-    }
+    };
+    (result, tele)
 }
 
-/// Runs Figure 11.
+/// Runs Figure 11, writing one `fig11-<system>-metrics.json` artifact per
+/// system (see [`crate::artifacts`]).
 pub fn run(num_objects: u64, requests: u64) -> Vec<Breakdown> {
     let systems = [SerKind::Cornflakes, SerKind::FlatBuffers, SerKind::Protobuf];
     let results: Vec<Breakdown> = systems
         .iter()
-        .map(|&k| breakdown(k, num_objects, requests))
+        .map(|&k| {
+            let (b, tele) = breakdown_instrumented(k, num_objects, requests);
+            let name = format!("fig11-{}", k.metric_key());
+            match write_metrics_artifact(&name, &tele) {
+                Ok(path) => println!("  metrics artifact: {}", path.display()),
+                Err(e) => eprintln!("  metrics artifact for {name} not written: {e}"),
+            }
+            b
+        })
         .collect();
     let headers: Vec<String> = std::iter::once("Phase (ns/req)".to_string())
         .chain(results.iter().map(|b| b.kind.name().to_string()))
@@ -112,7 +137,11 @@ pub fn run(num_objects: u64, requests: u64) -> Vec<Breakdown> {
         total_row.push(f1(b.total_ns));
     }
     rows.push(total_row);
-    print_table("Figure 11: per-request cycle breakdown (CDN trace)", &header_refs, &rows);
+    print_table(
+        "Figure 11: per-request cycle breakdown (CDN trace)",
+        &header_refs,
+        &rows,
+    );
     print_expectation(
         "Cornflakes profile",
         "near-zero serialization copies; shorter deserialize; faster gets",

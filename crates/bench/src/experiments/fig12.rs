@@ -18,7 +18,10 @@ use crate::tables::{f1, pct, print_expectation, print_table};
 pub fn configs() -> [(&'static str, SerializationConfig); 3] {
     [
         ("Hybrid (512B)", SerializationConfig::hybrid()),
-        ("Only scatter-gather", SerializationConfig::always_zero_copy()),
+        (
+            "Only scatter-gather",
+            SerializationConfig::always_zero_copy(),
+        ),
         ("Only copy", SerializationConfig::always_copy()),
     ]
 }
@@ -41,7 +44,11 @@ pub fn run_twitter(num_keys: u64, duration_ns: u64, slo_ns: u64) -> Vec<(&'stati
         .collect();
     print_table(
         "Figure 12: hybrid vs SG-only vs copy-only (Twitter trace)",
-        &["Config", "Max krps", &format!("krps @ p99<={}us", slo_ns / 1000)],
+        &[
+            "Config",
+            "Max krps",
+            &format!("krps @ p99<={}us", slo_ns / 1000),
+        ],
         &rows,
     );
     print_expectation(

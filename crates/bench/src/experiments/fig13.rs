@@ -11,12 +11,12 @@
 //! simulation per shard, as the paper shards its memory per core); the
 //! aggregate is the sharded sum capped by the NIC.
 
+use cf_net::{FrameMeta, UdpStack};
 use cf_nic::link;
 use cf_sim::cost::Category;
 use cf_sim::queueing::OpenLoopSim;
 use cf_sim::rng::SplitMix64;
 use cf_sim::{MachineProfile, Sim};
-use cf_net::{FrameMeta, UdpStack};
 use cornflakes_core::msgs::GetM;
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
 

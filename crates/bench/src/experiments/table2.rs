@@ -85,7 +85,11 @@ pub fn run(num_objects: u64, requests: u64) -> Vec<(SerKind, f64)> {
         &["System", "kobj/s"],
         &rows,
     );
-    let cf = results.iter().find(|(k, _)| *k == SerKind::Cornflakes).expect("cf").1;
+    let cf = results
+        .iter()
+        .find(|(k, _)| *k == SerKind::Cornflakes)
+        .expect("cf")
+        .1;
     let best_baseline = results
         .iter()
         .filter(|(k, _)| *k != SerKind::Cornflakes)
@@ -115,7 +119,10 @@ mod tests {
                 gain > 50.0,
                 "Cornflakes should be far ahead of {kind:?}: +{gain:.0}% (cf={cf:.1} base={base:.1})"
             );
-            assert!(gain < 250.0, "gain {gain:.0}% vs {kind:?} implausibly large");
+            assert!(
+                gain < 250.0,
+                "gain {gain:.0}% vs {kind:?} implausibly large"
+            );
         }
     }
 }

@@ -18,7 +18,11 @@ use super::fig07::sweep_twitter;
 use crate::tables::{f1, pct, print_expectation, print_table};
 
 /// Runs Table 5. Returns [(workload, with, without, unit)].
-pub fn run(num_keys: u64, requests: u64, duration_ns: u64) -> Vec<(String, f64, f64, &'static str)> {
+pub fn run(
+    num_keys: u64,
+    requests: u64,
+    duration_ns: u64,
+) -> Vec<(String, f64, f64, &'static str)> {
     let with_cfg = SerializationConfig::hybrid();
     let without_cfg = SerializationConfig::hybrid().without_serialize_and_send();
     let mut results = Vec::new();

@@ -4,6 +4,7 @@
 use cf_mem::PoolConfig;
 use cf_sim::queueing::{sweep, LoadPoint, OpenLoopSim, SweepResult};
 use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::Telemetry;
 use cornflakes_core::SerializationConfig;
 
 use cf_kv::client::{client_server_pair, KvClient};
@@ -44,13 +45,22 @@ impl KvBench {
         config: SerializationConfig,
     ) -> Self {
         let server_sim = Sim::new(profile);
-        let (client, server) =
-            client_server_pair(server_sim.clone(), kind, config, large_pool());
+        let (client, server) = client_server_pair(server_sim.clone(), kind, config, large_pool());
         KvBench {
             server_sim,
             client,
             server,
         }
+    }
+
+    /// Attaches a telemetry handle to the server machine (charge-observer
+    /// into span tracing) and wires the server's datapath, NIC, memory, and
+    /// per-[`SerKind`] counters into it. Returns the handle for
+    /// snapshotting and artifact export.
+    pub fn install_telemetry(&mut self) -> Telemetry {
+        let tele = Telemetry::attach(&self.server_sim);
+        self.server.set_telemetry(&tele);
+        tele
     }
 
     /// An open-loop load generator over the server's clock.
@@ -70,7 +80,11 @@ impl KvBench {
         for id in 0..num_keys {
             self.server
                 .store
-                .preload(self.server.stack.ctx(), key_string(id).as_bytes(), segment_sizes)
+                .preload(
+                    self.server.stack.ctx(),
+                    key_string(id).as_bytes(),
+                    segment_sizes,
+                )
                 .expect("grow the pool config for this experiment");
         }
     }

@@ -14,6 +14,7 @@
 //! - Setting `CF_QUICK=1` shrinks durations ~10× for smoke runs; the
 //!   recorded numbers in `EXPERIMENTS.md` come from full runs.
 
+pub mod artifacts;
 pub mod experiments;
 pub mod harness;
 pub mod tables;

@@ -237,7 +237,11 @@ mod tests {
                 fields: vec![field("a", 1, FieldType::Message("Nope".into()))],
             }],
         };
-        assert!(s.validate().unwrap_err().message.contains("unknown message"));
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .message
+            .contains("unknown message"));
     }
 
     #[test]

@@ -297,9 +297,7 @@ impl CornflakesObj for DynMessage {
             match self.fields[i].as_ref().expect("present") {
                 DynValue::Scalar(v) => {
                     match f.ty {
-                        FieldType::Scalar(s) if s.wire_width() == 8 => {
-                            put_u64(w.buf(), cursor, *v)
-                        }
+                        FieldType::Scalar(s) if s.wire_width() == 8 => put_u64(w.buf(), cursor, *v),
                         _ => put_u32(w.buf(), cursor, *v as u32),
                     }
                     w.count_entry();
@@ -527,9 +525,7 @@ impl DynMessage {
                     let ptr = ForwardPtr::get(buf, cursor)?;
                     cursor += PTR_SIZE;
                     let (inner, _) = ptr.check_range(ptr.len as usize, buf.len())?;
-                    DynValue::Message(Box::new(Self::decode_at(
-                        ctx, schema, t, payload, inner,
-                    )?))
+                    DynValue::Message(Box::new(Self::decode_at(ctx, schema, t, payload, inner)?))
                 }
                 (FieldType::Message(t), true) => {
                     let ptr = ForwardPtr::get(buf, cursor)?;

@@ -37,8 +37,8 @@ pub mod printer;
 use std::path::Path;
 
 pub use ast::{Field, FieldType, Message, ScalarType, Schema};
-pub use parser::CodegenError;
 pub use dynamic::{DynMessage, DynValue};
+pub use parser::CodegenError;
 pub use printer::print_schema;
 
 /// Compiles schema source text into Rust source code.

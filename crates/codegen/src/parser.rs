@@ -220,9 +220,7 @@ impl Parser {
                     self.expect_punct('=')?;
                     match self.bump()? {
                         Tok::Str(s) if s == "proto2" || s == "proto3" => {}
-                        other => {
-                            return Err(self.err(format!("unsupported syntax {other:?}")))
-                        }
+                        other => return Err(self.err(format!("unsupported syntax {other:?}"))),
                     }
                     self.expect_punct(';')?;
                 }

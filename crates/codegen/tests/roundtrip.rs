@@ -35,13 +35,17 @@ fn schema_strategy() -> impl Strategy<Value = Schema> {
         proptest::collection::vec(type_name(), 1..5),
         proptest::collection::vec(
             proptest::collection::vec(
-                (ident(), prop_oneof![
-                    scalar().prop_map(FieldType::Scalar),
-                    Just(FieldType::Str),
-                    Just(FieldType::Bytes),
-                    // Placeholder resolved below to an earlier message.
-                    Just(FieldType::Message(String::new())),
-                ], any::<bool>()),
+                (
+                    ident(),
+                    prop_oneof![
+                        scalar().prop_map(FieldType::Scalar),
+                        Just(FieldType::Str),
+                        Just(FieldType::Bytes),
+                        // Placeholder resolved below to an earlier message.
+                        Just(FieldType::Message(String::new())),
+                    ],
+                    any::<bool>(),
+                ),
                 1..8,
             ),
             1..5,

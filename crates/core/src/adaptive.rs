@@ -165,10 +165,7 @@ mod tests {
         // fixed: crossover at (150 - 30) / 0.2 = 600 bytes.
         feed(&t, 0.2, 150.0, 500);
         let got = t.threshold();
-        assert!(
-            (550..=650).contains(&got),
-            "expected ~600, got {got}"
-        );
+        assert!((550..=650).contains(&got), "expected ~600, got {got}");
     }
 
     #[test]
@@ -181,7 +178,10 @@ mod tests {
         feed(&t, 0.2, 300.0, 500);
         let after = t.threshold();
         assert!(after > before, "threshold should rise: {before} -> {after}");
-        assert!((1150..=1550).contains(&after), "expected ~1350, got {after}");
+        assert!(
+            (1150..=1550).contains(&after),
+            "expected ~1350, got {after}"
+        );
         // Pressure drops again: threshold falls back.
         feed(&t, 0.2, 150.0, 800);
         assert!(t.threshold() < after);

@@ -96,9 +96,22 @@ mod tests {
 
     #[test]
     fn ablation_configs() {
-        assert_eq!(SerializationConfig::always_zero_copy().zero_copy_threshold, 0);
-        assert_eq!(SerializationConfig::always_copy().zero_copy_threshold, usize::MAX);
-        assert!(!SerializationConfig::hybrid().without_serialize_and_send().serialize_and_send);
-        assert_eq!(SerializationConfig::with_threshold(1024).zero_copy_threshold, 1024);
+        assert_eq!(
+            SerializationConfig::always_zero_copy().zero_copy_threshold,
+            0
+        );
+        assert_eq!(
+            SerializationConfig::always_copy().zero_copy_threshold,
+            usize::MAX
+        );
+        assert!(
+            !SerializationConfig::hybrid()
+                .without_serialize_and_send()
+                .serialize_and_send
+        );
+        assert_eq!(
+            SerializationConfig::with_threshold(1024).zero_copy_threshold,
+            1024
+        );
     }
 }

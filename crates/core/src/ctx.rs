@@ -2,6 +2,7 @@
 
 use cf_mem::{Arena, PinnedPool, PoolConfig, Registry};
 use cf_sim::Sim;
+use cf_telemetry::Telemetry;
 
 use crate::adaptive::AdaptiveThreshold;
 use crate::config::SerializationConfig;
@@ -29,6 +30,9 @@ pub struct SerCtx {
     /// overrides `config.zero_copy_threshold` and is fed cost observations
     /// by [`crate::CFBytes::new`].
     pub adaptive: Option<AdaptiveThreshold>,
+    /// Observability sink: hybrid-serializer decisions and memory metrics.
+    /// Disabled by default; install with [`SerCtx::install_telemetry`].
+    pub telemetry: Telemetry,
 }
 
 impl SerCtx {
@@ -43,6 +47,7 @@ impl SerCtx {
             pool,
             config,
             adaptive: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -57,7 +62,21 @@ impl SerCtx {
             pool,
             config,
             adaptive: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle: future [`crate::CFBytes`] constructions
+    /// log their copy-vs-zero-copy decisions, and the registry/arena
+    /// statistic cells are registered as external `mem.*` metrics.
+    pub fn install_telemetry(&mut self, tele: &Telemetry) {
+        for (name, cell) in self.registry.stats().cells() {
+            tele.register_external(name, cell);
+        }
+        for (name, cell) in self.arena.stats().cells() {
+            tele.register_external(name, cell);
+        }
+        self.telemetry = tele.clone();
     }
 
     /// Enables the self-tuning threshold, seeded from the static one.

@@ -65,7 +65,11 @@ impl ListElem for CFBytes {
             CFBytes::Copied(_) => w.assign_copy(len),
             CFBytes::ZeroCopy(_) => w.assign_zc(len),
         };
-        ForwardPtr { offset, len: len as u32 }.put(w.buf(), entry);
+        ForwardPtr {
+            offset,
+            len: len as u32,
+        }
+        .put(w.buf(), entry);
         w.count_entry();
     }
 
@@ -557,15 +561,17 @@ mod tests {
     fn primlist_view_is_readonly() {
         let c = ctx();
         // Build a fake packed payload and read it as a view.
-        let payload = c.pool.alloc_from(&{
-            // entry at offset 0: offset=8, count=1; data at 8..16.
-            let mut v = vec![0u8; 16];
-            crate::wire::put_u32(&mut v, 0, 8);
-            crate::wire::put_u32(&mut v, 4, 1);
-            crate::wire::put_u64(&mut v, 8, 7);
-            v
-        })
-        .unwrap();
+        let payload = c
+            .pool
+            .alloc_from(&{
+                // entry at offset 0: offset=8, count=1; data at 8..16.
+                let mut v = vec![0u8; 16];
+                crate::wire::put_u32(&mut v, 0, 8);
+                crate::wire::put_u32(&mut v, 4, 1);
+                crate::wire::put_u64(&mut v, 8, 7);
+                v
+            })
+            .unwrap();
         let mut l = PrimList::<u64>::read(&c, &payload, 0).unwrap();
         assert_eq!(l.get(0), Some(7));
         l.push(8); // must panic

@@ -566,7 +566,11 @@ impl CornflakesObj for Batch {
             + bitmap_bytes(Self::NUM_FIELDS)
             + self.id.map_or(0, |_| 4)
             + if self.pairs.is_empty() { 0 } else { PTR_SIZE }
-            + if self.versions.is_empty() { 0 } else { PTR_SIZE }
+            + if self.versions.is_empty() {
+                0
+            } else {
+                PTR_SIZE
+            }
     }
 
     fn aux_bytes(&self) -> usize {
@@ -657,7 +661,11 @@ impl CornflakesObj for Batch {
             cursor + PTR_SIZE - block,
             present,
         );
-        Ok(Batch { id, pairs, versions })
+        Ok(Batch {
+            id,
+            pairs,
+            versions,
+        })
     }
 }
 

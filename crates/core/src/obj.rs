@@ -43,7 +43,6 @@ impl<'a> HeaderWriter<'a> {
             copy_cursor: copy_start,
             zc_cursor: zc_start,
 
-
             entries: 0,
         }
     }
@@ -168,7 +167,11 @@ pub trait CornflakesObj: Sized {
 /// Panics if `out` is not exactly the header region size.
 pub fn write_full_header(obj: &impl CornflakesObj, out: &mut [u8]) -> usize {
     let hb = obj.header_bytes();
-    assert_eq!(out.len(), hb, "header buffer must be exactly header_bytes()");
+    assert_eq!(
+        out.len(),
+        hb,
+        "header buffer must be exactly header_bytes()"
+    );
     let copy_start = hb;
     let zc_start = hb + obj.copy_bytes();
     let mut w = HeaderWriter::new(out, copy_start, zc_start);
@@ -200,9 +203,15 @@ pub fn serialize_to_vec(obj: &impl CornflakesObj) -> Vec<u8> {
 /// Charges the virtual-time cost of deserializing a header block: a read of
 /// the block plus per-field pointer decoding. Implementations call this once
 /// per block.
-pub fn charge_deserialize(ctx: &SerCtx, block_addr: u64, block_bytes: usize, present_fields: usize) {
+pub fn charge_deserialize(
+    ctx: &SerCtx,
+    block_addr: u64,
+    block_bytes: usize,
+    present_fields: usize,
+) {
     let costs = ctx.sim.costs();
-    ctx.sim.charge(Category::Deserialize, costs.header_fixed * 0.5);
+    ctx.sim
+        .charge(Category::Deserialize, costs.header_fixed * 0.5);
     ctx.sim
         .charge_read(Category::Deserialize, block_addr, block_bytes);
     ctx.sim.charge(

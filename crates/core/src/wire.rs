@@ -78,8 +78,15 @@ impl fmt::Display for WireError {
             WireError::Truncated { needed, available } => {
                 write!(f, "truncated: needed {needed} bytes, had {available}")
             }
-            WireError::BadOffset { offset, len, payload } => {
-                write!(f, "bad forward pointer: [{offset}, {offset}+{len}) outside payload of {payload}")
+            WireError::BadOffset {
+                offset,
+                len,
+                payload,
+            } => {
+                write!(
+                    f,
+                    "bad forward pointer: [{offset}, {offset}+{len}) outside payload of {payload}"
+                )
             }
             WireError::BadBitmap { found, expected } => {
                 write!(f, "bitmap of {found} bytes, schema expects {expected}")
@@ -224,13 +231,19 @@ mod tests {
         let b = [0u8; 6];
         assert!(matches!(get_u32(&b, 4), Err(WireError::Truncated { .. })));
         assert!(matches!(get_u64(&b, 0), Err(WireError::Truncated { .. })));
-        assert!(matches!(get_u32(&b, usize::MAX - 1), Err(WireError::TooLarge)));
+        assert!(matches!(
+            get_u32(&b, usize::MAX - 1),
+            Err(WireError::TooLarge)
+        ));
     }
 
     #[test]
     fn forward_ptr_roundtrip() {
         let mut b = [0u8; 8];
-        let p = ForwardPtr { offset: 100, len: 42 };
+        let p = ForwardPtr {
+            offset: 100,
+            len: 42,
+        };
         p.put(&mut b, 0);
         assert_eq!(ForwardPtr::get(&b, 0).unwrap(), p);
     }
@@ -240,7 +253,10 @@ mod tests {
         let p = ForwardPtr { offset: 10, len: 0 };
         assert_eq!(p.check_range(5, 20).unwrap(), (10, 15));
         assert!(p.check_range(11, 20).is_err());
-        let evil = ForwardPtr { offset: u32::MAX, len: 0 };
+        let evil = ForwardPtr {
+            offset: u32::MAX,
+            len: 0,
+        };
         assert!(evil.check_range(usize::MAX, 100).is_err());
     }
 
@@ -260,7 +276,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = WireError::BadOffset { offset: 9, len: 8, payload: 10 };
+        let e = WireError::BadOffset {
+            offset: 9,
+            len: 8,
+            payload: 10,
+        };
         assert!(e.to_string().contains("bad forward pointer"));
     }
 }

@@ -134,7 +134,11 @@ fn nested_batch_roundtrip() {
             key: Some(CFBytes::new(&tx, format!("key-{i}").as_bytes())),
             val: Some(CFBytes::new(
                 &tx,
-                if i == 2 { pinned.as_slice() } else { b"small-value" },
+                if i == 2 {
+                    pinned.as_slice()
+                } else {
+                    b"small-value"
+                },
             )),
         });
         b.versions.push(1000 + i as u64);
@@ -146,7 +150,10 @@ fn nested_batch_roundtrip() {
     assert_eq!(d.pairs.len(), 4);
     for i in 0..4usize {
         let p = d.pairs.get(i).unwrap();
-        assert_eq!(p.key.as_ref().unwrap().as_slice(), format!("key-{i}").as_bytes());
+        assert_eq!(
+            p.key.as_ref().unwrap().as_slice(),
+            format!("key-{i}").as_bytes()
+        );
         if i == 2 {
             assert_eq!(p.val.as_ref().unwrap().len(), 1500);
         } else {
@@ -210,7 +217,10 @@ fn deserialize_rejects_truncated_packet() {
     m.keys.append(CFBytes::new(&tx, b"some-key-bytes"));
     let wire = serialize_to_vec(&m);
     for cut in [0, 2, 7, wire.len() / 2] {
-        let pkt = rx.pool.alloc_from(&wire[..cut.min(wire.len() - 1)]).unwrap();
+        let pkt = rx
+            .pool
+            .alloc_from(&wire[..cut.min(wire.len() - 1)])
+            .unwrap();
         let r = GetM::deserialize(&rx, &pkt);
         assert!(r.is_err(), "cut at {cut} must fail");
     }
@@ -247,7 +257,10 @@ fn deserialize_rejects_wrong_bitmap_len() {
     let pkt = rx.pool.alloc_from(&wire).unwrap();
     assert!(matches!(
         GetM::deserialize(&rx, &pkt),
-        Err(WireError::BadBitmap { found: 12, expected: 4 })
+        Err(WireError::BadBitmap {
+            found: 12,
+            expected: 4
+        })
     ));
 }
 
@@ -308,7 +321,10 @@ fn list_of_nested_messages_in_cflist() {
     let wire = serialize_to_vec(&outer);
     let pkt = rx.pool.alloc_from(&wire).unwrap();
     let d = Batch::deserialize(&rx, &pkt).unwrap();
-    assert_eq!(d.pairs.get(0).unwrap().key.as_ref().unwrap().as_slice(), b"alpha");
+    assert_eq!(
+        d.pairs.get(0).unwrap().key.as_ref().unwrap().as_slice(),
+        b"alpha"
+    );
     // CFList<Batch> type-checks and round-trips as a nested list element.
     let _list: CFList<Batch> = CFList::new();
 }

@@ -54,8 +54,7 @@ pub fn client_server_pair(
     let (cp, sp) = link();
     let client_sim = Sim::new(MachineProfile::cloudlab_c6525());
     let client_stack = UdpStack::new(client_sim, cp, CLIENT_PORT, SerializationConfig::hybrid());
-    let server_stack =
-        UdpStack::with_pool_config(server_sim, sp, SERVER_PORT, config, server_pool);
+    let server_stack = UdpStack::with_pool_config(server_sim, sp, SERVER_PORT, config, server_pool);
     (
         KvClient {
             stack: client_stack,

@@ -182,8 +182,7 @@ impl EchoServer {
         let header = build_all_copied_header(&req);
         sim.charge(
             Category::HeaderWrite,
-            sim.costs().header_fixed
-                + req.vals.len() as f64 * sim.costs().per_field,
+            sim.costs().header_fixed + req.vals.len() as f64 * sim.costs().per_field,
         );
         tx.write_at(HEADER_BYTES, &header);
         let mut cursor = HEADER_BYTES + header.len();

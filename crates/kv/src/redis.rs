@@ -157,12 +157,7 @@ impl RedisServer {
         let _ = self.stack.send_built(hdr, tx, out.len());
     }
 
-    fn send_values(
-        &mut self,
-        hdr: cf_net::PacketHeader,
-        req_id: u32,
-        vals: Vec<cf_mem::RcBuf>,
-    ) {
+    fn send_values(&mut self, hdr: cf_net::PacketHeader, req_id: u32, vals: Vec<cf_mem::RcBuf>) {
         match self.backend {
             RedisBackend::Resp => {
                 // Handwritten serialization: RESP framing + value copies

@@ -4,6 +4,7 @@
 
 use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
 use cf_sim::cost::Category;
+use cf_telemetry::{Counter, Telemetry};
 use cornflakes_core::{CFBytes, CornflakesObj};
 
 use cf_baselines::capnlite::{CapnGetM, CapnReader};
@@ -48,6 +49,25 @@ impl SerKind {
             SerKind::CapnProto,
         ]
     }
+
+    /// Lowercase key used in metric names (`kv.<key>.requests` etc.).
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            SerKind::Cornflakes => "cornflakes",
+            SerKind::Protobuf => "protobuf",
+            SerKind::FlatBuffers => "flatbuffers",
+            SerKind::CapnProto => "capnproto",
+        }
+    }
+}
+
+/// Per-[`SerKind`] server counters; default handles are unregistered no-ops.
+#[derive(Debug, Default)]
+struct KvCounters {
+    requests: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    zero_copy_entries: Counter,
 }
 
 /// The key-value server: store + datapath + serialization strategy.
@@ -65,6 +85,7 @@ pub struct KvServer {
     /// memory-safety bookkeeping entirely and post value buffers directly.
     /// Only meaningful with [`SerKind::Cornflakes`].
     pub raw_zero_copy: bool,
+    counters: KvCounters,
 }
 
 impl KvServer {
@@ -77,13 +98,35 @@ impl KvServer {
             kind,
             put_segment_size: 8192,
             raw_zero_copy: false,
+            counters: KvCounters::default(),
         }
+    }
+
+    /// Wires the server into a telemetry handle: the datapath/NIC/memory
+    /// metrics via [`UdpStack::set_telemetry`], plus per-[`SerKind`]
+    /// `kv.<kind>.*` counters and a span tree per handled request.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.stack.set_telemetry(tele);
+        let k = self.kind.metric_key();
+        self.counters = KvCounters {
+            requests: tele.counter(&format!("kv.{k}.requests")),
+            bytes_in: tele.counter(&format!("kv.{k}.bytes_in")),
+            bytes_out: tele.counter(&format!("kv.{k}.bytes_out")),
+            zero_copy_entries: tele.counter(&format!("kv.{k}.zero_copy_entries")),
+        };
     }
 
     /// Processes all pending requests; returns how many were handled.
     pub fn poll(&mut self) -> usize {
         let mut n = 0;
-        while let Some(pkt) = self.stack.recv_packet() {
+        loop {
+            let pkt = {
+                // Receive-path charges (header parse, RX base) land in their
+                // own root span; request processing gets a span per packet.
+                let _rx = self.stack.telemetry().span("rx");
+                self.stack.recv_packet()
+            };
+            let Some(pkt) = pkt else { break };
             self.handle(pkt);
             n += 1;
         }
@@ -92,12 +135,20 @@ impl KvServer {
 
     /// Handles one request packet.
     pub fn handle(&mut self, pkt: Packet) {
+        let tele = self.stack.telemetry().clone();
+        let _req = tele.request_span("request", u64::from(pkt.hdr.meta.req_id));
+        self.counters.requests.inc();
+        self.counters.bytes_in.add(pkt.frame.len() as u64);
+        let tx_before = self.stack.nic_stats().tx_bytes;
         match self.kind {
             SerKind::Cornflakes => self.handle_cornflakes(pkt),
             SerKind::Protobuf => self.handle_protobuf(pkt),
             SerKind::FlatBuffers => self.handle_flatbuffers(pkt),
             SerKind::CapnProto => self.handle_capnproto(pkt),
         }
+        self.counters
+            .bytes_out
+            .add(self.stack.nic_stats().tx_bytes - tx_before);
     }
 
     fn reply_meta(pkt: &Packet) -> FrameMeta {
@@ -111,15 +162,20 @@ impl KvServer {
     // ---- Cornflakes ----------------------------------------------------
 
     fn handle_cornflakes(&mut self, pkt: Packet) {
+        let tele = self.stack.telemetry().clone();
         let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
         let mut resp = GetMsg::new();
         resp.id = pkt.hdr.meta.req_id.checked_into_i32();
         {
             let ctx = self.stack.ctx();
-            let req = match GetMsg::deserialize(ctx, &pkt.payload) {
-                Ok(r) => r,
-                Err(_) => return, // malformed request: drop, as the paper's server would
+            let req = {
+                let _de = tele.span("deserialize");
+                match GetMsg::deserialize(ctx, &pkt.payload) {
+                    Ok(r) => r,
+                    Err(_) => return, // malformed request: drop, as the paper's server would
+                }
             };
+            let _app = tele.span("app");
             match pkt.hdr.meta.msg_type {
                 msg_type::PUT => {
                     let (Some(key), Some(val)) = (req.keys.get(0), req.vals.get(0)) else {
@@ -127,8 +183,7 @@ impl KvServer {
                     };
                     let (key, val) = (key.as_slice().to_vec(), val.as_slice().to_vec());
                     drop(req);
-                    self.store
-                        .put(ctx, &key, &val, self.put_segment_size);
+                    self.store.put(ctx, &key, &val, self.put_segment_size);
                 }
                 msg_type::GET_SEGMENT => {
                     let Some(key) = req.keys.get(0) else { return };
@@ -162,6 +217,10 @@ impl KvServer {
                 }
             }
         }
+        self.counters
+            .zero_copy_entries
+            .add(resp.zero_copy_entries() as u64);
+        let _tx = tele.span("tx");
         let _ = if self.stack.ctx().config.serialize_and_send {
             self.stack.send_object(hdr, &resp)
         } else {

@@ -121,7 +121,8 @@ impl KvStore {
         }
         for chunk in data.chunks(segment_size) {
             let mut buf = ctx.pool.alloc(chunk.len()).expect("pool exhausted");
-            ctx.sim.charge(Category::AppPut, ctx.sim.costs().arena_alloc);
+            ctx.sim
+                .charge(Category::AppPut, ctx.sim.costs().arena_alloc);
             ctx.sim.charge_memcpy(
                 Category::AppPut,
                 chunk.as_ptr() as u64,

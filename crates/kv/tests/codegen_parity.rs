@@ -40,7 +40,10 @@ fn generated_and_handwritten_encodings_match() {
 
     assert_eq!(generated.object_len(), handwritten.object_len());
     assert_eq!(generated.header_bytes(), handwritten.header_bytes());
-    assert_eq!(generated.zero_copy_entries(), handwritten.zero_copy_entries());
+    assert_eq!(
+        generated.zero_copy_entries(),
+        handwritten.zero_copy_entries()
+    );
     assert_eq!(
         serialize_to_vec(&generated),
         serialize_to_vec(&handwritten),
@@ -90,10 +93,7 @@ fn generated_nested_messages_roundtrip() {
     let d = BatchMsg::deserialize(&rx, &pkt).unwrap();
     assert_eq!(d.get_id(), Some(99));
     assert_eq!(d.get_pairs().len(), 3);
-    assert_eq!(
-        d.get_pairs().get(1).unwrap().get_val().unwrap().len(),
-        1024
-    );
+    assert_eq!(d.get_pairs().get(1).unwrap().get_val().unwrap().len(), 1024);
     assert_eq!(
         d.get_pairs().get(2).unwrap().get_key().unwrap().as_slice(),
         b"k2"

@@ -69,8 +69,7 @@ fn redis_roundtrip(backend: RedisBackend) {
     server.poll();
     let pkt = client.recv_packet().expect("reply");
     let sim = client.sim().clone();
-    let vals =
-        redis_client::decode_response(&sim, client.ctx(), backend, &pkt.payload).unwrap();
+    let vals = redis_client::decode_response(&sim, client.ctx(), backend, &pkt.payload).unwrap();
     assert_eq!(vals.len(), 1, "{backend:?}");
     assert_eq!(vals[0], value, "{backend:?}");
 }
@@ -293,7 +292,11 @@ fn echo_variant_cost_ordering_matches_figure_2() {
             costs[&w[1]]
         );
     }
-    for lib in [EchoKind::Protobuf, EchoKind::FlatBuffers, EchoKind::CapnProto] {
+    for lib in [
+        EchoKind::Protobuf,
+        EchoKind::FlatBuffers,
+        EchoKind::CapnProto,
+    ] {
         assert!(
             costs[&lib] > costs[&EchoKind::TwoCopy],
             "{lib:?} ({}) should cost more than two-copy ({})",

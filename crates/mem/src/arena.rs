@@ -10,6 +10,9 @@
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::Ordering;
+
+use crate::stats::ArenaStats;
 
 /// Default arena chunk size: large enough for a jumbo frame of copied
 /// fields plus headers.
@@ -41,8 +44,7 @@ impl Chunk {
 
 impl Drop for Chunk {
     fn drop(&mut self) {
-        let layout =
-            std::alloc::Layout::from_size_align(self.capacity, 64).expect("chunk layout");
+        let layout = std::alloc::Layout::from_size_align(self.capacity, 64).expect("chunk layout");
         // SAFETY: `data` was allocated in `Chunk::new` with this exact
         // layout and is freed exactly once, here.
         unsafe { std::alloc::dealloc(self.data, layout) };
@@ -73,6 +75,7 @@ impl fmt::Debug for Chunk {
 pub struct Arena {
     current: RefCell<Rc<Chunk>>,
     chunk_size: usize,
+    stats: ArenaStats,
 }
 
 impl Default for Arena {
@@ -94,10 +97,18 @@ impl Arena {
     /// Panics if `chunk_size` is zero.
     pub fn with_chunk_size(chunk_size: usize) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
+        let stats = ArenaStats::default();
+        stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
         Arena {
             current: RefCell::new(Chunk::new(chunk_size)),
             chunk_size,
+            stats,
         }
+    }
+
+    /// Shared statistics cells for this arena (copies, bytes, chunk churn).
+    pub fn stats(&self) -> &ArenaStats {
+        &self.stats
     }
 
     /// Copies `src` into the arena, returning a handle to the copy.
@@ -105,8 +116,13 @@ impl Arena {
     /// Allocations larger than the chunk size get a dedicated chunk.
     pub fn copy_in(&self, src: &[u8]) -> ArenaBytes {
         let len = src.len();
+        self.stats.copies.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_copied
+            .fetch_add(len as u64, Ordering::Relaxed);
         if len > self.chunk_size {
             // Oversized: dedicated chunk, not installed as current.
+            self.stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
             let chunk = Chunk::new(len.max(1));
             // SAFETY: the fresh chunk's [0, len) range is exclusively ours.
             unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), chunk.data, len) };
@@ -119,6 +135,7 @@ impl Arena {
         }
         let mut current = self.current.borrow_mut();
         if current.used.get() + len > current.capacity {
+            self.stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
             *current = Chunk::new(self.chunk_size);
         }
         let offset = current.used.get();
@@ -140,10 +157,12 @@ impl Arena {
     /// handles reference it, otherwise swaps in a fresh chunk and lets the
     /// old one die when its last handle drops.
     pub fn reset(&self) {
+        self.stats.resets.fetch_add(1, Ordering::Relaxed);
         let mut current = self.current.borrow_mut();
         if Rc::strong_count(&current) == 1 {
             current.used.set(0);
         } else {
+            self.stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
             *current = Chunk::new(self.chunk_size);
         }
     }

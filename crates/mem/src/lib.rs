@@ -37,9 +37,11 @@ pub mod pool;
 pub mod rcbuf;
 pub mod region;
 pub mod registry;
+pub mod stats;
 
 pub use arena::{Arena, ArenaBytes};
 pub use cow::CowBuf;
 pub use pool::{AllocError, PinnedPool, PoolConfig};
 pub use rcbuf::RcBuf;
 pub use registry::Registry;
+pub use stats::{ArenaStats, MemStats};

@@ -9,9 +9,10 @@
 //! configurable cap).
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::rcbuf::RcBuf;
 use crate::region::Region;
@@ -140,17 +141,28 @@ impl PinnedPool {
                 max: self.config.max_class,
             });
         }
-        let mut classes = self.classes.lock();
+        let mut classes = self.classes.lock().unwrap();
         let idx = class_index(self.config.min_class, size);
         let class = &mut classes[idx];
+        let stats = self.registry.stats();
         // Fast path: pop from an existing region.
         for region in &class.regions {
             if let Some(slot) = region.take_slot() {
-                return Ok(RcBuf::from_counted(Arc::clone(region), slot, 0, size as u32));
+                stats.pool_allocs.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .pool_alloc_bytes
+                    .fetch_add(size as u64, Ordering::Relaxed);
+                return Ok(RcBuf::from_counted(
+                    Arc::clone(region),
+                    slot,
+                    0,
+                    size as u32,
+                ));
             }
         }
         // Slow path: grow the class.
         if class.regions.len() >= self.config.max_regions_per_class {
+            stats.pool_exhausted.fetch_add(1, Ordering::Relaxed);
             return Err(AllocError::Exhausted {
                 class: class.slot_size,
             });
@@ -160,6 +172,10 @@ impl PinnedPool {
             .register_region(class.slot_size, self.config.slots_per_region);
         let slot = region.take_slot().expect("fresh region has free slots");
         class.regions.push(Arc::clone(&region));
+        stats.pool_allocs.fetch_add(1, Ordering::Relaxed);
+        stats
+            .pool_alloc_bytes
+            .fetch_add(size as u64, Ordering::Relaxed);
         Ok(RcBuf::from_counted(region, slot, 0, size as u32))
     }
 
@@ -175,6 +191,7 @@ impl PinnedPool {
     pub fn registered_bytes(&self) -> usize {
         self.classes
             .lock()
+            .unwrap()
             .iter()
             .flat_map(|c| c.regions.iter())
             .map(|r| r.len())
@@ -185,6 +202,7 @@ impl PinnedPool {
     pub fn live_slots(&self) -> usize {
         self.classes
             .lock()
+            .unwrap()
             .iter()
             .flat_map(|c| c.regions.iter())
             .map(|r| r.num_slots() - r.free_slots())
@@ -267,7 +285,10 @@ mod tests {
         let p = PinnedPool::new(Registry::new(), cfg);
         let _a = p.alloc(64).unwrap();
         let _b = p.alloc(64).unwrap();
-        assert!(matches!(p.alloc(64), Err(AllocError::Exhausted { class: 64 })));
+        assert!(matches!(
+            p.alloc(64),
+            Err(AllocError::Exhausted { class: 64 })
+        ));
     }
 
     #[test]

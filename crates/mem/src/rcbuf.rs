@@ -56,7 +56,8 @@ impl RcBuf {
 
     /// Address of the first byte of this view.
     pub fn addr(&self) -> u64 {
-        self.region.base_addr() + self.slot as u64 * self.region.slot_size() as u64
+        self.region.base_addr()
+            + self.slot as u64 * self.region.slot_size() as u64
             + self.offset as u64
     }
 

@@ -9,7 +9,9 @@
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
+use crate::stats::MemStats;
 
 /// Alignment of region backing memory. 4 KiB matches page-pinned DMA memory.
 pub const REGION_ALIGN: usize = 4096;
@@ -32,6 +34,8 @@ pub struct Region {
     free: Mutex<Vec<u32>>,
     /// Stable identifier assigned by the registry.
     id: u32,
+    /// Shared statistics cells (slot lifecycle, refcount traffic).
+    stats: MemStats,
 }
 
 // SAFETY: `Region` owns its allocation exclusively; raw-pointer access to
@@ -54,7 +58,16 @@ impl Region {
     /// Panics if `slot_size` is not a power of two, either dimension is
     /// zero, or the allocation fails.
     pub fn new(id: u32, slot_size: usize, num_slots: usize) -> Self {
-        assert!(slot_size.is_power_of_two(), "slot size must be a power of two");
+        Self::with_stats(id, slot_size, num_slots, MemStats::default())
+    }
+
+    /// [`Region::new`] reporting slot/refcount traffic into shared `stats`
+    /// cells (the registry passes its own).
+    pub fn with_stats(id: u32, slot_size: usize, num_slots: usize, stats: MemStats) -> Self {
+        assert!(
+            slot_size.is_power_of_two(),
+            "slot size must be a power of two"
+        );
         assert!(num_slots > 0, "region must have at least one slot");
         let bytes = slot_size
             .checked_mul(num_slots)
@@ -64,8 +77,7 @@ impl Region {
         // alignment; a null return is handled by the explicit panic.
         let base = unsafe { alloc_zeroed(layout) };
         assert!(!base.is_null(), "region allocation of {bytes} bytes failed");
-        let refcounts: Box<[AtomicU32]> =
-            (0..num_slots).map(|_| AtomicU32::new(0)).collect();
+        let refcounts: Box<[AtomicU32]> = (0..num_slots).map(|_| AtomicU32::new(0)).collect();
         // Hand slots out low-to-high for address locality.
         let free = (0..num_slots as u32).rev().collect();
         Region {
@@ -76,6 +88,7 @@ impl Region {
             refcounts,
             free: Mutex::new(free),
             id,
+            stats,
         }
     }
 
@@ -112,7 +125,7 @@ impl Region {
 
     /// Number of currently free slots.
     pub fn free_slots(&self) -> usize {
-        self.free.lock().len()
+        self.free.lock().unwrap().len()
     }
 
     /// Whether `addr` falls inside this region.
@@ -156,9 +169,10 @@ impl Region {
     /// Pops a free slot, setting its refcount to one. Returns `None` when
     /// the region is exhausted.
     pub fn take_slot(&self) -> Option<u32> {
-        let slot = self.free.lock().pop()?;
+        let slot = self.free.lock().unwrap().pop()?;
         let prev = self.refcounts[slot as usize].swap(1, Ordering::AcqRel);
         debug_assert_eq!(prev, 0, "free slot had live references");
+        self.stats.slot_taken();
         Some(slot)
     }
 
@@ -171,6 +185,7 @@ impl Region {
     pub fn incref(&self, slot: u32) {
         let prev = self.refcounts[slot as usize].fetch_add(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "incref on a free slot");
+        self.stats.increfs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decrements the refcount of `slot`; at zero the slot returns to the
@@ -178,8 +193,10 @@ impl Region {
     pub fn decref(&self, slot: u32) {
         let prev = self.refcounts[slot as usize].fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "decref underflow");
+        self.stats.decrefs.fetch_add(1, Ordering::Relaxed);
         if prev == 1 {
-            self.free.lock().push(slot);
+            self.free.lock().unwrap().push(slot);
+            self.stats.slot_freed();
         }
     }
 }

@@ -9,17 +9,20 @@
 //! paper describes.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::rcbuf::RcBuf;
 use crate::region::Region;
+use crate::stats::MemStats;
 
 /// Shared registry of pinned regions. Cheap to clone.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     inner: Arc<RwLock<Inner>>,
+    stats: MemStats,
 }
 
 #[derive(Debug, Default)]
@@ -35,12 +38,31 @@ impl Registry {
         Self::default()
     }
 
+    /// Shared statistics cells for this registry, its regions, and the
+    /// pools allocating from it.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
     /// Allocates and registers a new region.
     pub fn register_region(&self, slot_size: usize, num_slots: usize) -> Arc<Region> {
-        let mut inner = self.inner.write();
-        let region = Arc::new(Region::new(inner.next_id, slot_size, num_slots));
+        let mut inner = self.inner.write().unwrap();
+        let region = Arc::new(Region::with_stats(
+            inner.next_id,
+            slot_size,
+            num_slots,
+            self.stats.clone(),
+        ));
         inner.next_id += 1;
-        inner.by_base.insert(region.base_addr(), Arc::clone(&region));
+        inner
+            .by_base
+            .insert(region.base_addr(), Arc::clone(&region));
+        self.stats
+            .regions_registered
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .registered_bytes
+            .fetch_add(region.len() as u64, Ordering::Relaxed);
         region
     }
 
@@ -48,12 +70,16 @@ impl Registry {
     /// backing memory alive via their `Arc`, but new pointers into it will
     /// no longer be recoverable.
     pub fn unregister_region(&self, region: &Arc<Region>) {
-        self.inner.write().by_base.remove(&region.base_addr());
+        self.inner
+            .write()
+            .unwrap()
+            .by_base
+            .remove(&region.base_addr());
     }
 
     /// Number of registered regions.
     pub fn num_regions(&self) -> usize {
-        self.inner.read().by_base.len()
+        self.inner.read().unwrap().by_base.len()
     }
 
     /// A stable address representing the registry's range-map storage, used
@@ -65,7 +91,7 @@ impl Registry {
 
     /// Looks up the region containing `addr`, if any.
     pub fn region_of(&self, addr: u64) -> Option<Arc<Region>> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().unwrap();
         let (_, region) = inner.by_base.range(..=addr).next_back()?;
         region.contains(addr).then(|| Arc::clone(region))
     }
@@ -83,13 +109,13 @@ impl Registry {
     /// inside a single slot of a registered region. (A zero-copy DMA entry
     /// must reference one contiguous registered allocation.)
     pub fn recover_addr(&self, addr: u64, len: usize) -> Option<RcBuf> {
+        self.stats.recover_lookups.fetch_add(1, Ordering::Relaxed);
         if len == 0 {
             return None;
         }
         let region = self.region_of(addr)?;
         let slot = region.slot_of(addr);
-        let slot_base =
-            region.base_addr() + slot as u64 * region.slot_size() as u64;
+        let slot_base = region.base_addr() + slot as u64 * region.slot_size() as u64;
         let offset = (addr - slot_base) as usize;
         if offset + len > region.slot_size() {
             // Straddles a slot boundary: not a single allocation.
@@ -101,12 +127,8 @@ impl Registry {
             return None;
         }
         region.incref(slot);
-        Some(RcBuf::from_counted(
-            region,
-            slot,
-            offset as u32,
-            len as u32,
-        ))
+        self.stats.recover_hits.fetch_add(1, Ordering::Relaxed);
+        Some(RcBuf::from_counted(region, slot, offset as u32, len as u32))
     }
 
     /// Convenience wrapper over [`Registry::recover_addr`] for slices.
@@ -181,11 +203,13 @@ mod tests {
         let base = region.base_addr();
         assert!(reg.region_of(base).is_some());
         assert!(reg.region_of(base + 1023).is_some());
-        assert!(reg.region_of(base + 1024).is_none() || {
-            // Another region could legitimately start right after; only
-            // assert it is not *this* region.
-            reg.region_of(base + 1024).unwrap().base_addr() != base
-        });
+        assert!(
+            reg.region_of(base + 1024).is_none() || {
+                // Another region could legitimately start right after; only
+                // assert it is not *this* region.
+                reg.region_of(base + 1024).unwrap().base_addr() != base
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Thread-safe memory statistics.
+//!
+//! `cf-mem` is the one crate in the workspace that must stay `Send`/`Sync`
+//! (regions and `RcBuf`s cross simulated-machine boundaries), so it cannot
+//! hold an `Rc`-based telemetry handle. Instead each statistic is a shared
+//! `Arc<AtomicU64>` cell, updated with `Relaxed` ordering on the owning
+//! structure's normal paths and handed to a metrics registry (see
+//! `cf-telemetry`'s `register_external`) which reads them at snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Statistics for a [`crate::Registry`] and the pool/regions behind it.
+/// Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Successful pool allocations.
+    pub pool_allocs: Arc<AtomicU64>,
+    /// Bytes handed out by successful pool allocations (requested sizes).
+    pub pool_alloc_bytes: Arc<AtomicU64>,
+    /// Slots released back to their region's free list.
+    pub pool_frees: Arc<AtomicU64>,
+    /// Allocations that failed with `AllocError::Exhausted`.
+    pub pool_exhausted: Arc<AtomicU64>,
+    /// Currently live (referenced) slots across all regions.
+    pub live_slots: Arc<AtomicU64>,
+    /// High-water mark of `live_slots`.
+    pub live_slots_high_water: Arc<AtomicU64>,
+    /// Regions registered over the registry's lifetime.
+    pub regions_registered: Arc<AtomicU64>,
+    /// Total bytes of registered region memory.
+    pub registered_bytes: Arc<AtomicU64>,
+    /// Per-slot refcount increments.
+    pub increfs: Arc<AtomicU64>,
+    /// Per-slot refcount decrements.
+    pub decrefs: Arc<AtomicU64>,
+    /// `recover_ptr` lookups attempted through the registry.
+    pub recover_lookups: Arc<AtomicU64>,
+    /// `recover_ptr` lookups that produced an `RcBuf`.
+    pub recover_hits: Arc<AtomicU64>,
+}
+
+impl MemStats {
+    /// Notes one slot becoming live, maintaining the high-water mark.
+    pub(crate) fn slot_taken(&self) {
+        let live = self.live_slots.fetch_add(1, Ordering::Relaxed) + 1;
+        self.live_slots_high_water
+            .fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Notes one slot returning to the free list.
+    pub(crate) fn slot_freed(&self) {
+        self.live_slots.fetch_sub(1, Ordering::Relaxed);
+        self.pool_frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All cells with their canonical metric names, for bulk registration
+    /// into a metrics registry.
+    pub fn cells(&self) -> Vec<(&'static str, Arc<AtomicU64>)> {
+        vec![
+            ("mem.pool.allocs", Arc::clone(&self.pool_allocs)),
+            ("mem.pool.alloc_bytes", Arc::clone(&self.pool_alloc_bytes)),
+            ("mem.pool.frees", Arc::clone(&self.pool_frees)),
+            ("mem.pool.exhausted", Arc::clone(&self.pool_exhausted)),
+            ("mem.pool.live_slots", Arc::clone(&self.live_slots)),
+            (
+                "mem.pool.live_slots_high_water",
+                Arc::clone(&self.live_slots_high_water),
+            ),
+            ("mem.registry.regions", Arc::clone(&self.regions_registered)),
+            (
+                "mem.registry.registered_bytes",
+                Arc::clone(&self.registered_bytes),
+            ),
+            ("mem.rcbuf.increfs", Arc::clone(&self.increfs)),
+            ("mem.rcbuf.decrefs", Arc::clone(&self.decrefs)),
+            (
+                "mem.registry.recover_lookups",
+                Arc::clone(&self.recover_lookups),
+            ),
+            ("mem.registry.recover_hits", Arc::clone(&self.recover_hits)),
+        ]
+    }
+}
+
+/// Statistics for one [`crate::Arena`]. Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaStats {
+    /// `copy_in` calls.
+    pub copies: Arc<AtomicU64>,
+    /// Bytes copied into the arena.
+    pub bytes_copied: Arc<AtomicU64>,
+    /// Chunks allocated (including the initial one and oversized chunks).
+    pub chunks_allocated: Arc<AtomicU64>,
+    /// `reset` calls.
+    pub resets: Arc<AtomicU64>,
+}
+
+impl ArenaStats {
+    /// All cells with their canonical metric names.
+    pub fn cells(&self) -> Vec<(&'static str, Arc<AtomicU64>)> {
+        vec![
+            ("mem.arena.copies", Arc::clone(&self.copies)),
+            ("mem.arena.bytes_copied", Arc::clone(&self.bytes_copied)),
+            (
+                "mem.arena.chunks_allocated",
+                Arc::clone(&self.chunks_allocated),
+            ),
+            ("mem.arena.resets", Arc::clone(&self.resets)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let s = MemStats::default();
+        s.slot_taken();
+        s.slot_taken();
+        s.slot_taken();
+        s.slot_freed();
+        s.slot_freed();
+        assert_eq!(s.live_slots.load(Ordering::Relaxed), 1);
+        assert_eq!(s.live_slots_high_water.load(Ordering::Relaxed), 3);
+        assert_eq!(s.pool_frees.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let a = MemStats::default();
+        let b = a.clone();
+        a.increfs.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(b.increfs.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn cell_names_are_unique() {
+        let names: Vec<&str> = MemStats::default()
+            .cells()
+            .into_iter()
+            .map(|(n, _)| n)
+            .chain(ArenaStats::default().cells().into_iter().map(|(n, _)| n))
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -20,6 +20,7 @@ use cf_mem::{PoolConfig, RcBuf};
 use cf_nic::{Nic, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
+use cf_telemetry::{Counter, Telemetry};
 use cornflakes_core::obj::write_full_header;
 use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
 
@@ -61,6 +62,14 @@ struct TxRecord {
     sent_at: u64,
 }
 
+/// Cached TCP metric handles; default handles are unregistered no-ops.
+#[derive(Debug, Default)]
+struct TcpCounters {
+    msgs_sent: Counter,
+    msgs_received: Counter,
+    retransmissions: Counter,
+}
+
 /// A TCP connection endpoint.
 pub struct TcpStack {
     ctx: SerCtx,
@@ -76,6 +85,7 @@ pub struct TcpStack {
     rto_ns: u64,
     scratch: Vec<u8>,
     retransmissions: u64,
+    counters: TcpCounters,
 }
 
 impl TcpStack {
@@ -96,7 +106,20 @@ impl TcpStack {
             rto_ns: DEFAULT_RTO_NS,
             scratch: Vec::with_capacity(4096),
             retransmissions: 0,
+            counters: TcpCounters::default(),
         }
+    }
+
+    /// Wires this endpoint into a telemetry handle: `net.tcp.*` message
+    /// counters plus the NIC, memory, and serializer-decision metrics.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.ctx.install_telemetry(tele);
+        self.nic.set_telemetry(tele);
+        self.counters = TcpCounters {
+            msgs_sent: tele.counter("net.tcp.msgs_sent"),
+            msgs_received: tele.counter("net.tcp.msgs_received"),
+            retransmissions: tele.counter("net.tcp.retransmissions"),
+        };
     }
 
     /// The serialization context.
@@ -258,6 +281,7 @@ impl TcpStack {
         });
         self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
         self.ctx.end_request();
+        self.counters.msgs_sent.inc();
         Ok(())
     }
 
@@ -275,10 +299,7 @@ impl TcpStack {
             .sim
             .charge(Category::Tx, costs.per_packet_base * 0.55);
         let stream_len = 4 + data.len() as u32;
-        let mut buf = self
-            .ctx
-            .pool
-            .alloc(TCP_HEADER_BYTES + 4 + data.len())?;
+        let mut buf = self.ctx.pool.alloc(TCP_HEADER_BYTES + 4 + data.len())?;
         let hdr = self.header(self.snd_nxt, self.rcv_nxt, FLAG_ACK);
         buf.write_at(0, &hdr);
         buf.write_at(TCP_HEADER_BYTES, &(data.len() as u32).to_le_bytes());
@@ -299,6 +320,7 @@ impl TcpStack {
             sent_at: self.ctx.sim.now(),
         });
         self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
+        self.counters.msgs_sent.inc();
         Ok(())
     }
 
@@ -407,6 +429,7 @@ impl TcpStack {
             rec.sent_at = now;
             let entries = rec.entries.clone();
             self.retransmissions += 1;
+            self.counters.retransmissions.inc();
             self.nic.post_tx(entries)?;
             self.nic.poll_completions();
         }
@@ -440,6 +463,7 @@ impl TcpStack {
         }
         buf.truncate(len);
         self.reasm.drain(..4 + len);
+        self.counters.msgs_received.inc();
         Some(buf)
     }
 }

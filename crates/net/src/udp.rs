@@ -6,6 +6,7 @@ use cf_mem::{AllocError, PoolConfig, RcBuf};
 use cf_nic::{Nic, NicError, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
+use cf_telemetry::{Counter, Telemetry};
 use cornflakes_core::obj::write_full_header;
 use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
 
@@ -67,12 +68,21 @@ pub struct Packet {
 /// the simulated NIC. All virtual-time costs of the datapath are charged
 /// here or in the NIC; application/serialization costs are charged by
 /// [`cornflakes_core`].
+/// Cached datapath counters; default handles are unregistered no-ops.
+#[derive(Debug, Default)]
+struct UdpCounters {
+    rx_packets: Counter,
+    rx_runt_drops: Counter,
+    tx_packets: Counter,
+}
+
 pub struct UdpStack {
     ctx: SerCtx,
     nic: Nic,
     local_port: u16,
     scratch: Vec<u8>,
     auto_complete: bool,
+    counters: UdpCounters,
 }
 
 impl UdpStack {
@@ -98,7 +108,27 @@ impl UdpStack {
             local_port,
             scratch: Vec::with_capacity(4096),
             auto_complete: true,
+            counters: UdpCounters::default(),
         }
+    }
+
+    /// Wires this stack (and its NIC and serialization context) into a
+    /// telemetry handle: `net.udp.*` packet counters, `nic.*` counters,
+    /// `mem.*` external metrics, and serializer decision logging.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.ctx.install_telemetry(tele);
+        self.nic.set_telemetry(tele);
+        self.counters = UdpCounters {
+            rx_packets: tele.counter("net.udp.rx_packets"),
+            rx_runt_drops: tele.counter("net.udp.rx_runt_drops"),
+            tx_packets: tele.counter("net.udp.tx_packets"),
+        };
+    }
+
+    /// The telemetry handle installed via [`UdpStack::set_telemetry`]
+    /// (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctx.telemetry
     }
 
     /// The serialization context (registry, arena, pool, config).
@@ -153,10 +183,19 @@ impl UdpStack {
             .charge(Category::Rx, costs.per_packet_base * 0.45);
         let hdr = match PacketHeader::decode(frame.as_slice()) {
             Ok(h) => h,
-            Err(_) => return None, // runt frames are dropped, as hardware would
+            Err(_) => {
+                // Runt frames are dropped, as hardware would drop them.
+                self.counters.rx_runt_drops.inc();
+                return None;
+            }
         };
+        self.counters.rx_packets.inc();
         let payload = frame.slice(HEADER_BYTES, frame.len() - HEADER_BYTES);
-        Some(Packet { hdr, frame, payload })
+        Some(Packet {
+            hdr,
+            frame,
+            payload,
+        })
     }
 
     fn charge_tx_base(&self) {
@@ -164,6 +203,7 @@ impl UdpStack {
         self.ctx
             .sim
             .charge(Category::Tx, costs.per_packet_base * 0.55);
+        self.counters.tx_packets.inc();
     }
 
     fn finish_tx(&mut self) {
@@ -184,7 +224,11 @@ impl UdpStack {
     ) -> Result<RcBuf, NetError> {
         let hb = obj.header_bytes();
         let cb = obj.copy_bytes();
-        let base = if include_packet_header { HEADER_BYTES } else { 0 };
+        let base = if include_packet_header {
+            HEADER_BYTES
+        } else {
+            0
+        };
         let mut tx = self.ctx.pool.alloc(base + hb + cb)?;
         let costs = self.ctx.sim.costs();
 

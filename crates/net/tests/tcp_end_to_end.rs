@@ -3,12 +3,11 @@
 
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
-
+use cf_net::TcpStack;
 use cf_nic::link;
 use cf_sim::{Clock, MachineProfile, Sim};
 use cornflakes_core::msgs::Single;
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
-use cf_net::TcpStack;
 
 /// Builds a connected pair sharing one clock so RTO timing is coherent.
 fn established_pair() -> (TcpStack, TcpStack, Clock) {

@@ -4,14 +4,13 @@
 
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
-
 use proptest::prelude::*;
 
+use cf_net::TcpStack;
 use cf_nic::link;
 use cf_sim::{MachineProfile, Sim};
 use cornflakes_core::msgs::Single;
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
-use cf_net::TcpStack;
 
 fn established_pair() -> (TcpStack, TcpStack, Sim) {
     let sim = Sim::new(MachineProfile::tiny_for_tests());

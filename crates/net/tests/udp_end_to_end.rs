@@ -2,12 +2,11 @@
 
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
-
+use cf_net::{FrameMeta, UdpStack};
 use cf_nic::link;
 use cf_sim::{MachineProfile, Sim};
 use cornflakes_core::msgs::{GetM, Single};
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
-use cf_net::{FrameMeta, UdpStack};
 
 fn pair() -> (UdpStack, UdpStack) {
     let (pa, pb) = link();
@@ -212,6 +211,58 @@ fn service_time_depends_on_serialization_strategy() {
         cp_cost > zc_cost + 500,
         "8 KiB copy ({cp_cost} ns) should dwarf zero-copy bookkeeping ({zc_cost} ns)"
     );
+}
+
+#[test]
+fn kv_server_counters_flow_through_udp_stack() {
+    // The per-SerKind counters the KV server registers (requests served,
+    // bytes in/out, zero-copy entries posted) must agree with what actually
+    // crossed this UDP stack's wire.
+    use cf_kv::client::client_server_pair;
+    use cf_kv::server::SerKind;
+    use cf_mem::PoolConfig;
+    use cf_telemetry::Telemetry;
+
+    let server_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (mut client, mut server) = client_server_pair(
+        server_sim.clone(),
+        SerKind::Cornflakes,
+        SerializationConfig::hybrid(),
+        PoolConfig::default(),
+    );
+    // One value above the hybrid threshold (zero-copy) and one below.
+    server
+        .store
+        .preload(server.stack.ctx(), b"big", &[2048])
+        .unwrap();
+    server
+        .store
+        .preload(server.stack.ctx(), b"small", &[64])
+        .unwrap();
+
+    let tele = Telemetry::attach(&server_sim);
+    server.set_telemetry(&tele);
+
+    let requests = 6u64;
+    for i in 0..requests {
+        let key: &[u8] = if i % 2 == 0 { b"big" } else { b"small" };
+        client.send_get(&[key]);
+        server.poll();
+        client.recv_response().expect("response");
+    }
+    // The NIC's own view of the wire, for comparison.
+    let rx_total = server.stack.nic_stats().rx_bytes;
+    let tx_total = server.stack.nic_stats().tx_bytes;
+
+    assert_eq!(tele.counter_value("kv.cornflakes.requests"), requests);
+    assert_eq!(tele.counter_value("kv.cornflakes.bytes_in"), rx_total);
+    assert_eq!(tele.counter_value("kv.cornflakes.bytes_out"), tx_total);
+    // 3 of the 6 responses carried the 2048 B value zero-copy.
+    assert_eq!(tele.counter_value("kv.cornflakes.zero_copy_entries"), 3);
+    assert!(tx_total > 3 * 2048, "responses actually carried the values");
+    // The stack-level counters the server's telemetry wires in agree.
+    assert_eq!(tele.counter_value("net.udp.rx_packets"), requests);
+    assert_eq!(tele.counter_value("net.udp.tx_packets"), requests);
 }
 
 #[test]

@@ -7,6 +7,7 @@ use std::fmt;
 use cf_mem::{PinnedPool, RcBuf};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
+use cf_telemetry::{Counter, Telemetry};
 
 use crate::frame::{Frame, Port};
 use crate::MAX_FRAME;
@@ -35,10 +36,16 @@ impl fmt::Display for NicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NicError::TooManySgEntries { requested, max } => {
-                write!(f, "descriptor has {requested} SG entries, NIC supports {max}")
+                write!(
+                    f,
+                    "descriptor has {requested} SG entries, NIC supports {max}"
+                )
             }
             NicError::FrameTooLarge { size } => {
-                write!(f, "gathered frame of {size} bytes exceeds {MAX_FRAME}-byte MTU")
+                write!(
+                    f,
+                    "gathered frame of {size} bytes exceeds {MAX_FRAME}-byte MTU"
+                )
             }
             NicError::EmptyDescriptor => write!(f, "empty transmit descriptor"),
         }
@@ -62,6 +69,19 @@ pub struct NicStats {
     pub rx_bytes: u64,
 }
 
+/// Cached metric handles mirroring [`NicStats`] into a telemetry registry.
+/// Default handles are functional but unregistered, so the hot path never
+/// branches on whether telemetry is attached.
+#[derive(Debug, Default)]
+struct NicCounters {
+    tx_frames: Counter,
+    tx_bytes: Counter,
+    tx_sg_entries: Counter,
+    rx_frames: Counter,
+    rx_bytes: Counter,
+    completions: Counter,
+}
+
 /// A simulated scatter-gather NIC attached to one wire port.
 pub struct Nic {
     sim: Sim,
@@ -70,6 +90,7 @@ pub struct Nic {
     /// polled. Each inner vec is one descriptor's entries.
     completion_queue: VecDeque<Vec<RcBuf>>,
     stats: NicStats,
+    counters: NicCounters,
 }
 
 impl Nic {
@@ -81,7 +102,27 @@ impl Nic {
             port,
             completion_queue: VecDeque::new(),
             stats: NicStats::default(),
+            counters: NicCounters::default(),
         }
+    }
+
+    /// Mirrors this NIC's counters into `tele`'s metrics registry under the
+    /// `nic.*` names. Counters registered before any traffic flows start at
+    /// zero; attaching mid-run seeds them with the totals so far.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.counters = NicCounters {
+            tx_frames: tele.counter("nic.tx_frames"),
+            tx_bytes: tele.counter("nic.tx_bytes"),
+            tx_sg_entries: tele.counter("nic.tx_sg_entries"),
+            rx_frames: tele.counter("nic.rx_frames"),
+            rx_bytes: tele.counter("nic.rx_bytes"),
+            completions: tele.counter("nic.completions"),
+        };
+        self.counters.tx_frames.add(self.stats.tx_frames);
+        self.counters.tx_bytes.add(self.stats.tx_bytes);
+        self.counters.tx_sg_entries.add(self.stats.tx_sg_entries);
+        self.counters.rx_frames.add(self.stats.rx_frames);
+        self.counters.rx_bytes.add(self.stats.rx_bytes);
     }
 
     /// Maximum scatter-gather entries per descriptor for this NIC.
@@ -128,6 +169,9 @@ impl Nic {
         self.stats.tx_frames += 1;
         self.stats.tx_bytes += size as u64;
         self.stats.tx_sg_entries += entries.len() as u64;
+        self.counters.tx_frames.inc();
+        self.counters.tx_bytes.add(size as u64);
+        self.counters.tx_sg_entries.add(entries.len() as u64);
         self.port.send(Frame::new(data));
         self.completion_queue.push_back(entries);
         Ok(())
@@ -140,6 +184,7 @@ impl Nic {
     pub fn poll_completions(&mut self) -> usize {
         let n = self.completion_queue.len();
         self.completion_queue.clear();
+        self.counters.completions.add(n as u64);
         n
     }
 
@@ -160,6 +205,8 @@ impl Nic {
         let frame = self.port.recv()?;
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += frame.len() as u64;
+        self.counters.rx_frames.inc();
+        self.counters.rx_bytes.add(frame.len() as u64);
         let mut buf = rx_pool
             .alloc(frame.len().max(1))
             .expect("rx pool exhausted: grow PoolConfig for this experiment");
@@ -252,7 +299,13 @@ mod tests {
         let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
         let entries: Vec<RcBuf> = (0..9).map(|_| buf(&pool, b"x")).collect();
         let err = nic.post_tx(entries).unwrap_err();
-        assert_eq!(err, NicError::TooManySgEntries { requested: 9, max: 8 });
+        assert_eq!(
+            err,
+            NicError::TooManySgEntries {
+                requested: 9,
+                max: 8
+            }
+        );
         // 8 entries is fine on the e810.
         let entries: Vec<RcBuf> = (0..8).map(|_| buf(&pool, b"x")).collect();
         nic.post_tx(entries).unwrap();
@@ -278,8 +331,12 @@ mod tests {
         let t0 = sim.now();
         a.post_tx(vec![buf(&pool, b"one")]).unwrap();
         assert_eq!(sim.now(), t0, "single-entry post rides the base cost");
-        a.post_tx(vec![buf(&pool, b"one"), buf(&pool, b"two"), buf(&pool, b"three")])
-            .unwrap();
+        a.post_tx(vec![
+            buf(&pool, b"one"),
+            buf(&pool, b"two"),
+            buf(&pool, b"three"),
+        ])
+        .unwrap();
         let per_entry = sim.nic().sg_entry_cost_ns();
         assert_eq!(sim.now() - t0, (2.0 * per_entry).round() as u64);
     }
@@ -288,7 +345,8 @@ mod tests {
     fn stats_accumulate() {
         let (mut a, mut b, pool, _sim) = setup();
         a.post_tx(vec![buf(&pool, b"12345")]).unwrap();
-        a.post_tx(vec![buf(&pool, b"123"), buf(&pool, b"45")]).unwrap();
+        a.post_tx(vec![buf(&pool, b"123"), buf(&pool, b"45")])
+            .unwrap();
         let s = a.stats();
         assert_eq!(s.tx_frames, 2);
         assert_eq!(s.tx_bytes, 10);
@@ -310,7 +368,8 @@ mod tests {
         let (mut a, mut b, _pool, _sim) = setup();
         let reg = Registry::new();
         let pool = PinnedPool::new(reg.clone(), PoolConfig::small_for_tests());
-        a.post_tx(vec![buf(&pool, b"payload in pinned rx")]).unwrap();
+        a.post_tx(vec![buf(&pool, b"payload in pinned rx")])
+            .unwrap();
         let rx = b.recv_into(&pool).unwrap();
         // Data received into pinned memory can be zero-copied back out.
         let inner = &rx.as_slice()[8..14];

@@ -71,7 +71,11 @@ impl CacheSim {
         let lines = capacity_bytes / LINE as usize;
         let s = (lines / ways).max(1);
         // Round the set count down to a power of two for mask indexing.
-        let sets = if s.is_power_of_two() { s } else { s.next_power_of_two() / 2 };
+        let sets = if s.is_power_of_two() {
+            s
+        } else {
+            s.next_power_of_two() / 2
+        };
         Self {
             tags: vec![0; sets * ways],
             stamps: vec![0; sets * ways],

@@ -8,11 +8,49 @@
 //! breakdown experiment).
 
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 use crate::cache::CacheSim;
 use crate::clock::Clock;
 use crate::profile::MachineProfile;
+
+/// Observer invoked on every virtual-time charge (see
+/// [`Sim::set_charge_observer`]). Observability layers use this to attribute
+/// per-category cost to the currently open span without the cost model
+/// knowing anything about spans.
+///
+/// The [`SimCore`] is mutably borrowed while `on_charge` runs:
+/// implementations must not call back into [`Sim`] charging or query
+/// methods. Reading an independently held [`Clock`] handle is fine (the
+/// clock's state is shared via its own `Rc<Cell>`).
+pub trait ChargeObserver {
+    /// Called after `ns` nanoseconds were charged to `cat`.
+    fn on_charge(&self, cat: Category, ns: f64);
+}
+
+/// An optional [`ChargeObserver`], wrapped so [`SimCore`] can keep deriving
+/// `Debug`.
+#[derive(Clone, Default)]
+pub struct ObserverSlot(Option<Rc<dyn ChargeObserver>>);
+
+impl ObserverSlot {
+    #[inline]
+    fn notify(&self, cat: Category, ns: f64) {
+        if let Some(obs) = &self.0 {
+            obs.on_charge(cat, ns);
+        }
+    }
+}
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("ObserverSlot(set)"),
+            None => f.write_str("ObserverSlot(empty)"),
+        }
+    }
+}
 
 /// Cost categories for attribution, mirroring the request-handling phases of
 /// the paper's Figure 11 breakdown.
@@ -131,6 +169,8 @@ pub struct SimCore {
     pub profile: MachineProfile,
     /// Per-category cost attribution.
     pub attribution: Attribution,
+    /// Optional charge observer (e.g. a span tracer).
+    pub observer: ObserverSlot,
 }
 
 /// Cheaply clonable handle to a [`SimCore`].
@@ -153,6 +193,7 @@ impl Sim {
                 cache,
                 profile,
                 attribution: Attribution::default(),
+                observer: ObserverSlot::default(),
             })),
         }
     }
@@ -182,11 +223,18 @@ impl Sim {
         self.core.borrow().profile.nic
     }
 
+    /// Installs (or clears) the charge observer. At most one observer is
+    /// active per machine; installing replaces any previous one.
+    pub fn set_charge_observer(&self, observer: Option<Rc<dyn ChargeObserver>>) {
+        self.core.borrow_mut().observer = ObserverSlot(observer);
+    }
+
     /// Charges `ns` nanoseconds to `cat`.
     pub fn charge(&self, cat: Category, ns: f64) {
         let mut c = self.core.borrow_mut();
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
     }
 
     /// Charges the cost of copying `len` bytes from `src` to `dst`.
@@ -207,6 +255,7 @@ impl Sim {
         let ns = c.profile.costs.copy_cost(r.hits, r.misses);
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
         ns
     }
 
@@ -221,6 +270,7 @@ impl Sim {
             + r.misses as f64 * c.profile.costs.copy_line_hit;
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
         ns
     }
 
@@ -233,6 +283,7 @@ impl Sim {
             + r.hits as f64 * c.profile.costs.copy_line_hit;
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
         ns
     }
 
@@ -249,6 +300,7 @@ impl Sim {
         };
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
         ns
     }
 
@@ -264,6 +316,7 @@ impl Sim {
         let ns = c.profile.nic.sg_entry_cost_ns();
         c.clock.advance_f(ns);
         c.attribution.add(cat, ns);
+        c.observer.notify(cat, ns);
         ns
     }
 
@@ -331,7 +384,10 @@ mod tests {
         let warm = s.charge_memcpy(Category::SerializeCopy, 0x90000, 0x20000, 1024);
         let costs = s.costs();
         let expected = costs.copy_cost(16, 0);
-        assert!((warm - expected).abs() < 1e-9, "warm={warm} expected={expected}");
+        assert!(
+            (warm - expected).abs() < 1e-9,
+            "warm={warm} expected={expected}"
+        );
     }
 
     #[test]

@@ -245,6 +245,80 @@ mod tests {
     }
 
     #[test]
+    fn quantile_on_empty_is_zero_at_any_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(4_321);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 4_321);
+        assert_eq!(h.max(), 4_321);
+        assert_eq!(h.mean(), 4_321.0);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let got = h.quantile(q);
+            // One bucket of error below, clamped to max above.
+            assert!(got <= 4_321, "q={q} got={got}");
+            assert!((4_321 - got) as f64 / 4_321.0 <= 1.0 / SUB_BUCKETS as f64);
+        }
+    }
+
+    #[test]
+    fn merge_disjoint_ranges() {
+        // Low histogram holds 1..=100, high histogram holds 1M..=1M+100:
+        // the merge must place p50 at the boundary between the two halves
+        // and keep exact min/max/count from the union.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+            high.record(1_000_000 + v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 200);
+        assert_eq!(low.min(), 1);
+        assert_eq!(low.max(), 1_000_100);
+        // Any quantile strictly below 0.5 comes from the low range, and
+        // strictly above from the high range.
+        assert!(low.quantile(0.25) <= 100);
+        assert!(low.quantile(0.75) >= 900_000);
+        // Merging into an empty histogram adopts the other's min/max.
+        let mut empty = Histogram::new();
+        empty.merge(&low);
+        assert_eq!(empty.count(), 200);
+        assert_eq!(empty.min(), 1);
+        assert_eq!(empty.max(), 1_000_100);
+    }
+
+    #[test]
+    fn reset_restores_empty_state_and_allows_reuse() {
+        let mut h = Histogram::new();
+        for v in [1u64, 500, 1_000_000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(1.0), 0);
+        // Records after reset behave like a fresh histogram (min is not
+        // stuck at the pre-reset value).
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
     fn bucket_roundtrip_monotone() {
         // bucket_value(bucket_of(v)) must never exceed v and must be within
         // 1/SUB_BUCKETS relative error for large v.

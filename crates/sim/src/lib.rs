@@ -34,7 +34,7 @@ pub mod stats;
 
 pub use cache::CacheSim;
 pub use clock::Clock;
-pub use cost::{Sim, SimCore};
+pub use cost::{Attribution, Category, ChargeObserver, Sim, SimCore, NUM_CATEGORIES};
 pub use histogram::Histogram;
 pub use profile::{CacheConfig, CostModel, MachineProfile, NicModel};
 pub use queueing::{LoadPoint, OpenLoopSim, SweepResult};

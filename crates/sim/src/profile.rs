@@ -189,9 +189,7 @@ impl CostModel {
     /// Cost of copying `len` bytes whose source lines produced the given
     /// hit/miss split, e.g. from [`crate::CacheSim::access`].
     pub fn copy_cost(&self, hits: u64, misses: u64) -> f64 {
-        self.copy_startup
-            + misses as f64 * self.copy_line_miss
-            + hits as f64 * self.copy_line_hit
+        self.copy_startup + misses as f64 * self.copy_line_miss + hits as f64 * self.copy_line_hit
     }
 }
 
@@ -300,8 +298,7 @@ mod tests {
     #[test]
     fn calibration_anchor_two_copy() {
         let m = CostModel::cloudlab_c6525();
-        let total =
-            m.per_packet_base + ECHO_OVERHEAD + m.copy_cost(0, 64) + m.copy_cost(64, 0);
+        let total = m.per_packet_base + ECHO_OVERHEAD + m.copy_cost(0, 64) + m.copy_cost(64, 0);
         let gbps = 4096.0 * 8.0 / total;
         assert!((21.0..24.5).contains(&gbps), "{gbps}");
     }
@@ -326,7 +323,11 @@ mod tests {
         };
         let copy = |bytes: u64, hot: bool| {
             let lines = bytes / 64;
-            let src = if hot { m.copy_cost(lines, 0) } else { m.copy_cost(0, lines) };
+            let src = if hot {
+                m.copy_cost(lines, 0)
+            } else {
+                m.copy_cost(0, lines)
+            };
             m.arena_alloc + src + m.copy_cost(lines, 0)
         };
         // Hot values + hot refcounts (Zipf head): copy wins at 256,

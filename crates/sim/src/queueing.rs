@@ -66,7 +66,10 @@ pub struct SweepResult {
 impl SweepResult {
     /// Highest achieved request throughput across all offered loads.
     pub fn max_achieved_rps(&self) -> f64 {
-        self.points.iter().map(|p| p.achieved_rps).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.achieved_rps)
+            .fold(0.0, f64::max)
     }
 
     /// Highest achieved payload throughput in Gbps.
@@ -169,7 +172,11 @@ impl OpenLoopSim {
             completed,
             payload_bytes,
             latency,
-            mean_service_ns: if served == 0 { 0.0 } else { service_sum / served as f64 },
+            mean_service_ns: if served == 0 {
+                0.0
+            } else {
+                service_sum / served as f64
+            },
         }
     }
 
@@ -192,7 +199,11 @@ impl OpenLoopSim {
             latency.record(self.clock.now() - start + 2 * self.one_way_wire_ns);
         }
         let elapsed = self.clock.now() - t0;
-        let mean_service = if n == 0 { 0.0 } else { elapsed as f64 / n as f64 };
+        let mean_service = if n == 0 {
+            0.0
+        } else {
+            elapsed as f64 / n as f64
+        };
         LoadPoint {
             offered_rps: f64::INFINITY,
             achieved_rps: stats::rps(n, elapsed.max(1)),
@@ -250,7 +261,12 @@ mod tests {
         let s = sim(&clock);
         // 1 µs service => capacity 1 Mrps; offer 100 krps.
         let p = s.run(100_000.0, fixed_service(&clock));
-        assert!(p.is_stable(), "achieved={} offered={}", p.achieved_rps, p.offered_rps);
+        assert!(
+            p.is_stable(),
+            "achieved={} offered={}",
+            p.achieved_rps,
+            p.offered_rps
+        );
         // Latency ≈ 2*wire + service with little wait (histogram buckets
         // report lower bounds, so allow ~2 % downward error).
         assert!(p.latency.p50() >= 10_800, "p50={}", p.latency.p50());
@@ -272,7 +288,11 @@ mod tests {
         let clock = Clock::new();
         let s = sim(&clock);
         let p = s.run_saturated(10_000, fixed_service(&clock));
-        assert!((p.achieved_rps - 1_000_000.0).abs() < 10_000.0, "{}", p.achieved_rps);
+        assert!(
+            (p.achieved_rps - 1_000_000.0).abs() < 10_000.0,
+            "{}",
+            p.achieved_rps
+        );
         assert_eq!(p.mean_service_ns, 1_000.0);
     }
 
@@ -339,6 +359,10 @@ mod tests {
             clock.advance(if i.is_multiple_of(2) { 500 } else { 1_500 });
             64
         });
-        assert!((p.mean_service_ns - 1_000.0).abs() < 20.0, "{}", p.mean_service_ns);
+        assert!(
+            (p.mean_service_ns - 1_000.0).abs() < 20.0,
+            "{}",
+            p.mean_service_ns
+        );
     }
 }

@@ -48,6 +48,10 @@ pub fn fmt_ns(ns: u64) -> String {
         format!("{:.1} ms", ns as f64 / 1e6)
     } else if ns >= 10_000 {
         format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns >= 1_000 {
+        // Two decimals below 10 us so 1_000–9_999 ns renders as "1.23 us"
+        // rather than falling through to a four-digit nanosecond count.
+        format!("{:.2} us", ns as f64 / 1e3)
     } else {
         format!("{ns} ns")
     }
@@ -82,7 +86,8 @@ mod tests {
 
     #[test]
     fn percent_diff_signs() {
-        assert_eq!(percent_diff(115.4, 100.0), 15.400000000000006);
+        // Float arithmetic: compare with an epsilon, not exact bits.
+        assert!((percent_diff(115.4, 100.0) - 15.4).abs() < 1e-9);
         assert!(percent_diff(90.0, 100.0) < 0.0);
         assert_eq!(percent_diff(1.0, 0.0), 0.0);
     }
@@ -99,6 +104,17 @@ mod tests {
         assert_eq!(fmt_ns(53_000), "53.0 us");
         assert_eq!(fmt_ns(2_500_000), "2.5 ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn fmt_ns_low_microsecond_gap() {
+        // The 1_000–9_999 ns range renders in microseconds like its
+        // neighbors, with two decimals of precision.
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_000), "1.00 us");
+        assert_eq!(fmt_ns(1_234), "1.23 us");
+        assert_eq!(fmt_ns(9_999), "10.00 us");
+        assert_eq!(fmt_ns(10_000), "10.0 us");
     }
 
     #[test]

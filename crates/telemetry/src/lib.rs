@@ -1,0 +1,415 @@
+//! `cf-telemetry`: virtual-time observability for the Cornflakes datapath.
+//!
+//! Three instruments behind one cheaply clonable [`Telemetry`] handle:
+//!
+//! 1. **Span tracing** ([`trace`]): per-request phase spans stamped in
+//!    *virtual* nanoseconds from the shared [`cf_sim::Clock`], stored in a
+//!    preallocated ring buffer and exportable as Chrome Trace Event JSON
+//!    (open in `chrome://tracing` or Perfetto). Virtual-time charges are
+//!    attributed to the innermost open span via [`cf_sim::ChargeObserver`].
+//! 2. **Metrics** ([`metrics`]): named counters, gauges, and virtual-time
+//!    histograms, snapshotable to JSON and Prometheus text.
+//! 3. **Serializer decision logging** ([`decisions`]): every `CFBytes`
+//!    construction records size, threshold, copy-vs-zero-copy choice, and
+//!    `recover_ptr` hit/miss.
+//!
+//! A disabled handle ([`Telemetry::disabled`]) is a `None` inside an
+//! `Option<Rc<_>>`: every hot-path operation short-circuits on one branch
+//! and no memory is allocated, so instrumented code needs no cfg gates.
+//!
+//! Telemetry is intentionally `!Send` (`Rc`/`RefCell`-based) because each
+//! simulated machine is single-threaded by construction. The thread-safe
+//! `cf-mem` crate publishes `Arc<AtomicU64>` cells instead, registered via
+//! [`Telemetry::register_external`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use cf_sim::cost::{Category, ChargeObserver, NUM_CATEGORIES};
+use cf_sim::{Clock, Sim};
+
+pub mod decisions;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use decisions::FieldDecision;
+pub use metrics::{Counter, Gauge, MetricsRegistry, VtHistogram};
+pub use trace::{SpanRecord, Tracer};
+
+/// Sizing knobs for the preallocated telemetry buffers.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Completed spans retained in the trace ring.
+    pub span_capacity: usize,
+    /// Recent serializer decisions retained (aggregates are unbounded).
+    pub decision_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            span_capacity: 16_384,
+            decision_capacity: 256,
+        }
+    }
+}
+
+struct Inner {
+    clock: Clock,
+    tracer: RefCell<Tracer>,
+    metrics: MetricsRegistry,
+    decisions: RefCell<decisions::DecisionLog>,
+}
+
+impl ChargeObserver for Inner {
+    // Called by `Sim` while its core is mutably borrowed: this must not (and
+    // does not) call back into `Sim` — it only touches telemetry-owned state.
+    fn on_charge(&self, cat: Category, ns: f64) {
+        self.tracer.borrow_mut().on_charge(cat, ns);
+    }
+}
+
+/// Handle to one machine's telemetry. Cloning shares the underlying state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(_) => f.write_str("Telemetry(enabled)"),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: spans, counters, and decisions all short-circuit.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Creates an enabled handle reading virtual time from `clock`.
+    ///
+    /// This does **not** hook charge attribution; prefer
+    /// [`Telemetry::attach`] which also installs the [`ChargeObserver`].
+    pub fn new(clock: Clock, config: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(Inner {
+                clock,
+                tracer: RefCell::new(Tracer::new(config.span_capacity)),
+                metrics: MetricsRegistry::default(),
+                decisions: RefCell::new(decisions::DecisionLog::new(config.decision_capacity)),
+            })),
+        }
+    }
+
+    /// Creates an enabled handle for `sim`'s machine and installs it as the
+    /// machine's charge observer, so per-category cost flows into spans.
+    pub fn attach(sim: &Sim) -> Self {
+        Self::attach_with(sim, TelemetryConfig::default())
+    }
+
+    /// [`Telemetry::attach`] with explicit buffer sizing.
+    pub fn attach_with(sim: &Sim, config: TelemetryConfig) -> Self {
+        let t = Telemetry::new(sim.clock(), config);
+        let inner = Rc::clone(t.inner.as_ref().expect("just created enabled"));
+        sim.set_charge_observer(Some(inner));
+        t
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- spans ----------------------------------------------------------
+
+    /// Opens a span; it closes when the returned guard drops (LIFO).
+    /// The span inherits the enclosing span's request id.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_open(name, None)
+    }
+
+    /// Opens a root span tagged with an explicit request id.
+    #[inline]
+    pub fn request_span(&self, name: &'static str, req_id: u64) -> SpanGuard {
+        self.span_open(name, Some(req_id))
+    }
+
+    fn span_open(&self, name: &'static str, req_id: Option<u64>) -> SpanGuard {
+        if let Some(inner) = &self.inner {
+            let now = inner.clock.now();
+            inner.tracer.borrow_mut().open(name, req_id, now);
+        }
+        SpanGuard {
+            telemetry: self.clone(),
+        }
+    }
+
+    fn span_close(&self) {
+        if let Some(inner) = &self.inner {
+            let now = inner.clock.now();
+            inner.tracer.borrow_mut().close(now);
+        }
+    }
+
+    /// Runs `f` with the tracer (no-op returning `None` when disabled).
+    pub fn with_tracer<R>(&self, f: impl FnOnce(&Tracer) -> R) -> Option<R> {
+        self.inner.as_ref().map(|i| f(&i.tracer.borrow()))
+    }
+
+    /// Per-category self-time totals over all spans (closed + open).
+    /// Disabled handles return zeros.
+    pub fn span_cat_totals(&self) -> [f64; NUM_CATEGORIES] {
+        self.with_tracer(|t| t.span_cat_totals())
+            .unwrap_or([0.0; NUM_CATEGORIES])
+    }
+
+    /// Charges observed while no span was open.
+    pub fn orphan_cat_totals(&self) -> [f64; NUM_CATEGORIES] {
+        self.with_tracer(|t| t.orphan_cat_ns)
+            .unwrap_or([0.0; NUM_CATEGORIES])
+    }
+
+    /// Exports the span ring as Chrome Trace Event JSON (see [`Tracer`]).
+    pub fn chrome_trace_json(&self) -> String {
+        self.with_tracer(|t| t.chrome_trace_json())
+            .unwrap_or_else(|| "[]\n".to_string())
+    }
+
+    /// Clears spans and span totals (e.g. after warmup), keeping metrics
+    /// and decision aggregates.
+    pub fn reset_tracing(&self) {
+        if let Some(inner) = &self.inner {
+            inner.tracer.borrow_mut().reset();
+        }
+    }
+
+    // ---- metrics --------------------------------------------------------
+
+    /// Counter handle for `name`. Disabled handles return an unregistered
+    /// (but functional) counter, so call sites never branch.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.metrics.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// Gauge handle for `name` (unregistered when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.metrics.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Histogram handle for `name` (unregistered when disabled).
+    pub fn histogram(&self, name: &str) -> VtHistogram {
+        match &self.inner {
+            Some(inner) => inner.metrics.histogram(name),
+            None => VtHistogram::default(),
+        }
+    }
+
+    /// Registers a thread-safe external cell (e.g. cf-mem pool stats) that
+    /// snapshots read at collection time. No-op when disabled.
+    pub fn register_external(&self, name: &str, cell: Arc<AtomicU64>) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.register_external(name, cell);
+        }
+    }
+
+    /// Runs `f` with the metrics registry (no-op returning `None` when
+    /// disabled).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|i| f(&i.metrics))
+    }
+
+    /// Current value of counter `name` (externals included); 0 if absent or
+    /// disabled. Convenience for tests.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.with_metrics(|m| {
+            m.counter_values()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+    }
+
+    // ---- serializer decisions -------------------------------------------
+
+    /// Records one hybrid-serializer decision. No-op when disabled.
+    #[inline]
+    pub fn record_decision(&self, d: FieldDecision) {
+        if let Some(inner) = &self.inner {
+            inner.decisions.borrow_mut().record(d);
+        }
+    }
+
+    /// Runs `f` with the decision log (no-op returning `None` when
+    /// disabled).
+    pub fn with_decisions<R>(&self, f: impl FnOnce(&decisions::DecisionLog) -> R) -> Option<R> {
+        self.inner.as_ref().map(|i| f(&i.decisions.borrow()))
+    }
+
+    // ---- exporters ------------------------------------------------------
+
+    /// Snapshot of counters, gauges, histograms, serializer decisions, and
+    /// span bookkeeping as one JSON object.
+    pub fn snapshot_json(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return "{}\n".to_string();
+        };
+        let tracer = inner.tracer.borrow();
+        let spans = format!(
+            "{{\"closed\": {}, \"dropped\": {}, \"open\": {}, \"orphan_ns\": {}}}",
+            tracer.spans_closed,
+            tracer.dropped_spans,
+            tracer.open_depth(),
+            json::num(tracer.orphan_cat_ns.iter().sum()),
+        );
+        format!(
+            "{{\n\"virtual_now_ns\": {},\n{},\n\"decisions\": {},\n\"spans\": {}\n}}\n",
+            inner.clock.now(),
+            inner.metrics.snapshot_json_members(),
+            inner.decisions.borrow().summary_json(),
+            spans,
+        )
+    }
+
+    /// Counters/gauges/histograms in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.with_metrics(|m| m.prometheus_text())
+            .unwrap_or_default()
+    }
+}
+
+/// RAII guard closing its span on drop.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.telemetry.span_close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_sim::{MachineProfile, Sim};
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        {
+            let _g = t.request_span("request", 1);
+            t.counter("x").inc();
+            t.record_decision(FieldDecision {
+                len: 1,
+                threshold: 2,
+                recover_attempted: false,
+                recover_hit: false,
+                zero_copy: false,
+            });
+        }
+        assert_eq!(t.snapshot_json(), "{}\n");
+        assert_eq!(t.chrome_trace_json(), "[]\n");
+        assert_eq!(t.counter_value("x"), 0);
+    }
+
+    #[test]
+    fn attach_observes_charges_into_spans() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let t = Telemetry::attach(&sim);
+        {
+            let _req = t.request_span("request", 42);
+            sim.charge(Category::Rx, 100.0);
+            {
+                let _app = t.span("app");
+                sim.charge(Category::AppGet, 30.0);
+            }
+            sim.charge(Category::Tx, 20.0);
+        }
+        let totals = t.span_cat_totals();
+        assert_eq!(totals[Category::Rx.index()], 100.0);
+        assert_eq!(totals[Category::AppGet.index()], 30.0);
+        assert_eq!(totals[Category::Tx.index()], 20.0);
+        // Span totals agree with the sim's own attribution.
+        let attr = sim.attribution();
+        for cat in Category::all() {
+            assert_eq!(totals[cat.index()], attr.get(cat));
+        }
+        // Spans carry virtual timestamps.
+        t.with_tracer(|tr| {
+            let spans: Vec<_> = tr.iter_chronological().cloned().collect();
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].name, "app");
+            assert_eq!(spans[0].req_id, 42);
+            assert_eq!(spans[1].name, "request");
+            assert_eq!(spans[1].end_ns, 150, "request span spans all charges");
+        });
+    }
+
+    #[test]
+    fn charges_outside_spans_are_orphans() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let t = Telemetry::attach(&sim);
+        sim.charge(Category::Other, 5.0);
+        assert_eq!(t.orphan_cat_totals()[Category::Other.index()], 5.0);
+        assert_eq!(t.span_cat_totals().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_complete() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let t = Telemetry::attach(&sim);
+        t.counter("nic.tx_frames").add(3);
+        t.gauge("mem.pool.occupancy").set(0.5);
+        t.histogram("kv.latency_ns").record(1_234);
+        t.record_decision(FieldDecision {
+            len: 4096,
+            threshold: 512,
+            recover_attempted: true,
+            recover_hit: true,
+            zero_copy: true,
+        });
+        {
+            let _g = t.request_span("request", 7);
+            sim.charge(Category::Rx, 10.0);
+        }
+        let snap = t.snapshot_json();
+        json::validate(&snap).expect("valid snapshot JSON");
+        for needle in [
+            "\"nic.tx_frames\": 3",
+            "\"mem.pool.occupancy\": 0.5",
+            "\"kv.latency_ns\"",
+            "\"decisions\"",
+            "\"zero_copy\": 1",
+            "\"spans\"",
+            "\"virtual_now_ns\": 10",
+        ] {
+            assert!(snap.contains(needle), "snapshot missing {needle}: {snap}");
+        }
+        let prom = t.prometheus_text();
+        assert!(prom.contains("nic_tx_frames 3"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Named counters, gauges, and virtual-time histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`VtHistogram`]) are cheap `Rc` clones
+//! that call sites cache once and update without any registry lookup on the
+//! hot path. The registry itself is only consulted when a metric is created
+//! or a snapshot is taken.
+//!
+//! Thread-safe producers (cf-mem, which is `Send`/`Sync`) publish
+//! `Arc<AtomicU64>` cells instead, registered here as *external* gauges and
+//! read at snapshot time.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cf_sim::Histogram;
+
+use crate::json;
+
+/// Monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Instantaneous-value gauge handle.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: f64) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Histogram handle recording virtual-time durations (or any `u64` values),
+/// backed by [`cf_sim::Histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct VtHistogram(Rc<RefCell<Histogram>>);
+
+impl VtHistogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// Runs `f` against the underlying histogram.
+    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, VtHistogram>,
+    externals: BTreeMap<String, Arc<AtomicU64>>,
+}
+
+/// Registry of named metrics, snapshotable to JSON and Prometheus text.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RefCell<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(c) = inner.counters.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        inner.counters.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Returns (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(g) = inner.gauges.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        inner.gauges.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> VtHistogram {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(h) = inner.histograms.get(name) {
+            return h.clone();
+        }
+        let h = VtHistogram::default();
+        inner.histograms.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Registers a thread-safe external cell (read with `Ordering::Relaxed`
+    /// at snapshot time). Used by `cf-mem`, whose stats must stay `Sync`.
+    pub fn register_external(&self, name: &str, cell: Arc<AtomicU64>) {
+        self.inner
+            .borrow_mut()
+            .externals
+            .insert(name.to_string(), cell);
+    }
+
+    /// All counter values plus externals, sorted by name (for assertions).
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.borrow();
+        inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .chain(
+                inner
+                    .externals
+                    .iter()
+                    .map(|(n, e)| (n.clone(), e.load(Ordering::Relaxed))),
+            )
+            .collect()
+    }
+
+    /// Renders the `"counters"`, `"gauges"`, and `"histograms"` members of a
+    /// JSON snapshot object (no surrounding braces).
+    pub(crate) fn snapshot_json_members(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        out.push_str("\"counters\": {");
+        let mut first = true;
+        for (name, c) in &inner.counters {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": {}", json::escape(name), c.get()));
+        }
+        for (name, e) in &inner.externals {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\": {}",
+                json::escape(name),
+                e.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("},\n\"gauges\": {");
+        first = true;
+        for (name, g) in &inner.gauges {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\": {}",
+                json::escape(name),
+                json::num(g.get())
+            ));
+        }
+        out.push_str("},\n\"histograms\": {");
+        first = true;
+        for (name, h) in &inner.histograms {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            h.with(|h| {
+                out.push_str(&format!(
+                    "\"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                    json::escape(name),
+                    h.count(),
+                    h.min(),
+                    h.max(),
+                    json::num(h.mean()),
+                    h.p50(),
+                    h.p99(),
+                ));
+            });
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the registry in Prometheus text exposition format. Metric
+    /// names are sanitized (`.` and `-` become `_`).
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+        }
+        for (name, e) in &inner.externals {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE {n} gauge\n{n} {}\n",
+                e.load(Ordering::Relaxed)
+            ));
+        }
+        for (name, g) in &inner.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            let n = sanitize(name);
+            h.with(|h| {
+                out.push_str(&format!("# TYPE {n} summary\n"));
+                for (q, v) in [(0.5, h.p50()), (0.99, h.p99())] {
+                    out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+                }
+                out.push_str(&format!("{n}_count {}\n", h.count()));
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_with_registry() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        let g = r.gauge("g");
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let h = r.histogram("h");
+        h.record(10);
+        h.record(20);
+        assert_eq!(r.histogram("h").with(|h| h.count()), 2);
+    }
+
+    #[test]
+    fn externals_appear_in_counter_values() {
+        let r = MetricsRegistry::default();
+        let cell = Arc::new(AtomicU64::new(0));
+        r.register_external("mem.x", Arc::clone(&cell));
+        cell.store(42, Ordering::Relaxed);
+        let vals = r.counter_values();
+        assert!(vals.contains(&("mem.x".to_string(), 42)));
+    }
+
+    #[test]
+    fn snapshot_members_are_valid_json() {
+        let r = MetricsRegistry::default();
+        r.counter("c.one").add(7);
+        r.gauge("g-two").set(0.25);
+        r.histogram("h three").record(99);
+        r.register_external("ext", Arc::new(AtomicU64::new(3)));
+        let json_doc = format!("{{{}}}", r.snapshot_json_members());
+        crate::json::validate(&json_doc).expect("valid snapshot JSON");
+        assert!(json_doc.contains("\"c.one\": 7"));
+        assert!(json_doc.contains("\"ext\": 3"));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = MetricsRegistry::default();
+        r.counter("nic.tx-frames").add(2);
+        r.histogram("lat").record(5);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE nic_tx_frames counter"));
+        assert!(text.contains("nic_tx_frames 2"));
+        assert!(text.contains("lat{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_count 1"));
+    }
+}

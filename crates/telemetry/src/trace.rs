@@ -1,0 +1,307 @@
+//! Virtual-time span tracing with a preallocated ring buffer and a Chrome
+//! Trace Event exporter.
+//!
+//! Spans are timestamped from the shared [`cf_sim::Clock`], so a trace shows
+//! *simulated* cost, not wall time. Opening and closing spans never
+//! allocates: completed spans overwrite the oldest slot of a ring buffer
+//! sized at construction, and the open-span stack reuses preallocated
+//! capacity. Virtual-time charges reported through
+//! [`cf_sim::ChargeObserver`] are attributed to the *innermost* open span
+//! (self time), so summing `cat_ns` over all spans counts every charge
+//! exactly once regardless of nesting — the property the Figure 11
+//! cross-check test relies on.
+
+use cf_sim::cost::{Category, NUM_CATEGORIES};
+
+use crate::json;
+
+/// A completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Phase name (e.g. `"deserialize"`).
+    pub name: &'static str,
+    /// Request id the span belongs to (0 when outside any request).
+    pub req_id: u64,
+    /// Virtual start time in ns.
+    pub start_ns: u64,
+    /// Virtual end time in ns.
+    pub end_ns: u64,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+    /// Self time charged per category while this span was innermost.
+    pub cat_ns: [f64; NUM_CATEGORIES],
+}
+
+#[derive(Clone, Debug)]
+struct OpenSpan {
+    name: &'static str,
+    req_id: u64,
+    start_ns: u64,
+    cat_ns: [f64; NUM_CATEGORIES],
+}
+
+/// Ring-buffered span storage plus running per-category totals.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Vec<SpanRecord>,
+    capacity: usize,
+    /// Next slot to (over)write.
+    head: usize,
+    /// Number of valid records (`<= capacity`).
+    len: usize,
+    stack: Vec<OpenSpan>,
+    /// Spans evicted from the ring because it was full.
+    pub dropped_spans: u64,
+    /// Total spans completed (ring-resident or evicted).
+    pub spans_closed: u64,
+    /// Per-category self time summed over *closed* spans (survives ring
+    /// eviction, so totals are exact regardless of ring capacity).
+    pub closed_cat_ns: [f64; NUM_CATEGORIES],
+    /// Charges observed while no span was open.
+    pub orphan_cat_ns: [f64; NUM_CATEGORIES],
+}
+
+impl Tracer {
+    /// Creates a tracer whose ring holds `capacity` completed spans.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer ring capacity must be positive");
+        Tracer {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            stack: Vec::with_capacity(64),
+            dropped_spans: 0,
+            spans_closed: 0,
+            closed_cat_ns: [0.0; NUM_CATEGORIES],
+            orphan_cat_ns: [0.0; NUM_CATEGORIES],
+        }
+    }
+
+    /// Opens a span. `req_id = None` inherits the enclosing span's id.
+    pub fn open(&mut self, name: &'static str, req_id: Option<u64>, now_ns: u64) {
+        let req_id = req_id.unwrap_or_else(|| self.stack.last().map_or(0, |s| s.req_id));
+        self.stack.push(OpenSpan {
+            name,
+            req_id,
+            start_ns: now_ns,
+            cat_ns: [0.0; NUM_CATEGORIES],
+        });
+    }
+
+    /// Closes the innermost span (LIFO discipline; span guards enforce it).
+    pub fn close(&mut self, now_ns: u64) {
+        let Some(open) = self.stack.pop() else {
+            return;
+        };
+        for (total, ns) in self.closed_cat_ns.iter_mut().zip(open.cat_ns.iter()) {
+            *total += ns;
+        }
+        self.spans_closed += 1;
+        let record = SpanRecord {
+            name: open.name,
+            req_id: open.req_id,
+            start_ns: open.start_ns,
+            end_ns: now_ns,
+            depth: self.stack.len() as u16,
+            cat_ns: open.cat_ns,
+        };
+        if self.ring.len() < self.capacity {
+            self.ring.push(record);
+        } else {
+            self.ring[self.head] = record;
+            self.dropped_spans += 1;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.len = self.ring.len();
+    }
+
+    /// Attributes a charge to the innermost open span (or the orphan bucket).
+    #[inline]
+    pub fn on_charge(&mut self, cat: Category, ns: f64) {
+        match self.stack.last_mut() {
+            Some(open) => open.cat_ns[cat.index()] += ns,
+            None => self.orphan_cat_ns[cat.index()] += ns,
+        }
+    }
+
+    /// Per-category totals over all closed spans plus currently open spans.
+    /// Excludes orphan charges (see [`Tracer::orphan_cat_ns`]).
+    pub fn span_cat_totals(&self) -> [f64; NUM_CATEGORIES] {
+        let mut totals = self.closed_cat_ns;
+        for open in &self.stack {
+            for (t, ns) in totals.iter_mut().zip(open.cat_ns.iter()) {
+                *t += ns;
+            }
+        }
+        totals
+    }
+
+    /// Number of spans currently open.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Completed spans in chronological (oldest-first) order.
+    pub fn iter_chronological(&self) -> impl Iterator<Item = &SpanRecord> {
+        let start = if self.len < self.capacity {
+            0
+        } else {
+            self.head
+        };
+        (0..self.len).map(move |i| &self.ring[(start + i) % self.len.max(1)])
+    }
+
+    /// Clears spans, totals, and the open stack (e.g. after warmup).
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.len = 0;
+        self.stack.clear();
+        self.dropped_spans = 0;
+        self.spans_closed = 0;
+        self.closed_cat_ns = [0.0; NUM_CATEGORIES];
+        self.orphan_cat_ns = [0.0; NUM_CATEGORIES];
+    }
+
+    /// Exports ring-resident spans as Chrome Trace Event JSON: a bare array
+    /// of `ph:"X"` (complete) events, `ts`/`dur` in microseconds of virtual
+    /// time. Loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for span in self.iter_chronological() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let ts_us = span.start_ns as f64 / 1_000.0;
+            let dur_us = (span.end_ns.saturating_sub(span.start_ns)) as f64 / 1_000.0;
+            let mut args = format!("\"req_id\": {}", span.req_id);
+            for cat in Category::all() {
+                let ns = span.cat_ns[cat.index()];
+                if ns > 0.0 {
+                    args.push_str(&format!(
+                        ", \"{}_ns\": {}",
+                        json::escape(cat.label()),
+                        json::num(ns)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"cat\": \"vt\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": 0, \"tid\": {}, \"args\": {{{}}}}}",
+                json::escape(span.name),
+                json::num(ts_us),
+                json::num(dur_us),
+                span.depth,
+                args
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn innermost_span_gets_the_charge() {
+        let mut t = Tracer::new(16);
+        t.open("request", Some(7), 0);
+        t.on_charge(Category::Rx, 10.0);
+        t.open("deserialize", None, 10);
+        t.on_charge(Category::Deserialize, 5.0);
+        t.close(15); // deserialize
+        t.on_charge(Category::Tx, 2.0);
+        t.close(17); // request
+        let spans: Vec<_> = t.iter_chronological().cloned().collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "deserialize");
+        assert_eq!(spans[0].req_id, 7, "req id inherited");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].cat_ns[Category::Deserialize.index()], 5.0);
+        assert_eq!(spans[1].name, "request");
+        assert_eq!(spans[1].cat_ns[Category::Rx.index()], 10.0);
+        assert_eq!(
+            spans[1].cat_ns[Category::Deserialize.index()],
+            0.0,
+            "self time only"
+        );
+        let totals = t.span_cat_totals();
+        assert_eq!(totals[Category::Rx.index()], 10.0);
+        assert_eq!(totals[Category::Deserialize.index()], 5.0);
+        assert_eq!(totals[Category::Tx.index()], 2.0);
+    }
+
+    #[test]
+    fn orphan_charges_tracked_separately() {
+        let mut t = Tracer::new(4);
+        t.on_charge(Category::Other, 3.0);
+        assert_eq!(t.orphan_cat_ns[Category::Other.index()], 3.0);
+        assert_eq!(t.span_cat_totals()[Category::Other.index()], 0.0);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_and_exact_totals() {
+        let mut t = Tracer::new(2);
+        for i in 0..5u64 {
+            t.open("s", Some(i), i * 10);
+            t.on_charge(Category::Rx, 1.0);
+            t.close(i * 10 + 5);
+        }
+        assert_eq!(t.spans_closed, 5);
+        assert_eq!(t.dropped_spans, 3);
+        let ids: Vec<u64> = t.iter_chronological().map(|s| s.req_id).collect();
+        assert_eq!(ids, vec![3, 4], "oldest evicted first");
+        assert_eq!(
+            t.span_cat_totals()[Category::Rx.index()],
+            5.0,
+            "totals survive eviction"
+        );
+    }
+
+    #[test]
+    fn chronological_order_before_wraparound() {
+        let mut t = Tracer::new(8);
+        for i in 0..3u64 {
+            t.open("s", Some(i), i);
+            t.close(i + 1);
+        }
+        let ids: Vec<u64> = t.iter_chronological().map(|s| s.req_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_x_events() {
+        let mut t = Tracer::new(8);
+        t.open("request", Some(1), 1_000);
+        t.open("app \"quoted\"", None, 1_200);
+        t.on_charge(Category::AppGet, 50.0);
+        t.close(1_500);
+        t.close(2_000);
+        let trace = t.chrome_trace_json();
+        crate::json::validate(&trace).expect("valid trace JSON");
+        assert!(trace.trim_start().starts_with('['));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"ts\": 1"), "µs virtual timestamps");
+        assert!(trace.contains("\"get_ns\": 50"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = Tracer::new(4);
+        t.open("s", Some(1), 0);
+        t.on_charge(Category::Rx, 1.0);
+        t.close(1);
+        t.on_charge(Category::Tx, 1.0);
+        t.reset();
+        assert_eq!(t.spans_closed, 0);
+        assert_eq!(t.open_depth(), 0);
+        assert_eq!(t.iter_chronological().count(), 0);
+        assert_eq!(t.span_cat_totals().iter().sum::<f64>(), 0.0);
+        assert_eq!(t.orphan_cat_ns.iter().sum::<f64>(), 0.0);
+    }
+}

@@ -41,7 +41,10 @@ fn main() {
     config.zero_copy_threshold = 4096; // deliberately mis-seeded
     let ctx = SerCtx::new(Sim::new(profile), config).with_adaptive_threshold();
 
-    println!("seeded threshold: {} bytes (static value would be 512)", ctx.effective_threshold());
+    println!(
+        "seeded threshold: {} bytes (static value would be 512)",
+        ctx.effective_threshold()
+    );
     for step in 1..=5 {
         drive(&ctx, 2_000);
         let adaptive = ctx.adaptive.as_ref().expect("enabled");

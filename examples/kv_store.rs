@@ -15,7 +15,10 @@ use cornflakes::mem::PoolConfig;
 use cornflakes::sim::{MachineProfile, Sim};
 
 fn main() {
-    println!("{:<14} {:>14} {:>14} {:>14}", "system", "small (ns)", "2 KiB (ns)", "8 KiB (ns)");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "system", "small (ns)", "2 KiB (ns)", "8 KiB (ns)"
+    );
     for kind in SerKind::all() {
         let server_sim = Sim::new(MachineProfile::cloudlab_c6525());
         let (mut client, mut server) = client_server_pair(

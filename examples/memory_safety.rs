@@ -9,7 +9,6 @@
 
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
-
 use cornflakes::core::msgs::Single;
 use cornflakes::core::{CFBytes, CornflakesObj, SerializationConfig};
 use cornflakes::net::{FrameMeta, TcpStack, UdpStack};
@@ -32,7 +31,14 @@ fn udp_demo() {
     msg.val = Some(CFBytes::new(stack.ctx(), value.as_slice()));
     println!("  before send: refcount = {}", value.refcount());
 
-    let hdr = stack.header_to(1, FrameMeta { msg_type: 1, flags: 0, req_id: 1 });
+    let hdr = stack.header_to(
+        1,
+        FrameMeta {
+            msg_type: 1,
+            flags: 0,
+            req_id: 1,
+        },
+    );
     stack.send_object(hdr, &msg).expect("send");
     drop(msg); // the application frees its object immediately...
     println!(

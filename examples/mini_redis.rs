@@ -18,7 +18,14 @@ fn command(client: &mut UdpStack, server: &mut RedisServer, parts: &[&[u8]]) -> 
     let payload = redis_client::encode_command(&sim, parts);
     let mut tx = client.alloc_tx(payload.len()).expect("tx");
     tx.write_at(HEADER_BYTES, &payload);
-    let hdr = client.header_to(6379, FrameMeta { msg_type: 0, flags: 0, req_id: 7 });
+    let hdr = client.header_to(
+        6379,
+        FrameMeta {
+            msg_type: 0,
+            flags: 0,
+            req_id: 7,
+        },
+    );
     client.send_built(hdr, tx, payload.len()).expect("send");
     server.poll();
     let pkt = client.recv_packet().expect("reply");

@@ -42,7 +42,14 @@ fn main() {
     request.id = Some(1);
     request.keys.append(CFBytes::new(client.ctx(), b"big"));
     request.keys.append(CFBytes::new(client.ctx(), b"small"));
-    let hdr = client.header_to(9000, FrameMeta { msg_type: 1, flags: 0, req_id: 1 });
+    let hdr = client.header_to(
+        9000,
+        FrameMeta {
+            msg_type: 1,
+            flags: 0,
+            req_id: 1,
+        },
+    );
     client.send_object(hdr, &request).expect("request sent");
 
     // --- server: handle it --------------------------------------------
@@ -60,7 +67,8 @@ fn main() {
     {
         let ctx = server.ctx();
         // 2048 B and pinned → zero-copy (an extra scatter-gather entry).
-        resp.get_mut_vals().append(CFBytes::new(ctx, big_value.as_slice()));
+        resp.get_mut_vals()
+            .append(CFBytes::new(ctx, big_value.as_slice()));
         // 27 B → copied through the arena into the transmit buffer.
         resp.get_mut_vals().append(CFBytes::new(ctx, small_value));
     }
@@ -74,9 +82,19 @@ fn main() {
 
     let t0 = server_sim.now();
     server
-        .send_object(pkt.hdr.reply(FrameMeta { msg_type: 0x81, flags: 0, req_id: 1 }), &resp)
+        .send_object(
+            pkt.hdr.reply(FrameMeta {
+                msg_type: 0x81,
+                flags: 0,
+                req_id: 1,
+            }),
+            &resp,
+        )
         .expect("response sent");
-    println!("serialize-and-send took {} virtual ns", server_sim.now() - t0);
+    println!(
+        "serialize-and-send took {} virtual ns",
+        server_sim.now() - t0
+    );
 
     // --- client: verify the reply ---------------------------------------
     let reply = client.recv_packet().expect("reply arrives");

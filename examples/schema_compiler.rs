@@ -43,8 +43,10 @@ fn main() {
     for s in &structs {
         println!("  {s}");
     }
-    println!("  ({impls} CornflakesObj implementations, {} accessors)",
-        code.matches("pub fn ").count());
+    println!(
+        "  ({impls} CornflakesObj implementations, {} accessors)",
+        code.matches("pub fn ").count()
+    );
 
     println!("\n---- first 60 lines ----");
     for line in code.lines().take(60) {

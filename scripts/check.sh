@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Repository gate: formatting, lints, and the tier-1 test suite.
+#
+# Usage: scripts/check.sh [--full]
+#   --full  also run the whole workspace test suite (slower).
+#
+# Everything here runs offline; the workspace has no registry dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+if [ "${1:-}" = "--full" ]; then
+    echo "==> full: cargo test --workspace -q"
+    cargo test --workspace -q
+fi
+
+echo "All checks passed."

@@ -24,6 +24,9 @@
 //!   generators.
 //! - [`kv`] — the applications: custom key-value store, mini-Redis, echo
 //!   server.
+//! - [`telemetry`] — virtual-time observability: request span tracing with
+//!   Chrome-trace export, a metrics registry, and hybrid-serializer
+//!   decision logging.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! experiment index.
@@ -35,5 +38,6 @@ pub use cf_mem as mem;
 pub use cf_net as net;
 pub use cf_nic as nic;
 pub use cf_sim as sim;
+pub use cf_telemetry as telemetry;
 pub use cf_workloads as workloads;
 pub use cornflakes_core as core;

@@ -3,7 +3,6 @@
 
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
-
 use cornflakes::core::msgs::{GetM, Single};
 use cornflakes::core::{CFBytes, CornflakesObj, SerializationConfig};
 use cornflakes::mem::{PinnedPool, PoolConfig, Registry};
