@@ -91,7 +91,10 @@ pub fn run_variant(kind: TcpEchoKind, rounds: u64) -> TcpEchoResult {
         }
         sim.clock().advance(wire_one_way);
         server.poll().expect("rx");
-        let msg = server.recv_msg().expect("request delivered");
+        let msg = server
+            .recv_msg()
+            .expect("rx pool healthy")
+            .expect("request delivered");
         // Server deserializes, reserializes, responds.
         match kind {
             TcpEchoKind::RawEcho => {
@@ -122,7 +125,10 @@ pub fn run_variant(kind: TcpEchoKind, rounds: u64) -> TcpEchoResult {
         }
         sim.clock().advance(wire_one_way);
         client.poll().expect("rx reply");
-        let reply = client.recv_msg().expect("reply delivered");
+        let reply = client
+            .recv_msg()
+            .expect("rx pool healthy")
+            .expect("reply delivered");
         assert!(reply.len() >= 4096, "echoed payload intact");
         // Drain ACK traffic.
         server.poll().expect("acks");

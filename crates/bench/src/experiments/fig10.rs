@@ -118,27 +118,37 @@ mod tests {
     }
 
     #[test]
-    fn e810_rejects_too_many_entries() {
+    fn e810_overflow_degrades_to_copy_path() {
         // 1024 B in 8 x 128 B would need 9 entries with the header on the
-        // e810 (max 8): the stack surfaces an error rather than sending.
+        // e810 (max 8): the serialize-and-send path degrades to the copy
+        // path instead of failing, and the reply still arrives bit-exact.
         // (The experiment grid stops at 6 entries for exactly this reason.)
         use cf_kv::client::client_server_pair;
         use cf_kv::server::SerKind;
         use cf_sim::Sim;
+        use cf_telemetry::{Telemetry, TelemetryConfig};
         let server_sim = Sim::new(nic_profile(NicModel::IntelE810));
+        let tele = Telemetry::new(server_sim.clock(), TelemetryConfig::default());
         let (mut client, mut server) = client_server_pair(
             server_sim,
             SerKind::Cornflakes,
             SerializationConfig::always_zero_copy(),
             crate::harness::large_pool(),
         );
+        server.set_telemetry(&tele);
         server
             .store
             .preload(server.stack.ctx(), b"k", &[128; 8])
             .unwrap();
         client.send_get(&[b"k"]);
         server.poll();
-        // The send failed server-side; no response arrives.
-        assert!(client.recv_response().is_none());
+        let resp = client.recv_response().expect("reply via copy fallback");
+        assert_eq!(resp.vals.len(), 8);
+        assert!(resp.vals.iter().all(|v| v.len() == 128));
+        assert_eq!(
+            tele.counter_value("net.udp.tx_copy_fallbacks"),
+            1,
+            "the SG overflow was absorbed by the copy path"
+        );
     }
 }

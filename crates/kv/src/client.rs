@@ -3,11 +3,21 @@
 //! The client runs on its own [`cf_sim::Sim`] (its own machine), so nothing
 //! it does counts toward server service time. Helper constructors wire a
 //! client/server pair over a simulated link.
+//!
+//! With [`KvClient::enable_retries`] the client tracks in-flight requests
+//! against virtual-time deadlines: [`KvClient::poll_timers`] retransmits
+//! overdue requests with the *same* request id (so the server's dedup
+//! window keeps retried puts exactly-once) under exponential backoff, and
+//! gives up after a bounded number of retries, reporting the id as a typed
+//! timeout. Duplicate or late responses are filtered out and counted.
+
+use std::collections::HashMap;
 
 use cf_mem::PoolConfig;
-use cf_net::{FrameMeta, UdpStack, HEADER_BYTES};
+use cf_net::{FrameMeta, NetError, UdpStack, HEADER_BYTES};
 use cf_nic::link;
 use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::{Counter, Telemetry};
 use cornflakes_core::{CornflakesObj, SerializationConfig};
 
 use cf_baselines::capnlite::{CapnGetM, CapnReader};
@@ -28,10 +38,52 @@ pub const SERVER_PORT: u16 = 9000;
 pub struct Response {
     /// Echoed request id.
     pub id: Option<u32>,
+    /// Application flags from the frame header (e.g.
+    /// [`crate::flags::DEGRADED`]).
+    pub flags: u8,
     /// Value buffers, in order.
     pub vals: Vec<Vec<u8>>,
     /// Total payload bytes on the wire (for Gbps accounting).
     pub payload_bytes: usize,
+}
+
+/// Retransmission policy for [`KvClient::enable_retries`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// Virtual-time deadline for the first attempt, in nanoseconds.
+    /// Subsequent attempts back off exponentially (doubling per retry).
+    pub timeout_ns: u64,
+    /// Retransmissions after the original send before the request is
+    /// reported as timed out.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout_ns: 500_000,
+            max_retries: 3,
+        }
+    }
+}
+
+/// An in-flight request retained for retransmission.
+#[derive(Debug)]
+struct PendingReq {
+    mtype: u8,
+    index: Option<u32>,
+    keys: Vec<Vec<u8>>,
+    vals: Vec<Vec<u8>>,
+    deadline: u64,
+    retries: u32,
+}
+
+/// Client-side reliability counters; defaults are unregistered no-ops.
+#[derive(Debug, Default)]
+struct ClientCounters {
+    retries: Counter,
+    timeouts: Counter,
+    stale_responses: Counter,
 }
 
 /// The key-value client.
@@ -41,6 +93,9 @@ pub struct KvClient {
     pub stack: UdpStack,
     kind: SerKind,
     next_id: u32,
+    retry: Option<RetryConfig>,
+    pending: HashMap<u32, PendingReq>,
+    counters: ClientCounters,
 }
 
 /// Creates a connected (client, server) pair: the client on its own
@@ -56,11 +111,7 @@ pub fn client_server_pair(
     let client_stack = UdpStack::new(client_sim, cp, CLIENT_PORT, SerializationConfig::hybrid());
     let server_stack = UdpStack::with_pool_config(server_sim, sp, SERVER_PORT, config, server_pool);
     (
-        KvClient {
-            stack: client_stack,
-            kind,
-            next_id: 1,
-        },
+        KvClient::new(client_stack, kind),
         KvServer::new(server_stack, kind),
     )
 }
@@ -72,7 +123,35 @@ impl KvClient {
             stack,
             kind,
             next_id: 1,
+            retry: None,
+            pending: HashMap::new(),
+            counters: ClientCounters::default(),
         }
+    }
+
+    /// Turns on request tracking and retransmission with the given policy.
+    /// From here on every request is held until its response arrives or it
+    /// times out; [`KvClient::poll_timers`] drives the retransmissions.
+    pub fn enable_retries(&mut self, config: RetryConfig) {
+        self.retry = Some(config);
+    }
+
+    /// Registers the client's reliability counters (`net.udp.retries`,
+    /// `net.udp.timeouts`, `net.udp.stale_responses`) and the underlying
+    /// stack's metrics with `tele`.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.stack.set_telemetry(tele);
+        self.counters = ClientCounters {
+            retries: tele.counter("net.udp.retries"),
+            timeouts: tele.counter("net.udp.timeouts"),
+            stale_responses: tele.counter("net.udp.stale_responses"),
+        };
+    }
+
+    /// Request ids still awaiting a response (empty unless retries are
+    /// enabled).
+    pub fn pending_ids(&self) -> Vec<u32> {
+        self.pending.keys().copied().collect()
     }
 
     fn meta(&mut self, msg_type: u8) -> FrameMeta {
@@ -96,6 +175,77 @@ impl KvClient {
         vals: &[&[u8]],
     ) -> u32 {
         let meta = self.meta(mtype);
+        if let Some(retry) = self.retry {
+            self.pending.insert(
+                meta.req_id,
+                PendingReq {
+                    mtype,
+                    index,
+                    keys: keys.iter().map(|k| k.to_vec()).collect(),
+                    vals: vals.iter().map(|v| v.to_vec()).collect(),
+                    deadline: self.stack.sim().now() + retry.timeout_ns,
+                    retries: 0,
+                },
+            );
+        }
+        self.transmit(meta, index, keys, vals)
+            .expect("request send");
+        meta.req_id
+    }
+
+    /// Checks in-flight requests against the virtual clock. Overdue
+    /// requests are retransmitted with the same id under exponential
+    /// backoff; requests out of retries are dropped and their ids returned
+    /// (the typed timeout signal). No-op unless retries are enabled.
+    pub fn poll_timers(&mut self) -> Vec<u32> {
+        let Some(retry) = self.retry else {
+            return Vec::new();
+        };
+        let now = self.stack.sim().now();
+        let due: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut timed_out = Vec::new();
+        for id in due {
+            let p = self.pending.get_mut(&id).expect("due id is pending");
+            if p.retries >= retry.max_retries {
+                self.pending.remove(&id);
+                self.counters.timeouts.inc();
+                timed_out.push(id);
+                continue;
+            }
+            p.retries += 1;
+            // Exponential backoff: double the deadline per attempt.
+            let backoff = retry.timeout_ns << p.retries.min(16);
+            p.deadline = now + backoff;
+            let meta = FrameMeta {
+                msg_type: p.mtype,
+                flags: 0,
+                req_id: id,
+            };
+            let index = p.index;
+            let keys: Vec<Vec<u8>> = p.keys.clone();
+            let vals: Vec<Vec<u8>> = p.vals.clone();
+            let key_refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let val_refs: Vec<&[u8]> = vals.iter().map(Vec::as_slice).collect();
+            self.counters.retries.inc();
+            // A failed retransmission (e.g. transient tx-pool pressure) is
+            // not fatal: the deadline fires again and we try once more.
+            let _ = self.transmit(meta, index, &key_refs, &val_refs);
+        }
+        timed_out
+    }
+
+    fn transmit(
+        &mut self,
+        meta: FrameMeta,
+        index: Option<u32>,
+        keys: &[&[u8]],
+        vals: &[&[u8]],
+    ) -> Result<(), NetError> {
         let hdr = self.stack.header_to(SERVER_PORT, meta);
         match self.kind {
             SerKind::Cornflakes => {
@@ -110,7 +260,7 @@ impl KvClient {
                         req.add_vals(ctx, v);
                     }
                 }
-                self.stack.send_object(hdr, &req).expect("request send");
+                self.stack.send_object(hdr, &req)?;
             }
             SerKind::Protobuf => {
                 let sim = self.stack.sim().clone();
@@ -122,21 +272,17 @@ impl KvClient {
                 for v in vals {
                     req.add_val(&sim, v);
                 }
-                let mut tx = self.stack.alloc_tx(req.encoded_len()).expect("alloc");
+                let mut tx = self.stack.alloc_tx(req.encoded_len())?;
                 let payload = req.encode(&sim, tx.addr() + HEADER_BYTES as u64);
                 tx.write_at(HEADER_BYTES, &payload);
-                self.stack
-                    .send_built(hdr, tx, payload.len())
-                    .expect("request send");
+                self.stack.send_built(hdr, tx, payload.len())?;
             }
             SerKind::FlatBuffers => {
                 let sim = self.stack.sim().clone();
                 let built = FlatGetM::encode(&sim, index, keys, vals);
-                let mut tx = self.stack.alloc_tx(built.len()).expect("alloc");
+                let mut tx = self.stack.alloc_tx(built.len())?;
                 tx.write_at(HEADER_BYTES, &built);
-                self.stack
-                    .send_built(hdr, tx, built.len())
-                    .expect("request send");
+                self.stack.send_built(hdr, tx, built.len())?;
             }
             SerKind::CapnProto => {
                 let sim = self.stack.sim().clone();
@@ -151,14 +297,12 @@ impl KvClient {
                     req.add_val(&sim, v);
                 }
                 let framed = CapnGetM::frame(&req.finish(&sim));
-                let mut tx = self.stack.alloc_tx(framed.len()).expect("alloc");
+                let mut tx = self.stack.alloc_tx(framed.len())?;
                 tx.write_at(HEADER_BYTES, &framed);
-                self.stack
-                    .send_built(hdr, tx, framed.len())
-                    .expect("request send");
+                self.stack.send_built(hdr, tx, framed.len())?;
             }
         }
-        meta.req_id
+        Ok(())
     }
 
     /// Sends a get for one or more keys.
@@ -176,50 +320,64 @@ impl KvClient {
         self.send_request(msg_type::GET_SEGMENT, Some(segment), &[key], &[])
     }
 
-    /// Receives and decodes the next response, if any.
+    /// Receives and decodes the next response, if any. With retries
+    /// enabled, responses whose id is no longer pending — late duplicates
+    /// of an already-answered or timed-out request — are dropped and
+    /// counted as `net.udp.stale_responses`.
     pub fn recv_response(&mut self) -> Option<Response> {
-        let pkt = self.stack.recv_packet()?;
-        let payload_bytes = pkt.payload.len();
-        let sim = self.stack.sim().clone();
-        let resp = match self.kind {
-            SerKind::Cornflakes => {
-                let m = GetMsg::deserialize(self.stack.ctx(), &pkt.payload).ok()?;
-                Response {
-                    id: m.id.map(|i| i as u32),
-                    vals: m.vals.iter().map(|v| v.as_slice().to_vec()).collect(),
-                    payload_bytes,
-                }
+        loop {
+            let pkt = self.stack.recv_packet()?;
+            if self.retry.is_some() && self.pending.remove(&pkt.hdr.meta.req_id).is_none() {
+                self.counters.stale_responses.inc();
+                continue;
             }
-            SerKind::Protobuf => {
-                let m = PGetM::decode(&sim, &pkt.payload).ok()?;
-                Response {
-                    id: m.id,
-                    vals: m.vals,
-                    payload_bytes,
+            let payload_bytes = pkt.payload.len();
+            let flags = pkt.hdr.meta.flags;
+            let sim = self.stack.sim().clone();
+            let resp = match self.kind {
+                SerKind::Cornflakes => {
+                    let m = GetMsg::deserialize(self.stack.ctx(), &pkt.payload).ok()?;
+                    Response {
+                        id: m.id.map(|i| i as u32),
+                        flags,
+                        vals: m.vals.iter().map(|v| v.as_slice().to_vec()).collect(),
+                        payload_bytes,
+                    }
                 }
-            }
-            SerKind::FlatBuffers => {
-                let v = FlatGetMView::parse(&sim, &pkt.payload).ok()?;
-                let n = v.vals_len().ok()?;
-                let vals = (0..n)
-                    .map(|i| v.val(i).map(|b| b.to_vec()))
-                    .collect::<Result<_, _>>()
-                    .ok()?;
-                Response {
-                    id: v.id().ok()?,
-                    vals,
-                    payload_bytes,
+                SerKind::Protobuf => {
+                    let m = PGetM::decode(&sim, &pkt.payload).ok()?;
+                    Response {
+                        id: m.id,
+                        flags,
+                        vals: m.vals,
+                        payload_bytes,
+                    }
                 }
-            }
-            SerKind::CapnProto => {
-                let r = CapnReader::parse(&sim, &pkt.payload).ok()?;
-                Response {
-                    id: r.id().ok()?,
-                    vals: r.vals(&sim).ok()?.iter().map(|b| b.to_vec()).collect(),
-                    payload_bytes,
+                SerKind::FlatBuffers => {
+                    let v = FlatGetMView::parse(&sim, &pkt.payload).ok()?;
+                    let n = v.vals_len().ok()?;
+                    let vals = (0..n)
+                        .map(|i| v.val(i).map(|b| b.to_vec()))
+                        .collect::<Result<_, _>>()
+                        .ok()?;
+                    Response {
+                        id: v.id().ok()?,
+                        flags,
+                        vals,
+                        payload_bytes,
+                    }
                 }
-            }
-        };
-        Some(resp)
+                SerKind::CapnProto => {
+                    let r = CapnReader::parse(&sim, &pkt.payload).ok()?;
+                    Response {
+                        id: r.id().ok()?,
+                        flags,
+                        vals: r.vals(&sim).ok()?.iter().map(|b| b.to_vec()).collect(),
+                        payload_bytes,
+                    }
+                }
+            };
+            return Some(resp);
+        }
     }
 }

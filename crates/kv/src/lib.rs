@@ -45,3 +45,12 @@ pub mod msg_type {
     /// Response marker.
     pub const RESPONSE: u8 = 0x80;
 }
+
+/// Application flag bits carried in the frame header's `flags` byte.
+pub mod flags {
+    /// The server handled the request in a degraded mode (e.g. a put it
+    /// could not apply under memory pressure). The client should treat the
+    /// operation as failed-but-acknowledged and may retry later; the
+    /// request itself terminated cleanly.
+    pub const DEGRADED: u8 = 0x01;
+}

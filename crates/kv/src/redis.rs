@@ -102,7 +102,7 @@ impl RedisServer {
                 _ => None,
             })
             .collect();
-        let hdr = pkt.hdr.reply(FrameMeta {
+        let mut hdr = pkt.hdr.reply(FrameMeta {
             msg_type: msg_type::RESPONSE,
             flags: 0,
             req_id: pkt.hdr.meta.req_id,
@@ -110,9 +110,16 @@ impl RedisServer {
 
         match cmd.to_ascii_uppercase().as_slice() {
             b"SET" => {
-                if args.len() >= 2 {
-                    self.store
-                        .put(self.stack.ctx(), &args[0], &args[1], self.set_segment_size);
+                if args.len() >= 2
+                    && self
+                        .store
+                        .put(self.stack.ctx(), &args[0], &args[1], self.set_segment_size)
+                        .is_err()
+                {
+                    // Memory pressure: the old value (if any) is intact;
+                    // signal degradation in the frame header like the KV
+                    // server does.
+                    hdr.meta.flags = crate::flags::DEGRADED;
                 }
                 self.send_ok(hdr);
             }

@@ -2,6 +2,8 @@
 //! (paper §6.1.3: each baseline gets the network API that minimizes its
 //! copies).
 
+use std::collections::{HashSet, VecDeque};
+
 use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
 use cf_sim::cost::Category;
 use cf_telemetry::{Counter, Telemetry};
@@ -11,9 +13,9 @@ use cf_baselines::capnlite::{CapnGetM, CapnReader};
 use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
 use cf_baselines::protolite::PGetM;
 
-use crate::msg_type;
 use crate::msgs::GetMsg;
 use crate::store::KvStore;
+use crate::{flags, msg_type};
 
 /// Which serialization library the server (and its clients) use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,6 +70,46 @@ struct KvCounters {
     bytes_in: Counter,
     bytes_out: Counter,
     zero_copy_entries: Counter,
+    puts_applied: Counter,
+    dedup_hits: Counter,
+    degraded_replies: Counter,
+    reply_drops: Counter,
+}
+
+/// A bounded window of recently applied put request-ids, giving retried
+/// puts exactly-once semantics under client retransmission. Eviction is
+/// FIFO; the default capacity far exceeds any plausible retry window.
+#[derive(Debug)]
+struct DedupWindow {
+    seen: HashSet<u32>,
+    order: VecDeque<u32>,
+    capacity: usize,
+}
+
+impl DedupWindow {
+    fn new(capacity: usize) -> Self {
+        DedupWindow {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.seen.contains(&id)
+    }
+
+    fn record(&mut self, id: u32) {
+        if !self.seen.insert(id) {
+            return;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+    }
 }
 
 /// The key-value server: store + datapath + serialization strategy.
@@ -86,6 +128,7 @@ pub struct KvServer {
     /// Only meaningful with [`SerKind::Cornflakes`].
     pub raw_zero_copy: bool,
     counters: KvCounters,
+    dedup: DedupWindow,
 }
 
 impl KvServer {
@@ -99,6 +142,7 @@ impl KvServer {
             put_segment_size: 8192,
             raw_zero_copy: false,
             counters: KvCounters::default(),
+            dedup: DedupWindow::new(4096),
         }
     }
 
@@ -113,7 +157,27 @@ impl KvServer {
             bytes_in: tele.counter(&format!("kv.{k}.bytes_in")),
             bytes_out: tele.counter(&format!("kv.{k}.bytes_out")),
             zero_copy_entries: tele.counter(&format!("kv.{k}.zero_copy_entries")),
+            puts_applied: tele.counter(&format!("kv.{k}.puts_applied")),
+            dedup_hits: tele.counter(&format!("kv.{k}.dedup_hits")),
+            degraded_replies: tele.counter(&format!("kv.{k}.degraded_replies")),
+            reply_drops: tele.counter(&format!("kv.{k}.reply_drops")),
         };
+    }
+
+    /// Puts applied exactly once (excludes dedup hits and degraded
+    /// failures) — the ground truth the chaos tests compare against.
+    pub fn puts_applied(&self) -> u64 {
+        self.counters.puts_applied.get()
+    }
+
+    /// Retried puts absorbed by the dedup window.
+    pub fn dedup_hits(&self) -> u64 {
+        self.counters.dedup_hits.get()
+    }
+
+    /// Requests answered with [`flags::DEGRADED`] under memory pressure.
+    pub fn degraded_replies(&self) -> u64 {
+        self.counters.degraded_replies.get()
     }
 
     /// Processes all pending requests; returns how many were handled.
@@ -159,13 +223,41 @@ impl KvServer {
         }
     }
 
+    /// Applies a put at most once per request id: a replayed id (a client
+    /// retry whose original reply was lost) is acknowledged without
+    /// re-applying. Returns the reply flags — [`flags::DEGRADED`] when the
+    /// store could not apply the put under memory pressure. Only a
+    /// *successful* apply enters the dedup window, so a later retry of a
+    /// degraded put can still succeed once pressure subsides.
+    fn apply_put(&mut self, req_id: u32, key: &[u8], val: &[u8]) -> u8 {
+        if self.dedup.contains(req_id) {
+            self.counters.dedup_hits.inc();
+            return 0;
+        }
+        match self
+            .store
+            .put(self.stack.ctx(), key, val, self.put_segment_size)
+        {
+            Ok(()) => {
+                self.dedup.record(req_id);
+                self.counters.puts_applied.inc();
+                0
+            }
+            Err(_) => {
+                self.counters.degraded_replies.inc();
+                flags::DEGRADED
+            }
+        }
+    }
+
     // ---- Cornflakes ----------------------------------------------------
 
     fn handle_cornflakes(&mut self, pkt: Packet) {
         let tele = self.stack.telemetry().clone();
-        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
         let mut resp = GetMsg::new();
         resp.id = pkt.hdr.meta.req_id.checked_into_i32();
+        let mut pending_put: Option<(Vec<u8>, Vec<u8>)> = None;
         {
             let ctx = self.stack.ctx();
             let req = {
@@ -181,9 +273,7 @@ impl KvServer {
                     let (Some(key), Some(val)) = (req.keys.get(0), req.vals.get(0)) else {
                         return;
                     };
-                    let (key, val) = (key.as_slice().to_vec(), val.as_slice().to_vec());
-                    drop(req);
-                    self.store.put(ctx, &key, &val, self.put_segment_size);
+                    pending_put = Some((key.as_slice().to_vec(), val.as_slice().to_vec()));
                 }
                 msg_type::GET_SEGMENT => {
                     let Some(key) = req.keys.get(0) else { return };
@@ -217,21 +307,27 @@ impl KvServer {
                 }
             }
         }
+        if let Some((key, val)) = pending_put {
+            hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
+        }
         self.counters
             .zero_copy_entries
             .add(resp.zero_copy_entries() as u64);
         let _tx = tele.span("tx");
-        let _ = if self.stack.ctx().config.serialize_and_send {
+        let sent = if self.stack.ctx().config.serialize_and_send {
             self.stack.send_object(hdr, &resp)
         } else {
             self.stack.send_object_sga(hdr, &resp)
         };
+        if sent.is_err() {
+            self.counters.reply_drops.inc();
+        }
     }
 
     // ---- Protobuf baseline ----------------------------------------------
 
     fn handle_protobuf(&mut self, pkt: Packet) {
-        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
         let sim = self.stack.sim().clone();
         let req = match PGetM::decode(&sim, &pkt.payload) {
             Ok(r) => r,
@@ -244,8 +340,7 @@ impl KvServer {
                 let (Some(key), Some(val)) = (req.keys.first(), req.vals.first()) else {
                     return;
                 };
-                self.store
-                    .put(self.stack.ctx(), key, val, self.put_segment_size);
+                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, key, val);
             }
             msg_type::GET_SEGMENT => {
                 if let Some(key) = req.keys.first() {
@@ -269,17 +364,20 @@ impl KvServer {
         }
         // Protobuf encodes from its structs directly into DMA-safe memory.
         let Ok(mut tx) = self.stack.alloc_tx(resp.encoded_len()) else {
+            self.counters.reply_drops.inc();
             return;
         };
         let payload = resp.encode(&sim, tx.addr() + HEADER_BYTES as u64);
         tx.write_at(HEADER_BYTES, &payload);
-        let _ = self.stack.send_built(hdr, tx, payload.len());
+        if self.stack.send_built(hdr, tx, payload.len()).is_err() {
+            self.counters.reply_drops.inc();
+        }
     }
 
     // ---- FlatBuffers baseline --------------------------------------------
 
     fn handle_flatbuffers(&mut self, pkt: Packet) {
-        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
         let sim = self.stack.sim().clone();
         let Ok(req) = FlatGetMView::parse(&sim, &pkt.payload) else {
             return;
@@ -292,8 +390,7 @@ impl KvServer {
                     return;
                 };
                 let (key, val) = (key.to_vec(), val.to_vec());
-                self.store
-                    .put(self.stack.ctx(), &key, &val, self.put_segment_size);
+                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
             }
             msg_type::GET_SEGMENT => {
                 if let Ok(key) = req.key(0) {
@@ -320,6 +417,7 @@ impl KvServer {
         // contiguous buffer is staged into DMA memory (warm).
         let built = FlatGetM::encode(&sim, Some(pkt.hdr.meta.req_id), &[], &vals);
         let Ok(mut tx) = self.stack.alloc_tx(built.len()) else {
+            self.counters.reply_drops.inc();
             return;
         };
         sim.charge_memcpy(
@@ -329,13 +427,15 @@ impl KvServer {
             built.len(),
         );
         tx.write_at(HEADER_BYTES, &built);
-        let _ = self.stack.send_built(hdr, tx, built.len());
+        if self.stack.send_built(hdr, tx, built.len()).is_err() {
+            self.counters.reply_drops.inc();
+        }
     }
 
     // ---- Cap'n Proto baseline ---------------------------------------------
 
     fn handle_capnproto(&mut self, pkt: Packet) {
-        let hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
+        let mut hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
         let sim = self.stack.sim().clone();
         let Ok(req) = CapnReader::parse(&sim, &pkt.payload) else {
             return;
@@ -350,8 +450,7 @@ impl KvServer {
                     return;
                 };
                 let (key, val) = (key.to_vec(), val.to_vec());
-                self.store
-                    .put(self.stack.ctx(), &key, &val, self.put_segment_size);
+                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
             }
             msg_type::GET_SEGMENT => {
                 if let Some(key) = keys.first() {
@@ -378,6 +477,7 @@ impl KvServer {
         let segments = resp.finish(&sim);
         let framed = CapnGetM::frame(&segments);
         let Ok(mut tx) = self.stack.alloc_tx(framed.len()) else {
+            self.counters.reply_drops.inc();
             return;
         };
         let mut off = HEADER_BYTES;
@@ -395,7 +495,9 @@ impl KvServer {
             tx.write_at(off, seg);
             off += seg.len();
         }
-        let _ = self.stack.send_built(hdr, tx, framed.len());
+        if self.stack.send_built(hdr, tx, framed.len()).is_err() {
+            self.counters.reply_drops.inc();
+        }
     }
 }
 

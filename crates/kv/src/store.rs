@@ -110,17 +110,27 @@ impl KvStore {
     /// `key`. This is the put path: data arriving from the network must be
     /// copied into freshly allocated DMA-safe memory (allocate-and-swap, no
     /// in-place updates — the paper's §4.1 memory-safety model).
-    pub fn put(&mut self, ctx: &SerCtx, key: &[u8], data: &[u8], segment_size: usize) {
+    ///
+    /// Under memory pressure the allocation can fail; the error is returned
+    /// (never a panic) and the store is untouched — any previous value for
+    /// `key` stays intact, and segments allocated before the failure are
+    /// released on drop. Servers reply degraded and the client retries.
+    pub fn put(
+        &mut self,
+        ctx: &SerCtx,
+        key: &[u8],
+        data: &[u8],
+        segment_size: usize,
+    ) -> Result<(), cf_mem::AllocError> {
         assert!(segment_size > 0);
         let mut segments = Vec::with_capacity(data.len().div_ceil(segment_size).max(1));
         if data.is_empty() {
-            let buf = ctx.pool.alloc(1).expect("pool exhausted");
-            let mut buf = buf;
+            let mut buf = ctx.pool.alloc(1)?;
             buf.truncate(0);
             segments.push(buf);
         }
         for chunk in data.chunks(segment_size) {
-            let mut buf = ctx.pool.alloc(chunk.len()).expect("pool exhausted");
+            let mut buf = ctx.pool.alloc(chunk.len())?;
             ctx.sim
                 .charge(Category::AppPut, ctx.sim.costs().arena_alloc);
             ctx.sim.charge_memcpy(
@@ -136,6 +146,15 @@ impl KvStore {
         // Allocate-and-swap: the old value's buffers are released when the
         // last in-flight reference (e.g. a pending DMA) drops.
         self.map.insert(key.to_vec(), Value { segments });
+        Ok(())
+    }
+
+    /// Removes `key` (charged as a lookup). The value's segments are
+    /// released once the last outstanding reference — e.g. a pending DMA —
+    /// drops.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Value> {
+        self.charge_lookup(key);
+        self.map.remove(key)
     }
 
     /// Pre-loads `key` with deterministic pattern data split into
@@ -181,7 +200,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let (mut store, ctx) = setup();
-        store.put(&ctx, b"k1", b"hello world", 4096);
+        store.put(&ctx, b"k1", b"hello world", 4096).unwrap();
         let v = store.get(b"k1").expect("present");
         assert_eq!(v.segments.len(), 1);
         assert_eq!(&*v.segments[0], b"hello world");
@@ -192,7 +211,7 @@ mod tests {
     fn put_segments_large_value() {
         let (mut store, ctx) = setup();
         let data = vec![7u8; 10_000];
-        store.put(&ctx, b"big", &data, 4096);
+        store.put(&ctx, b"big", &data, 4096).unwrap();
         let v = store.get(b"big").unwrap();
         assert_eq!(v.segments.len(), 3);
         assert_eq!(v.segments[0].len(), 4096);
@@ -203,9 +222,9 @@ mod tests {
     #[test]
     fn overwrite_swaps_pointer() {
         let (mut store, ctx) = setup();
-        store.put(&ctx, b"k", b"old", 4096);
+        store.put(&ctx, b"k", b"old", 4096).unwrap();
         let old = store.get(b"k").unwrap().segments[0].clone();
-        store.put(&ctx, b"k", b"new!", 4096);
+        store.put(&ctx, b"k", b"new!", 4096).unwrap();
         assert_eq!(&*store.get(b"k").unwrap().segments[0], b"new!");
         // The old buffer still reads "old" through the retained reference:
         // no in-place update happened.

@@ -153,6 +153,74 @@ fn cornflakes_zero_copies_large_values_only() {
 }
 
 #[test]
+fn put_under_memory_pressure_degrades_instead_of_panicking() {
+    use cf_kv::flags;
+    use cf_telemetry::Telemetry;
+
+    for kind in SerKind::all() {
+        let server_sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (mut client, mut server) = client_server_pair(
+            server_sim.clone(),
+            kind,
+            SerializationConfig::hybrid(),
+            PoolConfig::small_for_tests(),
+        );
+        let tele = Telemetry::attach(&server_sim);
+        server.set_telemetry(&tele);
+        // Stored segments land in the 1024 B size class; request frames use
+        // the 2048 B class and replies the smallest, so only the *store*
+        // side feels the pressure.
+        server.put_segment_size = 600;
+        server
+            .store
+            .preload(server.stack.ctx(), b"k", &[600])
+            .unwrap();
+        let mut filler = 0u32;
+        while server
+            .store
+            .preload(
+                server.stack.ctx(),
+                format!("filler-{filler}").as_bytes(),
+                &[600],
+            )
+            .is_ok()
+        {
+            filler += 1;
+        }
+        let exhausted_before = tele.counter_value("mem.pool.exhausted");
+
+        // The put cannot allocate its segments: the server must answer with
+        // a degraded reply, not crash, and the old value must survive.
+        client.send_put(b"k", &vec![0x5Cu8; 1500]);
+        server.poll();
+        let resp = client.recv_response().expect("degraded ack");
+        assert_eq!(resp.flags, flags::DEGRADED, "{kind:?}");
+        assert_eq!(server.degraded_replies(), 1, "{kind:?}");
+        assert_eq!(server.puts_applied(), 0, "{kind:?}");
+        assert!(
+            tele.counter_value("mem.pool.exhausted") > exhausted_before,
+            "{kind:?}: exhaustion surfaced in metrics"
+        );
+
+        // While the class is saturated, copy-based serializers cannot even
+        // allocate the GET reply — the reply is dropped, not panicked on.
+        // Deleting one filler frees a slot and service resumes.
+        assert!(server.store.remove(b"filler-0").is_some());
+        client.send_get(&[b"k"]);
+        server.poll();
+        let resp = client
+            .recv_response()
+            .unwrap_or_else(|| panic!("get response after degraded put, {kind:?}"));
+        assert_eq!(resp.vals.len(), 1, "{kind:?}");
+        assert_eq!(
+            resp.vals[0][0],
+            KvStore::expected_fill(b"k", 0),
+            "{kind:?}: old value intact after failed put"
+        );
+    }
+}
+
+#[test]
 fn cornflakes_service_time_beats_baselines_on_large_values() {
     // The headline effect: serving a 4 KiB value should cost Cornflakes
     // materially less virtual time per request than the copy-based

@@ -5,6 +5,14 @@
 //! offsets; other L2/L3 bytes are zero in the simulation), followed by a
 //! 6-byte application header (message type, flags, request id) like the one
 //! the paper's key-value applications prepend.
+//!
+//! Within the otherwise-zero L2/L3 stub, bytes [`FCS_OFFSET`]`..+4` carry a
+//! CRC32 frame check sequence over the whole frame. The NIC writes it at
+//! transmit time (checksum offload, [`cf_nic::Frame::seal`]); the receive
+//! paths verify it with [`fcs_ok`] and drop corrupted frames, counted in
+//! the `net.*.rx_corrupt_drops` metrics.
+
+pub use cf_nic::frame::{fcs_ok, frame_fcs, FCS_OFFSET};
 
 use crate::udp::NetError;
 
@@ -124,6 +132,28 @@ mod tests {
         assert_eq!(d.dst_port, 53);
         assert_eq!(d.meta, h.meta);
         assert_eq!(d.payload_len, 100);
+    }
+
+    #[test]
+    fn fcs_field_does_not_collide_with_header_fields() {
+        let h = PacketHeader {
+            src_port: 1,
+            dst_port: 2,
+            meta: FrameMeta {
+                msg_type: 5,
+                flags: 1,
+                req_id: 99,
+            },
+            payload_len: 0,
+        };
+        let mut frame = vec![0u8; HEADER_BYTES + 32];
+        h.encode(&mut frame);
+        let mut f = cf_nic::Frame::new(frame);
+        f.seal();
+        assert!(fcs_ok(&f.data));
+        let d = PacketHeader::decode(&f.data).unwrap();
+        assert_eq!(d.meta, h.meta);
+        assert_eq!((d.src_port, d.dst_port), (1, 2));
     }
 
     #[test]

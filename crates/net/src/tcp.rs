@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use cf_mem::{PoolConfig, RcBuf};
-use cf_nic::{Nic, Port};
+use cf_nic::{FaultInjector, FaultPlan, Nic, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
 use cf_telemetry::{Counter, Telemetry};
@@ -68,6 +68,8 @@ struct TcpCounters {
     msgs_sent: Counter,
     msgs_received: Counter,
     retransmissions: Counter,
+    rx_corrupt_drops: Counter,
+    rx_pool_exhausted: Counter,
 }
 
 /// A TCP connection endpoint.
@@ -119,6 +121,8 @@ impl TcpStack {
             msgs_sent: tele.counter("net.tcp.msgs_sent"),
             msgs_received: tele.counter("net.tcp.msgs_received"),
             retransmissions: tele.counter("net.tcp.retransmissions"),
+            rx_corrupt_drops: tele.counter("net.tcp.rx_corrupt_drops"),
+            rx_pool_exhausted: tele.counter("net.tcp.rx_pool_exhausted"),
         };
     }
 
@@ -152,25 +156,12 @@ impl TcpStack {
         self.rto_ns = rto_ns;
     }
 
-    /// Test hook: silently drops the next frame waiting to be received by
-    /// this endpoint, simulating wire loss.
-    pub fn wire_drop_next(&self) -> bool {
-        self.nic.port().pop_rx().is_some()
-    }
-
-    /// Test hook: returns a copy of the next frame waiting on the wire,
-    /// re-queueing the original (at the back; callers that care about
-    /// ordering should use it with a single in-flight frame).
-    pub fn wire_peek_duplicate(&self) -> Option<cf_nic::Frame> {
-        let frame = self.nic.port().pop_rx()?;
-        self.nic.port().push_rx(frame.clone());
-        Some(frame)
-    }
-
-    /// Test hook: injects a frame into this endpoint's receive queue,
-    /// simulating wire duplication.
-    pub fn wire_inject(&self, frame: cf_nic::Frame) {
-        self.nic.port().push_rx(frame);
+    /// Arms deterministic fault injection on this endpoint's receive
+    /// direction (see [`cf_nic::Port::install_faults`]); returns the
+    /// injector handle for surgical faults (drop/duplicate/corrupt/delay/
+    /// reorder of in-flight frames) and statistics.
+    pub fn install_faults(&self, plan: FaultPlan) -> FaultInjector {
+        self.nic.port().install_faults(self.ctx.sim.clock(), plan)
     }
 
     fn header(&self, seq: u32, ack: u32, flags: u8) -> [u8; TCP_HEADER_BYTES] {
@@ -338,6 +329,12 @@ impl TcpStack {
         if frame.len() < TCP_HEADER_BYTES {
             return Ok(()); // runt; drop
         }
+        // FCS verification (checksum offload: not charged). A corrupted
+        // segment is dropped; the sender's RTO recovers it.
+        if !cf_nic::fcs_ok(frame.as_slice()) {
+            self.counters.rx_corrupt_drops.inc();
+            return Ok(());
+        }
         let costs = self.ctx.sim.costs();
         self.ctx
             .sim
@@ -439,19 +436,28 @@ impl TcpStack {
     /// Extracts the next complete length-prefixed message from the stream,
     /// copied into a pinned buffer (TCP receive is not zero-copy; the paper
     /// integrates with a TCP stack the same way).
-    pub fn recv_msg(&mut self) -> Option<RcBuf> {
+    ///
+    /// Returns `Ok(None)` when no complete message is buffered. Under
+    /// memory pressure — the pinned pool exhausted — returns
+    /// [`NetError::RxPoolExhausted`] and leaves the message intact in the
+    /// reassembly buffer: backpressure, so the caller can free buffers and
+    /// retry, never a panic and never data loss.
+    pub fn recv_msg(&mut self) -> Result<Option<RcBuf>, NetError> {
         if self.reasm.len() < 4 {
-            return None;
+            return Ok(None);
         }
         let len = u32::from_le_bytes(self.reasm[..4].try_into().expect("4 bytes")) as usize;
         if self.reasm.len() < 4 + len {
-            return None;
+            return Ok(None);
         }
-        let mut buf = self
-            .ctx
-            .pool
-            .alloc(len.max(1))
-            .expect("rx pool exhausted in TCP reassembly");
+        let mut buf = match self.ctx.pool.alloc(len.max(1)) {
+            Ok(b) => b,
+            Err(cf_mem::AllocError::Exhausted { .. }) => {
+                self.counters.rx_pool_exhausted.inc();
+                return Err(NetError::RxPoolExhausted);
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.ctx.sim.charge_memcpy(
             Category::Rx,
             self.reasm.as_ptr() as u64 + 4,
@@ -464,7 +470,7 @@ impl TcpStack {
         buf.truncate(len);
         self.reasm.drain(..4 + len);
         self.counters.msgs_received.inc();
-        Some(buf)
+        Ok(Some(buf))
     }
 }
 

@@ -24,6 +24,10 @@ pub enum NetError {
     Nic(NicError),
     /// Pinned memory allocation failed.
     Alloc(AllocError),
+    /// The pinned receive pool is exhausted: the caller should retry after
+    /// freeing buffers (backpressure), or rely on peer retransmission. A
+    /// typed, recoverable condition — never a panic.
+    RxPoolExhausted,
 }
 
 impl fmt::Display for NetError {
@@ -32,6 +36,7 @@ impl fmt::Display for NetError {
             NetError::RuntFrame { len } => write!(f, "runt frame of {len} bytes"),
             NetError::Nic(e) => write!(f, "nic error: {e}"),
             NetError::Alloc(e) => write!(f, "allocation error: {e}"),
+            NetError::RxPoolExhausted => write!(f, "pinned receive pool exhausted"),
         }
     }
 }
@@ -73,7 +78,9 @@ pub struct Packet {
 struct UdpCounters {
     rx_packets: Counter,
     rx_runt_drops: Counter,
+    rx_corrupt_drops: Counter,
     tx_packets: Counter,
+    tx_copy_fallbacks: Counter,
 }
 
 pub struct UdpStack {
@@ -121,7 +128,9 @@ impl UdpStack {
         self.counters = UdpCounters {
             rx_packets: tele.counter("net.udp.rx_packets"),
             rx_runt_drops: tele.counter("net.udp.rx_runt_drops"),
+            rx_corrupt_drops: tele.counter("net.udp.rx_corrupt_drops"),
             tx_packets: tele.counter("net.udp.tx_packets"),
+            tx_copy_fallbacks: tele.counter("net.udp.tx_copy_fallbacks"),
         };
     }
 
@@ -175,27 +184,36 @@ impl UdpStack {
 
     /// Receives the next packet, if any (paper Listing 2's `recv_packet`).
     /// The payload is a zero-copy view into the pinned receive buffer.
+    /// Frames failing the CRC32 frame check sequence, and runt frames, are
+    /// dropped (counted) and the next frame is tried.
     pub fn recv_packet(&mut self) -> Option<Packet> {
-        let frame = self.nic.recv_into(&self.ctx.pool)?;
-        let costs = self.ctx.sim.costs();
-        self.ctx
-            .sim
-            .charge(Category::Rx, costs.per_packet_base * 0.45);
-        let hdr = match PacketHeader::decode(frame.as_slice()) {
-            Ok(h) => h,
-            Err(_) => {
-                // Runt frames are dropped, as hardware would drop them.
-                self.counters.rx_runt_drops.inc();
-                return None;
+        loop {
+            let frame = self.nic.recv_into(&self.ctx.pool)?;
+            let costs = self.ctx.sim.costs();
+            self.ctx
+                .sim
+                .charge(Category::Rx, costs.per_packet_base * 0.45);
+            // FCS verification is NIC/checksum-offload work: not charged.
+            if !cf_nic::fcs_ok(frame.as_slice()) {
+                self.counters.rx_corrupt_drops.inc();
+                continue;
             }
-        };
-        self.counters.rx_packets.inc();
-        let payload = frame.slice(HEADER_BYTES, frame.len() - HEADER_BYTES);
-        Some(Packet {
-            hdr,
-            frame,
-            payload,
-        })
+            let hdr = match PacketHeader::decode(frame.as_slice()) {
+                Ok(h) => h,
+                Err(_) => {
+                    // Runt frames are dropped, as hardware would drop them.
+                    self.counters.rx_runt_drops.inc();
+                    continue;
+                }
+            };
+            self.counters.rx_packets.inc();
+            let payload = frame.slice(HEADER_BYTES, frame.len() - HEADER_BYTES);
+            return Some(Packet {
+                hdr,
+                frame,
+                payload,
+            });
+        }
     }
 
     fn charge_tx_base(&self) {
@@ -214,13 +232,15 @@ impl UdpStack {
     }
 
     /// Builds the first scatter-gather entry for `obj`: packet header +
-    /// object header + copied field data, in one pinned buffer. Returns the
+    /// object header + copied field data, in one pinned buffer (sized with
+    /// `extra_capacity` spare bytes for the copy-fallback path). Returns the
     /// buffer. Charges header-write and copy costs.
     fn build_first_entry(
         &mut self,
         hdr: &PacketHeader,
         obj: &impl CornflakesObj,
         include_packet_header: bool,
+        extra_capacity: usize,
     ) -> Result<RcBuf, NetError> {
         let hb = obj.header_bytes();
         let cb = obj.copy_bytes();
@@ -229,7 +249,7 @@ impl UdpStack {
         } else {
             0
         };
-        let mut tx = self.ctx.pool.alloc(base + hb + cb)?;
+        let mut tx = self.ctx.pool.alloc(base + hb + cb + extra_capacity)?;
         let costs = self.ctx.sim.costs();
 
         if include_packet_header {
@@ -304,11 +324,57 @@ impl UdpStack {
         obj: &impl CornflakesObj,
     ) -> Result<(), NetError> {
         self.charge_tx_base();
-        let first = self.build_first_entry(&hdr, obj, true)?;
+        // Degradation ladder: an object wanting more scatter-gather entries
+        // than the NIC supports is gathered through the copy path instead
+        // of failing the send — identical wire bytes, more CPU (the paper's
+        // §4 memory-transparency fallback extended to descriptor pressure).
+        if 1 + obj.zero_copy_entries() > self.nic.max_sg_entries() {
+            return self.send_object_copied(hdr, obj);
+        }
+        let first = self.build_first_entry(&hdr, obj, true, 0)?;
         let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
         entries.push(first);
         self.collect_zc_entries(obj, &mut entries);
         self.nic.post_tx(entries)?;
+        self.finish_tx();
+        Ok(())
+    }
+
+    /// Copy-path fallback for [`UdpStack::send_object`]: gathers every
+    /// would-be zero-copy field into the first entry by memcpy, producing a
+    /// single-descriptor frame with byte-identical wire contents. Each
+    /// demoted field is charged as a copy and recorded in the decision log.
+    fn send_object_copied(
+        &mut self,
+        hdr: PacketHeader,
+        obj: &impl CornflakesObj,
+    ) -> Result<(), NetError> {
+        self.counters.tx_copy_fallbacks.inc();
+        let zcb = obj.zero_copy_bytes();
+        let mut tx = self.build_first_entry(&hdr, obj, true, zcb)?;
+        let mut cursor = HEADER_BYTES + obj.header_bytes() + obj.copy_bytes();
+        let sim = self.ctx.sim.clone();
+        let tele = self.ctx.telemetry.clone();
+        let threshold = self.ctx.effective_threshold();
+        let tx_addr = tx.addr();
+        obj.for_each_zero_copy_entry(&mut |rc: &RcBuf| {
+            sim.charge_memcpy(
+                Category::SerializeCopy,
+                rc.addr(),
+                tx_addr + cursor as u64,
+                rc.len(),
+            );
+            tx.write_at(cursor, rc.as_slice());
+            cursor += rc.len();
+            tele.record_decision(cf_telemetry::FieldDecision {
+                len: rc.len(),
+                threshold,
+                recover_attempted: true,
+                recover_hit: true,
+                zero_copy: false,
+            });
+        });
+        self.nic.post_tx(vec![tx])?;
         self.finish_tx();
         Ok(())
     }
@@ -331,7 +397,7 @@ impl UdpStack {
             Category::SerializeCopy,
             (1 + obj.zero_copy_entries()) as f64 * costs.sga_entry_materialize,
         );
-        let obj_buf = self.build_first_entry(&hdr, obj, false)?;
+        let obj_buf = self.build_first_entry(&hdr, obj, false, 0)?;
         // Separate packet-header entry.
         let mut h = hdr;
         h.payload_len = obj.object_len() as u32;
@@ -425,6 +491,13 @@ impl UdpStack {
     /// NIC statistics.
     pub fn nic_stats(&self) -> cf_nic::NicStats {
         self.nic.stats()
+    }
+
+    /// Arms deterministic fault injection on this stack's receive direction
+    /// (see [`cf_nic::Port::install_faults`]); returns the injector handle
+    /// for surgical faults and statistics.
+    pub fn install_faults(&self, plan: cf_nic::FaultPlan) -> cf_nic::FaultInjector {
+        self.nic.port().install_faults(self.ctx.sim.clock(), plan)
     }
 
     /// Whether frames are waiting to be received.

@@ -4,7 +4,7 @@
 #![allow(clippy::field_reassign_with_default)] // builder-style test setup
 
 use cf_net::TcpStack;
-use cf_nic::link;
+use cf_nic::{link, FaultPlan};
 use cf_sim::{Clock, MachineProfile, Sim};
 use cornflakes_core::msgs::Single;
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
@@ -50,7 +50,7 @@ fn message_roundtrip() {
     let (mut a, mut b, _clock) = established_pair();
     send_msg(&mut a, b"hello over tcp", false);
     b.poll().unwrap();
-    let msg = b.recv_msg().expect("message delivered");
+    let msg = b.recv_msg().unwrap().expect("message delivered");
     let d = Single::deserialize(b.ctx(), &msg).unwrap();
     assert_eq!(d.id, Some(14));
     assert_eq!(d.val.unwrap().as_slice(), b"hello over tcp");
@@ -62,7 +62,7 @@ fn large_zero_copy_message_roundtrip() {
     let payload = vec![0xEEu8; 4000];
     send_msg(&mut a, &payload, true);
     b.poll().unwrap();
-    let msg = b.recv_msg().expect("message delivered");
+    let msg = b.recv_msg().unwrap().expect("message delivered");
     let d = Single::deserialize(b.ctx(), &msg).unwrap();
     assert_eq!(d.val.unwrap().as_slice(), &payload[..]);
 }
@@ -75,14 +75,14 @@ fn multiple_messages_in_order() {
     }
     b.poll().unwrap();
     for i in 0..5u32 {
-        let msg = b.recv_msg().expect("in-order delivery");
+        let msg = b.recv_msg().unwrap().expect("in-order delivery");
         let d = Single::deserialize(b.ctx(), &msg).unwrap();
         assert_eq!(
             d.val.unwrap().as_slice(),
             format!("message number {i}").as_bytes()
         );
     }
-    assert!(b.recv_msg().is_none());
+    assert!(b.recv_msg().unwrap().is_none());
 }
 
 #[test]
@@ -112,17 +112,17 @@ fn lost_segment_is_retransmitted() {
     send_msg(&mut a, &payload, true);
 
     // Drop the data segment on the wire.
-    let lost = b.wire_drop_next();
-    assert!(lost, "a frame was in flight to drop");
+    let faults = b.install_faults(FaultPlan::none());
+    assert!(faults.drop_pending(), "a frame was in flight to drop");
     b.poll().unwrap();
-    assert!(b.recv_msg().is_none(), "segment was lost");
+    assert!(b.recv_msg().unwrap().is_none(), "segment was lost");
 
     // Advance past the RTO; the sender retransmits from the queue.
     clock.advance(300_000);
     a.poll().unwrap();
     assert_eq!(a.retransmissions(), 1);
     b.poll().unwrap();
-    let msg = b.recv_msg().expect("retransmission delivered");
+    let msg = b.recv_msg().unwrap().expect("retransmission delivered");
     let d = Single::deserialize(b.ctx(), &msg).unwrap();
     assert_eq!(d.val.unwrap().as_slice(), &payload[..]);
 
@@ -136,17 +136,72 @@ fn duplicate_segment_is_reacked_not_redelivered() {
     let (mut a, mut b, clock) = established_pair();
     send_msg(&mut a, b"only once", false);
     b.poll().unwrap();
-    assert!(b.recv_msg().is_some());
+    assert!(b.recv_msg().unwrap().is_some());
 
     // Suppress the ACK so the sender retransmits a duplicate.
-    let dropped = a.wire_drop_next();
-    assert!(dropped, "ACK dropped");
+    let faults = a.install_faults(FaultPlan::none());
+    assert!(faults.drop_pending(), "ACK dropped");
     clock.advance(300_000);
     a.poll().unwrap();
     assert_eq!(a.retransmissions(), 1);
     b.poll().unwrap();
-    assert!(b.recv_msg().is_none(), "duplicate not redelivered");
+    assert!(b.recv_msg().unwrap().is_none(), "duplicate not redelivered");
     // The re-ACK repairs the sender.
     a.poll().unwrap();
     assert_eq!(a.retransmit_queue_len(), 0);
+}
+
+#[test]
+fn corrupted_segment_is_dropped_and_retransmitted() {
+    let (mut a, mut b, clock) = established_pair();
+    let payload = vec![0xA5u8; 900];
+    send_msg(&mut a, &payload, false);
+
+    // Flip one bit in the in-flight segment: the FCS check at the receiver
+    // must reject it (counted) and the RTO must repair the loss.
+    let faults = b.install_faults(FaultPlan::none());
+    assert!(faults.corrupt_pending(), "a frame was in flight to corrupt");
+    b.poll().unwrap();
+    assert!(b.recv_msg().unwrap().is_none(), "corrupt segment discarded");
+
+    clock.advance(300_000);
+    a.poll().unwrap();
+    assert_eq!(a.retransmissions(), 1);
+    b.poll().unwrap();
+    let msg = b.recv_msg().unwrap().expect("retransmission delivered");
+    let d = Single::deserialize(b.ctx(), &msg).unwrap();
+    assert_eq!(d.val.unwrap().as_slice(), &payload[..]);
+}
+
+#[test]
+fn random_loss_plan_is_recovered_by_retransmission() {
+    let (mut a, mut b, clock) = established_pair();
+    // Seeded stochastic faults on the data direction: heavy loss plus
+    // corruption, repaired entirely by TCP's RTO machinery.
+    let faults = b.install_faults(FaultPlan::seeded(7).with_drop(0.3).with_corrupt(0.1));
+    let mut expected = Vec::new();
+    for i in 0..8u32 {
+        let payload = format!("resilient message {i}").into_bytes();
+        send_msg(&mut a, &payload, i % 2 == 0);
+        expected.push(payload);
+    }
+    let mut got = Vec::new();
+    for _round in 0..200 {
+        b.poll().unwrap();
+        while let Some(msg) = b.recv_msg().unwrap() {
+            let d = Single::deserialize(b.ctx(), &msg).unwrap();
+            got.push(d.val.unwrap().as_slice().to_vec());
+        }
+        clock.advance(250_000);
+        a.poll().unwrap();
+        if got.len() == expected.len() && a.retransmit_queue_len() == 0 {
+            break;
+        }
+    }
+    assert_eq!(got, expected, "in-order exactly-once under seeded faults");
+    let stats = faults.stats();
+    assert!(
+        stats.dropped + stats.corrupted > 0,
+        "the plan actually perturbed the wire"
+    );
 }

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use cf_net::TcpStack;
-use cf_nic::link;
+use cf_nic::{link, FaultPlan};
 use cf_sim::{MachineProfile, Sim};
 use cornflakes_core::msgs::Single;
 use cornflakes_core::{CFBytes, CornflakesObj, SerializationConfig};
@@ -51,19 +51,21 @@ proptest! {
             expected.push((i as u32, payload));
         }
 
+        let b_faults = b.install_faults(FaultPlan::none());
+        let a_faults = a.install_faults(FaultPlan::none());
         let mut delivered = Vec::new();
         let mut loss = loss_pattern.iter().cycle();
         // Drive both ends until everything is delivered and ACKed, with
         // bounded rounds so a protocol bug fails instead of hanging.
         for _round in 0..400 {
             if *loss.next().expect("cycled") {
-                b.wire_drop_next();
+                b_faults.drop_pending();
             }
             if *loss.next().expect("cycled") {
-                a.wire_drop_next();
+                a_faults.drop_pending();
             }
             b.poll().expect("rx");
-            while let Some(msg) = b.recv_msg() {
+            while let Some(msg) = b.recv_msg().expect("rx pool healthy") {
                 let d = Single::deserialize(b.ctx(), &msg).expect("decode");
                 delivered.push((
                     d.id.expect("id"),
@@ -86,21 +88,20 @@ proptest! {
         dups in proptest::collection::vec(0usize..3, 1..6),
     ) {
         let (mut a, mut b, _sim) = established_pair();
+        let b_faults = b.install_faults(FaultPlan::none());
         for (i, &dup) in dups.iter().enumerate() {
             let mut m = Single::default();
             m.id = Some(i as u32);
             m.val = Some(CFBytes::new(a.ctx(), format!("payload-{i}").as_bytes()));
             a.send_object(&m).expect("send");
             // Duplicate the in-flight frame `dup` times.
-            if let Some(frame) = b.wire_peek_duplicate() {
-                for _ in 0..dup {
-                    b.wire_inject(frame.clone());
-                }
+            for _ in 0..dup {
+                b_faults.duplicate_pending();
             }
             b.poll().expect("rx");
         }
         let mut got = Vec::new();
-        while let Some(msg) = b.recv_msg() {
+        while let Some(msg) = b.recv_msg().expect("rx pool healthy") {
             let d = Single::deserialize(b.ctx(), &msg).expect("decode");
             got.push(d.id.expect("id"));
         }

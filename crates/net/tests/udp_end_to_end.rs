@@ -266,6 +266,116 @@ fn kv_server_counters_flow_through_udp_stack() {
 }
 
 #[test]
+fn corrupt_frames_are_dropped_and_counted() {
+    use cf_nic::FaultPlan;
+    use cf_telemetry::{Telemetry, TelemetryConfig};
+
+    let (mut a, mut b) = pair();
+    let tele = Telemetry::new(b.sim().clock(), TelemetryConfig::default());
+    b.set_telemetry(&tele);
+    let faults = b.install_faults(FaultPlan::none());
+
+    // First frame arrives corrupted: FCS rejects it silently.
+    let payload = b"integrity matters";
+    let mut tx = a.alloc_tx(payload.len()).unwrap();
+    tx.write_at(cf_net::HEADER_BYTES, payload);
+    let hdr = a.header_to(2000, meta(1));
+    a.send_built(hdr, tx, payload.len()).unwrap();
+    assert!(faults.corrupt_pending(), "frame in flight to corrupt");
+    assert!(b.recv_packet().is_none(), "corrupt frame never surfaces");
+    assert_eq!(tele.counter_value("net.udp.rx_corrupt_drops"), 1);
+
+    // A clean retransmission of the same bytes gets through.
+    let mut tx = a.alloc_tx(payload.len()).unwrap();
+    tx.write_at(cf_net::HEADER_BYTES, payload);
+    a.send_built(hdr, tx, payload.len()).unwrap();
+    let pkt = b.recv_packet().expect("clean frame delivered");
+    assert_eq!(&*pkt.payload, payload);
+    assert_eq!(tele.counter_value("net.udp.rx_corrupt_drops"), 1);
+}
+
+#[test]
+fn kv_client_retries_lost_requests_and_dedups_retried_puts() {
+    use cf_kv::client::{client_server_pair, RetryConfig};
+    use cf_kv::server::SerKind;
+    use cf_mem::PoolConfig;
+    use cf_nic::FaultPlan;
+    use cf_telemetry::{Telemetry, TelemetryConfig};
+
+    let server_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (mut client, mut server) = client_server_pair(
+        server_sim.clone(),
+        SerKind::Cornflakes,
+        SerializationConfig::hybrid(),
+        PoolConfig::default(),
+    );
+    let server_tele = Telemetry::attach(&server_sim);
+    server.set_telemetry(&server_tele);
+    let client_sim = client.stack.sim().clone();
+    let client_tele = Telemetry::new(client_sim.clock(), TelemetryConfig::default());
+    client.set_telemetry(&client_tele);
+    client.enable_retries(RetryConfig {
+        timeout_ns: 100_000,
+        max_retries: 3,
+    });
+
+    // Lose the first transmission of a put request.
+    let req_faults = server.stack.install_faults(FaultPlan::none());
+    let id = client.send_put(b"k", b"retried value");
+    assert!(req_faults.drop_pending(), "request eaten by the wire");
+    server.poll();
+    assert!(client.recv_response().is_none(), "no reply yet");
+
+    // The virtual-time deadline fires; the client retransmits the same id.
+    client_sim.clock().advance(150_000);
+    assert!(client.poll_timers().is_empty(), "retry, not timeout");
+    assert_eq!(client_tele.counter_value("net.udp.retries"), 1);
+    server.poll();
+    let resp = client.recv_response().expect("retried put answered");
+    assert_eq!(resp.id, Some(id));
+    assert_eq!(resp.flags, 0, "applied cleanly");
+    assert_eq!(server.puts_applied(), 1);
+
+    // Lose the *response* this time: the server sees the retry as a
+    // duplicate and acknowledges without re-applying.
+    let resp_faults = client.stack.install_faults(FaultPlan::none());
+    client.send_put(b"k", b"second value");
+    server.poll();
+    assert!(resp_faults.drop_pending(), "response eaten by the wire");
+    assert!(client.recv_response().is_none());
+    client_sim.clock().advance(300_000);
+    assert!(client.poll_timers().is_empty(), "retry, not timeout");
+    server.poll();
+    let resp = client.recv_response().expect("dedup reply delivered");
+    assert_eq!(resp.flags, 0);
+    assert_eq!(server.puts_applied(), 2, "put applied exactly once");
+    assert_eq!(server.dedup_hits(), 1, "the retry hit the dedup window");
+    assert_eq!(
+        server_tele.counter_value("kv.cornflakes.dedup_hits"),
+        1,
+        "dedup hit visible in metrics"
+    );
+
+    // A request the wire always eats times out with a typed signal.
+    let dead_faults = server
+        .stack
+        .install_faults(FaultPlan::seeded(1).with_drop(1.0));
+    let doomed = client.send_get(&[b"k"]);
+    for _ in 0..8 {
+        client_sim.clock().advance(5_000_000);
+        let timed_out = client.poll_timers();
+        server.poll();
+        if timed_out.contains(&doomed) {
+            assert_eq!(client_tele.counter_value("net.udp.timeouts"), 1);
+            assert!(client.pending_ids().is_empty());
+            assert!(dead_faults.stats().dropped > 0);
+            return;
+        }
+    }
+    panic!("request should have timed out");
+}
+
+#[test]
 fn frame_too_large_is_an_error() {
     let (mut a, _b) = pair();
     let v1 = a.ctx().pool.alloc(8 * 1024).unwrap();

@@ -2,25 +2,104 @@
 //!
 //! A [`Frame`] is the fully gathered on-wire representation of one packet.
 //! Two [`Port`]s created by [`link`] form a bidirectional wire: frames
-//! pushed into one port pop out of the other, in order. Tests inject loss or
-//! reordering by manipulating the queues directly via [`Port::pop_rx`] /
-//! [`Port::push_rx`].
+//! pushed into one port pop out of the other, in order. Loss, duplication,
+//! reordering, bit corruption, and delay are injected deterministically
+//! through the [`crate::fault`] layer — arm a port with
+//! [`Port::install_faults`] and drive it from a seeded
+//! [`crate::fault::FaultPlan`] or the returned
+//! [`crate::fault::FaultInjector`]'s surgical per-frame operations. The
+//! queues themselves are no longer poked directly.
+//!
+//! Every gathered frame carries a CRC32 frame check sequence at
+//! [`FCS_OFFSET`], written by the NIC at transmit time ([`Frame::seal`],
+//! modeling checksum offload — no CPU charge) and verified by the receiving
+//! stack ([`fcs_ok`]), so wire corruption is detected and counted rather
+//! than silently consumed.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+
+use cf_sim::Clock;
+
+use crate::fault::{FaultInjector, FaultPlan, FaultState};
+
+/// Byte offset of the CRC32 frame check sequence within a frame.
+///
+/// Both the UDP and TCP header layouts (48-byte L2/L3/L4 stubs) leave bytes
+/// 18..22 zero, so the FCS lives there without disturbing any port, length,
+/// sequence, or application-metadata offset.
+pub const FCS_OFFSET: usize = 18;
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `data` with the FCS field itself treated as zero.
+pub fn frame_fcs(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for (i, &b) in data.iter().enumerate() {
+        let b = if (FCS_OFFSET..FCS_OFFSET + 4).contains(&i) {
+            0
+        } else {
+            b
+        };
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Verifies the FCS written by [`Frame::seal`]. Frames too short to carry
+/// one (control stubs, runts) trivially pass — the stacks' length checks
+/// handle those.
+pub fn fcs_ok(data: &[u8]) -> bool {
+    if data.len() < FCS_OFFSET + 4 {
+        return true;
+    }
+    let stored = u32::from_le_bytes(
+        data[FCS_OFFSET..FCS_OFFSET + 4]
+            .try_into()
+            .expect("4-byte slice"),
+    );
+    stored == frame_fcs(data)
+}
 
 /// A gathered on-wire frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
     /// Frame bytes, headers included.
     pub data: Vec<u8>,
+    /// Set on copies created by wire duplication, so a copy is never
+    /// duplicated again (a duplicate probability of 1.0 must terminate).
+    pub(crate) wire_copy: bool,
 }
 
 impl Frame {
     /// Creates a frame from bytes.
     pub fn new(data: Vec<u8>) -> Self {
-        Frame { data }
+        Frame {
+            data,
+            wire_copy: false,
+        }
     }
 
     /// Frame length in bytes.
@@ -32,22 +111,60 @@ impl Frame {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Writes the CRC32 frame check sequence into the FCS field — done by
+    /// the NIC when the frame is gathered (checksum offload: NIC-side work,
+    /// never charged to the virtual clock). No-op on frames too short to
+    /// carry an FCS.
+    pub fn seal(&mut self) {
+        if self.data.len() < FCS_OFFSET + 4 {
+            return;
+        }
+        let fcs = frame_fcs(&self.data);
+        self.data[FCS_OFFSET..FCS_OFFSET + 4].copy_from_slice(&fcs.to_le_bytes());
+    }
+
+    /// Whether the stored FCS matches the frame contents.
+    pub fn fcs_ok(&self) -> bool {
+        fcs_ok(&self.data)
+    }
 }
 
-type Queue = Rc<RefCell<VecDeque<Frame>>>;
+/// One direction of a wire: an ordered frame queue plus, once
+/// [`Port::install_faults`] has armed it, the fault state that filters
+/// deliveries.
+#[derive(Debug, Default)]
+pub(crate) struct Channel {
+    pub(crate) queue: VecDeque<Frame>,
+    pub(crate) faults: Option<FaultState>,
+}
+
+impl Channel {
+    fn deliver(&mut self) -> Option<Frame> {
+        match &mut self.faults {
+            None => self.queue.pop_front(),
+            Some(f) => f.deliver(&mut self.queue),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        let due_delayed = self.faults.as_ref().map_or(0, |f| f.due_count());
+        self.queue.len() + due_delayed
+    }
+}
 
 /// One end of a simulated wire.
 #[derive(Clone, Debug)]
 pub struct Port {
-    tx: Queue,
-    rx: Queue,
+    tx: Rc<RefCell<Channel>>,
+    rx: Rc<RefCell<Channel>>,
 }
 
 /// Creates a connected pair of ports: what one transmits, the other
 /// receives.
 pub fn link() -> (Port, Port) {
-    let a_to_b: Queue = Rc::new(RefCell::new(VecDeque::new()));
-    let b_to_a: Queue = Rc::new(RefCell::new(VecDeque::new()));
+    let a_to_b = Rc::new(RefCell::new(Channel::default()));
+    let b_to_a = Rc::new(RefCell::new(Channel::default()));
     (
         Port {
             tx: Rc::clone(&a_to_b),
@@ -64,7 +181,7 @@ impl Port {
     /// Creates a port looped back to itself (transmitted frames are
     /// received by the same port). Useful for single-machine tests.
     pub fn loopback() -> Port {
-        let q: Queue = Rc::new(RefCell::new(VecDeque::new()));
+        let q = Rc::new(RefCell::new(Channel::default()));
         Port {
             tx: Rc::clone(&q),
             rx: q,
@@ -73,29 +190,41 @@ impl Port {
 
     /// Transmits a frame.
     pub fn send(&self, frame: Frame) {
-        self.tx.borrow_mut().push_back(frame);
+        self.tx.borrow_mut().queue.push_back(frame);
     }
 
-    /// Receives the next frame, if any.
+    /// Receives the next frame, if any. With faults installed, the frame is
+    /// first filtered through the active [`FaultPlan`] (delivery-time
+    /// application preserves determinism regardless of when senders ran).
     pub fn recv(&self) -> Option<Frame> {
-        self.rx.borrow_mut().pop_front()
+        self.rx.borrow_mut().deliver()
     }
 
-    /// Number of frames waiting to be received.
+    /// Number of frames currently deliverable (held-back delayed frames not
+    /// yet due are excluded; frames that the plan may still drop are
+    /// included).
     pub fn pending_rx(&self) -> usize {
-        self.rx.borrow().len()
+        self.rx.borrow().pending()
     }
 
-    /// Removes and returns the next frame from the receive queue without it
-    /// counting as "received" — test hook for loss injection.
-    pub fn pop_rx(&self) -> Option<Frame> {
-        self.recv()
-    }
-
-    /// Pushes a frame directly into the receive queue — test hook for
-    /// reordering/duplication.
-    pub fn push_rx(&self, frame: Frame) {
-        self.rx.borrow_mut().push_back(frame);
+    /// Arms deterministic fault injection on this port's **receive**
+    /// direction: every frame subsequently delivered through [`Port::recv`]
+    /// is filtered through `plan`, seeded from the plan's own RNG stream.
+    /// `clock` provides virtual time for delayed-frame release.
+    ///
+    /// Returns the [`FaultInjector`] handle for surgical per-frame
+    /// operations and fault statistics. Installing a new plan replaces the
+    /// previous one; frames the old plan still held back are re-queued for
+    /// delivery.
+    pub fn install_faults(&self, clock: Clock, plan: FaultPlan) -> FaultInjector {
+        {
+            let mut ch = self.rx.borrow_mut();
+            let old = ch.faults.replace(FaultState::new(clock, plan));
+            if let Some(old) = old {
+                old.requeue_delayed(&mut ch.queue);
+            }
+        }
+        FaultInjector::new(Rc::clone(&self.rx))
     }
 }
 
@@ -134,13 +263,14 @@ mod tests {
     }
 
     #[test]
-    fn loss_injection_via_pop() {
+    fn loss_injection_via_fault_injector() {
         let (a, b) = link();
+        let faults = b.install_faults(Clock::new(), FaultPlan::none());
         a.send(Frame::new(vec![1]));
         a.send(Frame::new(vec![2]));
-        let lost = b.pop_rx().unwrap();
-        assert_eq!(lost.data, vec![1]); // dropped on the floor
+        assert!(faults.drop_pending(), "a frame was pending to drop");
         assert_eq!(b.recv().unwrap().data, vec![2]);
+        assert_eq!(faults.stats().dropped, 1);
     }
 
     #[test]
@@ -149,5 +279,43 @@ mod tests {
         assert_eq!(f.len(), 42);
         assert!(!f.is_empty());
         assert!(Frame::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn seal_and_verify_fcs() {
+        let mut f = Frame::new(vec![0xAB; 64]);
+        f.seal();
+        assert!(f.fcs_ok());
+        // A single flipped bit anywhere must be detected.
+        f.data[40] ^= 0x10;
+        assert!(!f.fcs_ok());
+        f.data[40] ^= 0x10;
+        assert!(f.fcs_ok());
+        // Corruption inside the FCS field itself is also detected.
+        f.data[FCS_OFFSET] ^= 1;
+        assert!(!f.fcs_ok());
+    }
+
+    #[test]
+    fn short_frames_trivially_pass_fcs() {
+        let f = Frame::new(vec![1, 2, 3]);
+        assert!(f.fcs_ok());
+        let mut f = Frame::new(vec![0; FCS_OFFSET + 3]);
+        f.seal(); // no-op
+        assert!(f.fcs_ok());
+    }
+
+    #[test]
+    fn reinstalling_faults_requeues_delayed_frames() {
+        let clock = Clock::new();
+        let (a, b) = link();
+        let faults = b.install_faults(clock.clone(), FaultPlan::none());
+        a.send(Frame::new(vec![7]));
+        assert!(faults.delay_pending(1_000_000));
+        assert_eq!(b.pending_rx(), 0, "held back until due");
+        // Replacing the plan releases the held frame back into the queue.
+        b.install_faults(clock, FaultPlan::none());
+        assert_eq!(b.pending_rx(), 1);
+        assert_eq!(b.recv().unwrap().data, vec![7]);
     }
 }

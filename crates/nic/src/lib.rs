@@ -18,17 +18,28 @@
 //!   descriptor costs differ slightly (Figure 10 reproduces the threshold's
 //!   insensitivity to this).
 //! - **RX into pinned buffers**: received frames land in pool-allocated
-//!   `RcBuf`s, mirroring DMA into pre-posted receive descriptors.
+//!   `RcBuf`s, mirroring DMA into pre-posted receive descriptors. When the
+//!   pool is exhausted, frames are dropped and counted
+//!   ([`nic::NicStats::rx_nobuf_drops`]) — receive-descriptor starvation,
+//!   never a panic.
+//! - **Checksum offload** ([`frame::Frame::seal`]): every gathered frame
+//!   carries a CRC32 FCS so receivers detect wire corruption.
+//! - **Deterministic fault injection** ([`fault::FaultPlan`],
+//!   [`frame::Port::install_faults`]): seeded drop / duplicate / reorder /
+//!   corrupt / delay schedules on either wire direction, replacing manual
+//!   queue poking in tests.
 //!
 //! CPU cost accounting: posting charges the per-entry descriptor cost for
 //! every entry after the first (the first rides in the base per-packet
 //! cost); the gather itself is NIC-side PCIe work, not CPU time, and is not
 //! charged to the virtual clock.
 
+pub mod fault;
 pub mod frame;
 pub mod nic;
 
-pub use frame::{link, Frame, Port};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use frame::{fcs_ok, frame_fcs, link, Frame, Port, FCS_OFFSET};
 pub use nic::{Nic, NicError, NicStats};
 
 /// Maximum simulated frame size: a jumbo frame (paper §2.1).

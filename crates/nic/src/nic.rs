@@ -67,6 +67,9 @@ pub struct NicStats {
     pub rx_frames: u64,
     /// Bytes received.
     pub rx_bytes: u64,
+    /// Frames dropped on receive because no pool buffer was available
+    /// (receive-descriptor starvation).
+    pub rx_nobuf_drops: u64,
 }
 
 /// Cached metric handles mirroring [`NicStats`] into a telemetry registry.
@@ -79,6 +82,7 @@ struct NicCounters {
     tx_sg_entries: Counter,
     rx_frames: Counter,
     rx_bytes: Counter,
+    rx_nobuf_drops: Counter,
     completions: Counter,
 }
 
@@ -116,6 +120,7 @@ impl Nic {
             tx_sg_entries: tele.counter("nic.tx_sg_entries"),
             rx_frames: tele.counter("nic.rx_frames"),
             rx_bytes: tele.counter("nic.rx_bytes"),
+            rx_nobuf_drops: tele.counter("nic.rx_nobuf_drops"),
             completions: tele.counter("nic.completions"),
         };
         self.counters.tx_frames.add(self.stats.tx_frames);
@@ -123,6 +128,7 @@ impl Nic {
         self.counters.tx_sg_entries.add(self.stats.tx_sg_entries);
         self.counters.rx_frames.add(self.stats.rx_frames);
         self.counters.rx_bytes.add(self.stats.rx_bytes);
+        self.counters.rx_nobuf_drops.add(self.stats.rx_nobuf_drops);
     }
 
     /// Maximum scatter-gather entries per descriptor for this NIC.
@@ -172,7 +178,11 @@ impl Nic {
         self.counters.tx_frames.inc();
         self.counters.tx_bytes.add(size as u64);
         self.counters.tx_sg_entries.add(entries.len() as u64);
-        self.port.send(Frame::new(data));
+        // Checksum offload: the NIC writes the frame check sequence as part
+        // of the gather (NIC-side work, no CPU charge).
+        let mut frame = Frame::new(data);
+        frame.seal();
+        self.port.send(frame);
         self.completion_queue.push_back(entries);
         Ok(())
     }
@@ -198,27 +208,33 @@ impl Nic {
     /// work and is not charged to the CPU; parsing costs are charged by the
     /// networking stack.
     ///
-    /// Returns `None` when no frame is pending. Panics if the RX pool is
-    /// exhausted, which models receive-descriptor starvation — sized pools
-    /// make it unreachable in experiments.
+    /// Returns `None` when no frame is pending. If the RX pool is exhausted
+    /// — receive-descriptor starvation — the frame is dropped on the floor
+    /// exactly as hardware drops frames with no posted descriptor, counted
+    /// in [`NicStats::rx_nobuf_drops`]; upper layers recover by retransmit
+    /// or retry, never by panicking.
     pub fn recv_into(&mut self, rx_pool: &PinnedPool) -> Option<RcBuf> {
-        let frame = self.port.recv()?;
-        self.stats.rx_frames += 1;
-        self.stats.rx_bytes += frame.len() as u64;
-        self.counters.rx_frames.inc();
-        self.counters.rx_bytes.add(frame.len() as u64);
-        let mut buf = rx_pool
-            .alloc(frame.len().max(1))
-            .expect("rx pool exhausted: grow PoolConfig for this experiment");
-        if !frame.is_empty() {
-            buf.write_at(0, &frame.data);
+        loop {
+            let frame = self.port.recv()?;
+            let Ok(mut buf) = rx_pool.alloc(frame.len().max(1)) else {
+                self.stats.rx_nobuf_drops += 1;
+                self.counters.rx_nobuf_drops.inc();
+                continue;
+            };
+            self.stats.rx_frames += 1;
+            self.stats.rx_bytes += frame.len() as u64;
+            self.counters.rx_frames.inc();
+            self.counters.rx_bytes.add(frame.len() as u64);
+            if !frame.is_empty() {
+                buf.write_at(0, &frame.data);
+            }
+            buf.truncate(frame.len());
+            // The DMA write invalidates any cached copies of the receive
+            // buffer (no DDIO on the modeled AMD platform): the CPU's first
+            // touch of received data misses to memory.
+            self.sim.dma_write(buf.addr(), frame.len());
+            return Some(buf);
         }
-        buf.truncate(frame.len());
-        // The DMA write invalidates any cached copies of the receive buffer
-        // (no DDIO on the modeled AMD platform): the CPU's first touch of
-        // received data misses to memory.
-        self.sim.dma_write(buf.addr(), frame.len());
-        Some(buf)
     }
 
     /// Whether frames are waiting in the receive queue.
@@ -361,6 +377,44 @@ mod tests {
         let (mut a, _b, pool, _sim) = setup();
         assert!(a.recv_into(&pool).is_none());
         assert!(!a.has_pending_rx());
+    }
+
+    #[test]
+    fn rx_pool_exhaustion_drops_frame_gracefully() {
+        let (mut a, mut b, tx_pool, _sim) = setup();
+        // An RX pool with exactly one 64 B slot, and that slot held.
+        let cfg = PoolConfig {
+            slots_per_region: 1,
+            max_regions_per_class: 1,
+            ..PoolConfig::small_for_tests()
+        };
+        let rx_pool = PinnedPool::new(Registry::new(), cfg);
+        let held = rx_pool.alloc(16).unwrap();
+        a.post_tx(vec![buf(&tx_pool, b"dropped on the floor")])
+            .unwrap();
+        assert!(
+            b.recv_into(&rx_pool).is_none(),
+            "starved RX drops the frame"
+        );
+        assert_eq!(b.stats().rx_nobuf_drops, 1);
+        assert_eq!(b.stats().rx_frames, 0, "a dropped frame is not received");
+        // Once a descriptor is available again, traffic flows.
+        drop(held);
+        a.post_tx(vec![buf(&tx_pool, b"arrives")]).unwrap();
+        assert_eq!(&*b.recv_into(&rx_pool).unwrap(), b"arrives");
+        assert_eq!(b.stats().rx_nobuf_drops, 1);
+    }
+
+    #[test]
+    fn transmitted_frames_carry_valid_fcs() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let mut a = Nic::new(sim, pa);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        a.post_tx(vec![pool.alloc_from(&[0x5A; 64]).unwrap()])
+            .unwrap();
+        let frame = pb.recv().unwrap();
+        assert!(frame.fcs_ok(), "post_tx seals the frame");
     }
 
     #[test]

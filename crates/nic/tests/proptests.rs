@@ -2,7 +2,8 @@
 //!
 //! Invariants:
 //! 1. Gather correctness: however a payload is split into scatter entries,
-//!    the delivered frame is the concatenation, byte-exact.
+//!    the delivered frame is the concatenation, byte-exact — except the
+//!    4-byte FCS field, which the NIC seals with a verifying CRC32.
 //! 2. Completion safety: every posted buffer keeps exactly one extra
 //!    reference until completions are polled.
 //! 3. Limits: entry counts above the NIC's maximum and frames above the
@@ -46,7 +47,19 @@ proptest! {
         a.post_tx(entries).expect("post");
         let rx = b.recv_into(&pool).expect("frame");
         let expected: Vec<u8> = pieces.concat();
-        prop_assert_eq!(rx.as_slice(), &expected[..]);
+        // The NIC owns the 4-byte FCS field (checksum offload seals it at
+        // post_tx); every other byte is the exact concatenation.
+        let rx_bytes = rx.as_slice();
+        prop_assert_eq!(rx_bytes.len(), expected.len());
+        for (i, (&got, &want)) in rx_bytes.iter().zip(expected.iter()).enumerate() {
+            if rx_bytes.len() >= cf_nic::FCS_OFFSET + 4
+                && (cf_nic::FCS_OFFSET..cf_nic::FCS_OFFSET + 4).contains(&i)
+            {
+                continue;
+            }
+            prop_assert_eq!(got, want, "byte {} differs", i);
+        }
+        prop_assert!(cf_nic::fcs_ok(rx_bytes), "sealed FCS verifies");
     }
 
     #[test]

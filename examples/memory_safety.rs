@@ -12,7 +12,7 @@
 use cornflakes::core::msgs::Single;
 use cornflakes::core::{CFBytes, CornflakesObj, SerializationConfig};
 use cornflakes::net::{FrameMeta, TcpStack, UdpStack};
-use cornflakes::nic::link;
+use cornflakes::nic::{link, FaultPlan};
 use cornflakes::sim::{MachineProfile, Sim};
 
 fn udp_demo() {
@@ -75,15 +75,19 @@ fn tcp_demo() {
     assert_eq!(value.refcount(), 2);
 
     // The wire eats the segment.
-    assert!(b.wire_drop_next(), "segment lost");
+    let faults = b.install_faults(FaultPlan::none());
+    assert!(faults.drop_pending(), "segment lost");
     b.poll().expect("nothing arrives");
-    assert!(b.recv_msg().is_none());
+    assert!(b.recv_msg().expect("rx pool healthy").is_none());
 
     // RTO fires; the queued buffers are retransmitted.
     sim.clock().advance(300_000);
     a.poll().expect("retransmit");
     b.poll().expect("rx");
-    let got = b.recv_msg().expect("delivered after loss");
+    let got = b
+        .recv_msg()
+        .expect("rx pool healthy")
+        .expect("delivered after loss");
     let decoded = Single::deserialize(b.ctx(), &got).expect("valid");
     assert_eq!(decoded.val.expect("val").len(), 2048);
     println!("  retransmission delivered the message after loss");

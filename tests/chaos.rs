@@ -1,0 +1,254 @@
+//! Chaos property test (robustness capstone): YCSB-style key-value traffic
+//! over UDP while seeded fault plans drop, duplicate, reorder, corrupt, and
+//! delay frames in both directions.
+//!
+//! Invariants checked for every generated fault plan:
+//! - every request ends in exactly one of: a decoded response or a typed
+//!   timeout from the client's retry machinery;
+//! - retried puts are exactly-once: a put acknowledged clean was applied
+//!   precisely once, no matter how many times the wire replayed it;
+//! - values read back are always bytes some client write (or the preload)
+//!   actually produced — never torn or corrupted data;
+//! - when the dust settles, buffer refcounts and pool occupancy return to
+//!   baseline: the store owns the only reference to every stored segment
+//!   and nothing leaks on either side of the wire.
+//!
+//! Case count is environment-gated: `CF_CHAOS_CASES=256 cargo test --test
+//! chaos` for a soak run; the default stays CI-fast.
+
+use proptest::prelude::*;
+
+use cornflakes::kv::client::{KvClient, RetryConfig, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::flags;
+use cornflakes::kv::server::{KvServer, SerKind};
+use cornflakes::mem::PoolConfig;
+use cornflakes::net::UdpStack;
+use cornflakes::nic::{link, FaultPlan};
+use cornflakes::sim::{MachineProfile, Sim};
+use cornflakes::telemetry::Telemetry;
+use cornflakes::workloads::{key_string, Ycsb, YcsbConfig};
+
+const NUM_KEYS: u64 = 16;
+const VALUE_BYTES: usize = 256;
+
+fn chaos_cases() -> u32 {
+    std::env::var("CF_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+/// Client and server share one Sim so retry deadlines, fault delays, and
+/// RTOs all read the same virtual clock.
+fn chaos_pair() -> (KvClient, KvServer, Sim) {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (cp, sp) = link();
+    let client_stack = UdpStack::new(
+        sim.clone(),
+        cp,
+        CLIENT_PORT,
+        cornflakes::core::SerializationConfig::hybrid(),
+    );
+    // A deliberately small server pool: heavy in-flight traffic can brush
+    // against exhaustion, exercising the degraded paths under fault load.
+    let server_stack = UdpStack::with_pool_config(
+        sim.clone(),
+        sp,
+        SERVER_PORT,
+        cornflakes::core::SerializationConfig::hybrid(),
+        PoolConfig {
+            slots_per_region: 4,
+            max_regions_per_class: 8,
+            ..PoolConfig::small_for_tests()
+        },
+    );
+    (
+        KvClient::new(client_stack, SerKind::Cornflakes),
+        KvServer::new(server_stack, SerKind::Cornflakes),
+        sim,
+    )
+}
+
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Answered { flags: u8, vals: Vec<Vec<u8>> },
+    TimedOut,
+}
+
+/// Drives one request to its mandatory conclusion: response or timeout.
+fn drive(client: &mut KvClient, server: &mut KvServer, sim: &Sim, id: u32) -> Outcome {
+    for _round in 0..80 {
+        server.poll();
+        if let Some(resp) = client.recv_response() {
+            assert_eq!(resp.id, Some(id), "tracking filters foreign responses");
+            return Outcome::Answered {
+                flags: resp.flags,
+                vals: resp.vals,
+            };
+        }
+        sim.clock().advance(60_000);
+        if client.poll_timers().contains(&id) {
+            return Outcome::TimedOut;
+        }
+    }
+    panic!("request {id} neither answered nor timed out");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    #[test]
+    fn kv_traffic_survives_arbitrary_fault_plans(
+        seed in any::<u64>(),
+        drop_bp in 0u32..2000,
+        dup_bp in 0u32..2000,
+        reorder_bp in 0u32..2000,
+        corrupt_bp in 0u32..1500,
+        delay_bp in 0u32..2000,
+        // One bool per operation: true = put, false = get.
+        ops in proptest::collection::vec(any::<bool>(), 12..28),
+    ) {
+        let (mut client, mut server, sim) = chaos_pair();
+        let tele = Telemetry::attach(&sim);
+        server.set_telemetry(&tele);
+        client.set_telemetry(&tele);
+        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3 });
+
+        let mut ycsb = Ycsb::new(
+            YcsbConfig {
+                num_keys: NUM_KEYS,
+                theta: 0.9,
+                value_segments: 1,
+                segment_size: VALUE_BYTES,
+            },
+            seed,
+        );
+
+        // Preload every key so gets always have a well-known answer, and
+        // remember every byte pattern each key could legitimately hold.
+        let keys: Vec<Vec<u8>> = (0..NUM_KEYS)
+            .map(|i| key_string(i).into_bytes())
+            .collect();
+        let mut candidates: Vec<Vec<Vec<u8>>> = Vec::new();
+        for key in &keys {
+            server
+                .store
+                .preload(server.stack.ctx(), key, &[VALUE_BYTES])
+                .expect("preload fits the pool");
+            let fill = cornflakes::kv::store::KvStore::expected_fill(key, 0);
+            candidates.push(vec![vec![fill; VALUE_BYTES]]);
+        }
+        let client_baseline = client.stack.ctx().pool.live_slots();
+
+        let p = |bp: u32| f64::from(bp) / 10_000.0;
+        let requests = server.stack.install_faults(
+            FaultPlan::seeded(seed)
+                .with_drop(p(drop_bp))
+                .with_duplicate(p(dup_bp))
+                .with_reorder(p(reorder_bp))
+                .with_corrupt(p(corrupt_bp))
+                .with_delay(p(delay_bp), (10_000, 150_000)),
+        );
+        let responses = client.stack.install_faults(
+            FaultPlan::seeded(seed ^ 0x9E37_79B9_7F4A_7C15)
+                .with_drop(p(drop_bp))
+                .with_duplicate(p(dup_bp))
+                .with_reorder(p(reorder_bp))
+                .with_corrupt(p(corrupt_bp))
+                .with_delay(p(delay_bp), (10_000, 150_000)),
+        );
+
+        let mut answered = 0u64;
+        let mut timeouts = 0u64;
+        let mut clean_put_acks = 0u64;
+        let mut puts_sent = 0u64;
+        for (op_idx, &is_put) in ops.iter().enumerate() {
+            let key_id = ycsb.next_key() % NUM_KEYS;
+            let key = keys[key_id as usize].clone();
+            if is_put {
+                // A unique, recognizable value per write.
+                let val = vec![op_idx as u8 ^ 0xA5; VALUE_BYTES];
+                puts_sent += 1;
+                let id = client.send_put(&key, &val);
+                match drive(&mut client, &mut server, &sim, id) {
+                    Outcome::Answered { flags: f, .. } => {
+                        answered += 1;
+                        if f & flags::DEGRADED == 0 {
+                            clean_put_acks += 1;
+                            // Only a clean ack promises the write landed.
+                            candidates[key_id as usize].push(val);
+                        }
+                    }
+                    Outcome::TimedOut => {
+                        timeouts += 1;
+                        // Unknown outcome: the put may still have applied.
+                        candidates[key_id as usize].push(val);
+                    }
+                }
+            } else {
+                let id = client.send_get(&[&key]);
+                match drive(&mut client, &mut server, &sim, id) {
+                    Outcome::Answered { vals, .. } => {
+                        answered += 1;
+                        prop_assert_eq!(vals.len(), 1, "one value per get");
+                        prop_assert!(
+                            candidates[key_id as usize].contains(&vals[0]),
+                            "read bytes must match some legitimate write"
+                        );
+                    }
+                    Outcome::TimedOut => timeouts += 1,
+                }
+            }
+        }
+
+        // Every request concluded exactly once.
+        prop_assert_eq!(answered + timeouts, ops.len() as u64);
+        prop_assert!(client.pending_ids().is_empty());
+
+        // Exactly-once puts: every clean ack corresponds to one apply; the
+        // only applies beyond that are puts whose acks were all lost.
+        let applied = server.puts_applied();
+        prop_assert!(
+            applied >= clean_put_acks,
+            "applied {applied} < clean acks {clean_put_acks}"
+        );
+        prop_assert!(
+            applied <= puts_sent,
+            "applied {applied} > puts sent {puts_sent}: a retry was re-applied"
+        );
+
+        // Let straggling delayed frames land and drain stale responses.
+        for _ in 0..6 {
+            sim.clock().advance(500_000);
+            server.poll();
+            prop_assert!(client.recv_response().is_none(), "no untracked responses");
+        }
+        let _ = (requests.stats(), responses.stats());
+
+        // Quiescence: refcounts and pool occupancy back to baseline.
+        client.stack.poll_completions();
+        server.stack.poll_completions();
+        prop_assert_eq!(
+            client.stack.ctx().pool.live_slots(),
+            client_baseline,
+            "client side leaked buffers"
+        );
+        let mut store_slots = 0usize;
+        for key in &keys {
+            let value = server.store.get(key).expect("keys never disappear");
+            store_slots += value.segments.len();
+            for seg in &value.segments {
+                prop_assert_eq!(
+                    seg.refcount(),
+                    1,
+                    "store must hold the only reference at rest"
+                );
+            }
+        }
+        prop_assert_eq!(
+            server.stack.ctx().pool.live_slots(),
+            store_slots,
+            "server pool occupancy != store contents: leak or early free"
+        );
+    }
+}

@@ -7,7 +7,7 @@ use cornflakes::core::msgs::{GetM, Single};
 use cornflakes::core::{CFBytes, CornflakesObj, SerializationConfig};
 use cornflakes::mem::{PinnedPool, PoolConfig, Registry};
 use cornflakes::net::{FrameMeta, TcpStack, UdpStack};
-use cornflakes::nic::link;
+use cornflakes::nic::{link, FaultPlan};
 use cornflakes::sim::{MachineProfile, Sim};
 
 fn meta(req_id: u32) -> FrameMeta {
@@ -78,7 +78,9 @@ fn overwritten_store_value_survives_inflight_send() {
     server.set_auto_complete(false);
 
     let mut store = cornflakes::kv::store::KvStore::new(sim);
-    store.put(server.ctx(), b"k", &[0xAAu8; 2048], 8192);
+    store
+        .put(server.ctx(), b"k", &[0xAAu8; 2048], 8192)
+        .expect("pool has room");
 
     // Serialize a response referencing the current value.
     let mut resp = GetM::new();
@@ -93,7 +95,9 @@ fn overwritten_store_value_survives_inflight_send() {
     drop(resp);
 
     // Overwrite the value while the DMA is "in flight".
-    store.put(server.ctx(), b"k", &[0xBBu8; 2048], 8192);
+    store
+        .put(server.ctx(), b"k", &[0xBBu8; 2048], 8192)
+        .expect("pool has room");
 
     // The receiver sees the OLD bytes — the send snapshot is intact.
     let pkt = client.recv_packet().expect("frame");
@@ -154,15 +158,19 @@ fn tcp_retransmission_uses_original_buffers_after_app_mutation_window() {
         // Both the app's message and its buffer handle die here.
     }
     // Lose the segment twice; retransmit twice.
+    let faults = b.install_faults(FaultPlan::none());
     for round in 0..2 {
-        assert!(b.wire_drop_next(), "segment lost (round {round})");
+        assert!(faults.drop_pending(), "segment lost (round {round})");
         b.poll().expect("nothing");
         sim.clock().advance(400_000);
         a.poll().expect("retransmit");
     }
     assert_eq!(a.retransmissions(), 2);
     b.poll().expect("rx");
-    let msg = b.recv_msg().expect("finally delivered");
+    let msg = b
+        .recv_msg()
+        .expect("rx pool healthy")
+        .expect("finally delivered");
     let d = Single::deserialize(b.ctx(), &msg).expect("decode");
     assert_eq!(d.val.expect("val").len(), 1500);
     a.poll().expect("ack");
