@@ -1,0 +1,11 @@
+//! Multi-queue scaling: aggregate throughput vs queue count, 1→8 queues
+//! over YCSB-C and the Twitter cache trace. Emits `scaling.json`.
+
+fn main() {
+    let (keys, requests) = if cf_bench::quick_mode() {
+        (2_048, 4_000)
+    } else {
+        (16_384, 40_000)
+    };
+    cf_bench::experiments::scaling::run(keys, requests);
+}

@@ -30,6 +30,17 @@ pub fn write_metrics_artifact(experiment: &str, tele: &Telemetry) -> io::Result<
     Ok(path)
 }
 
+/// Writes an experiment-specific JSON body to `<artifact_dir>/<name>.json`
+/// (experiments with structured results beyond the metrics snapshot, e.g.
+/// the scaling sweep). Returns the path written.
+pub fn write_json_artifact(name: &str, json: &str) -> io::Result<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Writes a Chrome Trace Event JSON file (`chrome://tracing` /
 /// `ui.perfetto.dev` loadable) for `experiment`'s recorded spans.
 pub fn write_trace_artifact(experiment: &str, tele: &Telemetry) -> io::Result<PathBuf> {

@@ -11,5 +11,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod scaling;
 pub mod table2;
 pub mod table5;

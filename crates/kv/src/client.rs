@@ -27,6 +27,7 @@ use cf_baselines::protolite::PGetM;
 use crate::msg_type;
 use crate::msgs::GetMsg;
 use crate::server::{KvServer, SerKind};
+use crate::sharded::shard_of_key;
 
 /// Client-side ports.
 pub const CLIENT_PORT: u16 = 4000;
@@ -95,6 +96,9 @@ pub struct KvClient {
     next_id: u32,
     retry: Option<RetryConfig>,
     pending: HashMap<u32, PendingReq>,
+    /// Per-shard source ports: entry `q` is a source port whose flow to
+    /// [`SERVER_PORT`] RSS-steers to queue `q`. Empty = steering disabled.
+    steer_ports: Vec<u16>,
     counters: ClientCounters,
 }
 
@@ -125,8 +129,32 @@ impl KvClient {
             next_id: 1,
             retry: None,
             pending: HashMap::new(),
+            steer_ports: Vec::new(),
             counters: ClientCounters::default(),
         }
+    }
+
+    /// Turns on shard steering against a multi-queue server with the given
+    /// RSS profile: for each server queue the client picks a source port
+    /// whose flow hash lands on that queue, and every request is sent from
+    /// the port owned by the shard of its first key — so a key's request
+    /// always arrives on the queue whose [`crate::store::KvStore`] holds
+    /// the key. This mirrors what real kernel-bypass clients do: the NIC's
+    /// hash function and key are documented precisely so software can
+    /// predict placements.
+    pub fn enable_steering(&mut self, rss: &cf_nic::RssConfig) {
+        self.steer_ports = (0..rss.num_queues())
+            .map(|q| {
+                (CLIENT_PORT..u16::MAX)
+                    .find(|&p| rss.queue_for_flow(p, SERVER_PORT) == q)
+                    .expect("a steering source port exists for every queue")
+            })
+            .collect();
+    }
+
+    /// The per-shard source ports steering is using (empty when disabled).
+    pub fn steer_ports(&self) -> &[u16] {
+        &self.steer_ports
     }
 
     /// Turns on request tracking and retransmission with the given policy.
@@ -246,7 +274,13 @@ impl KvClient {
         keys: &[&[u8]],
         vals: &[&[u8]],
     ) -> Result<(), NetError> {
-        let hdr = self.stack.header_to(SERVER_PORT, meta);
+        let mut hdr = self.stack.header_to(SERVER_PORT, meta);
+        if !self.steer_ports.is_empty() {
+            if let Some(key) = keys.first() {
+                let shard = shard_of_key(key, self.steer_ports.len());
+                hdr.src_port = self.steer_ports[shard];
+            }
+        }
         match self.kind {
             SerKind::Cornflakes => {
                 let mut req = GetMsg::new();

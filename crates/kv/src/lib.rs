@@ -25,6 +25,7 @@ pub mod client;
 pub mod echo;
 pub mod redis;
 pub mod server;
+pub mod sharded;
 pub mod store;
 
 /// Messages generated from `schema/kv.proto` by `cf-codegen` at build time.

@@ -150,8 +150,15 @@ impl KvServer {
     /// metrics via [`UdpStack::set_telemetry`], plus per-[`SerKind`]
     /// `kv.<kind>.*` counters and a span tree per handled request.
     pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.set_telemetry_scoped(tele, self.kind.metric_key());
+    }
+
+    /// Like [`KvServer::set_telemetry`] with an explicit metric scope:
+    /// counters register as `kv.<scope>.*`. Sharded servers scope each
+    /// shard as `shardN` so cross-queue accounting stays separable.
+    pub fn set_telemetry_scoped(&mut self, tele: &Telemetry, scope: &str) {
         self.stack.set_telemetry(tele);
-        let k = self.kind.metric_key();
+        let k = scope;
         self.counters = KvCounters {
             requests: tele.counter(&format!("kv.{k}.requests")),
             bytes_in: tele.counter(&format!("kv.{k}.bytes_in")),
@@ -180,7 +187,14 @@ impl KvServer {
         self.counters.degraded_replies.get()
     }
 
-    /// Processes all pending requests; returns how many were handled.
+    /// Requests handled (any message type).
+    pub fn requests_handled(&self) -> u64 {
+        self.counters.requests.get()
+    }
+
+    /// Processes all pending requests; returns how many were handled. Any
+    /// replies staged by transmit batching are flushed (one doorbell) at
+    /// the end of the poll.
     pub fn poll(&mut self) -> usize {
         let mut n = 0;
         loop {
@@ -194,6 +208,14 @@ impl KvServer {
             self.handle(pkt);
             n += 1;
         }
+        // Batched replies post now; their bytes were not visible to the
+        // per-request delta in `handle`, so account them here.
+        let tx_before = self.stack.nic_queue_stats().tx_bytes;
+        if self.stack.flush_tx().unwrap_or(0) > 0 {
+            self.counters
+                .bytes_out
+                .add(self.stack.nic_queue_stats().tx_bytes - tx_before);
+        }
         n
     }
 
@@ -203,7 +225,10 @@ impl KvServer {
         let _req = tele.request_span("request", u64::from(pkt.hdr.meta.req_id));
         self.counters.requests.inc();
         self.counters.bytes_in.add(pkt.frame.len() as u64);
-        let tx_before = self.stack.nic_stats().tx_bytes;
+        // Per-queue stats, not aggregate: on a shared multi-queue NIC the
+        // other shards' traffic must never leak into this server's
+        // accounting.
+        let tx_before = self.stack.nic_queue_stats().tx_bytes;
         match self.kind {
             SerKind::Cornflakes => self.handle_cornflakes(pkt),
             SerKind::Protobuf => self.handle_protobuf(pkt),
@@ -212,7 +237,7 @@ impl KvServer {
         }
         self.counters
             .bytes_out
-            .add(self.stack.nic_stats().tx_bytes - tx_before);
+            .add(self.stack.nic_queue_stats().tx_bytes - tx_before);
     }
 
     fn reply_meta(pkt: &Packet) -> FrameMeta {

@@ -51,7 +51,7 @@ pub struct KvStore {
     sim: Sim,
 }
 
-fn fxhash(key: &[u8]) -> u64 {
+pub(crate) fn fxhash(key: &[u8]) -> u64 {
     // FxHash-style multiply-xor: cheap and good enough for bucket modeling.
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in key {

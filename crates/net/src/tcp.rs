@@ -13,8 +13,10 @@
 //! first scatter-gather entry and zero-copy fields in further entries —
 //! the same combined serialize-and-send structure as UDP.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
 use cf_mem::{PoolConfig, RcBuf};
 use cf_nic::{FaultInjector, FaultPlan, Nic, Port};
@@ -75,7 +77,12 @@ struct TcpCounters {
 /// A TCP connection endpoint.
 pub struct TcpStack {
     ctx: SerCtx,
-    nic: Nic,
+    nic: Rc<RefCell<Nic>>,
+    /// The NIC queue pair this endpoint posts to and polls from.
+    queue: usize,
+    /// Whether `nic` is shared with other stacks (telemetry registered by
+    /// the NIC's owner instead of here).
+    shared_nic: bool,
     local_port: u16,
     remote_port: u16,
     state: State,
@@ -93,10 +100,38 @@ pub struct TcpStack {
 impl TcpStack {
     /// Creates an endpoint on `wire_port` with the given local port.
     pub fn new(sim: Sim, wire_port: Port, local_port: u16, config: SerializationConfig) -> Self {
-        let ctx = SerCtx::with_pool_config(sim.clone(), config, PoolConfig::default());
+        let nic = Rc::new(RefCell::new(Nic::new(sim.clone(), wire_port)));
+        Self::build(sim, nic, 0, false, local_port, config)
+    }
+
+    /// Creates an endpoint bound to queue `queue` of a shared multi-queue
+    /// NIC: the endpoint polls and posts only its own queue, whose NIC-side
+    /// descriptor costs are charged to this endpoint's `sim`.
+    pub fn on_queue(
+        sim: Sim,
+        nic: Rc<RefCell<Nic>>,
+        queue: usize,
+        local_port: u16,
+        config: SerializationConfig,
+    ) -> Self {
+        nic.borrow_mut().bind_queue_sim(queue, sim.clone());
+        Self::build(sim, nic, queue, true, local_port, config)
+    }
+
+    fn build(
+        sim: Sim,
+        nic: Rc<RefCell<Nic>>,
+        queue: usize,
+        shared_nic: bool,
+        local_port: u16,
+        config: SerializationConfig,
+    ) -> Self {
+        let ctx = SerCtx::with_pool_config(sim, config, PoolConfig::default());
         TcpStack {
             ctx,
-            nic: Nic::new(sim, wire_port),
+            nic,
+            queue,
+            shared_nic,
             local_port,
             remote_port: 0,
             state: State::Closed,
@@ -116,7 +151,9 @@ impl TcpStack {
     /// counters plus the NIC, memory, and serializer-decision metrics.
     pub fn set_telemetry(&mut self, tele: &Telemetry) {
         self.ctx.install_telemetry(tele);
-        self.nic.set_telemetry(tele);
+        if !self.shared_nic {
+            self.nic.borrow_mut().set_telemetry(tele);
+        }
         self.counters = TcpCounters {
             msgs_sent: tele.counter("net.tcp.msgs_sent"),
             msgs_received: tele.counter("net.tcp.msgs_received"),
@@ -161,7 +198,16 @@ impl TcpStack {
     /// injector handle for surgical faults (drop/duplicate/corrupt/delay/
     /// reorder of in-flight frames) and statistics.
     pub fn install_faults(&self, plan: FaultPlan) -> FaultInjector {
-        self.nic.port().install_faults(self.ctx.sim.clock(), plan)
+        let port = self.nic.borrow().port().clone();
+        port.install_faults(self.ctx.sim.clock(), plan)
+    }
+
+    /// Posts one descriptor on this endpoint's queue and reaps it.
+    fn post_and_reap(&mut self, entries: Vec<RcBuf>) -> Result<(), NetError> {
+        let mut nic = self.nic.borrow_mut();
+        nic.post_tx_on(self.queue, entries)?;
+        nic.poll_completions_on(self.queue);
+        Ok(())
     }
 
     fn header(&self, seq: u32, ack: u32, flags: u8) -> [u8; TCP_HEADER_BYTES] {
@@ -182,9 +228,7 @@ impl TcpStack {
         let hdr = self.header(self.snd_nxt, self.rcv_nxt, flags);
         let mut buf = self.ctx.pool.alloc(TCP_HEADER_BYTES)?;
         buf.write_at(0, &hdr);
-        self.nic.post_tx(vec![buf])?;
-        self.nic.poll_completions();
-        Ok(())
+        self.post_and_reap(vec![buf])
     }
 
     /// Initiates a connection to `remote_port` (sends SYN).
@@ -262,8 +306,7 @@ impl TcpStack {
         });
 
         // Post, but keep the entry references until ACKed.
-        self.nic.post_tx(entries.clone())?;
-        self.nic.poll_completions();
+        self.post_and_reap(entries.clone())?;
         self.rtx.push_back(TxRecord {
             seq: self.snd_nxt,
             len: stream_len,
@@ -302,8 +345,7 @@ impl TcpStack {
         );
         buf.write_at(TCP_HEADER_BYTES + 4, data);
         let entries = vec![buf];
-        self.nic.post_tx(entries.clone())?;
-        self.nic.poll_completions();
+        self.post_and_reap(entries.clone())?;
         self.rtx.push_back(TxRecord {
             seq: self.snd_nxt,
             len: stream_len,
@@ -318,8 +360,18 @@ impl TcpStack {
     /// Processes incoming segments, ACKs, and retransmission timers. Call
     /// regularly (each scheduling quantum).
     pub fn poll(&mut self) -> Result<(), NetError> {
-        while let Some(frame) = self.nic.recv_into(&self.ctx.pool) {
-            self.handle_segment(frame)?;
+        if self.shared_nic {
+            self.ctx.sim.set_active_queue(Some(self.queue));
+        }
+        loop {
+            let frame = self
+                .nic
+                .borrow_mut()
+                .recv_into_on(self.queue, &self.ctx.pool);
+            match frame {
+                Some(frame) => self.handle_segment(frame)?,
+                None => break,
+            }
         }
         self.check_retransmit()?;
         Ok(())
@@ -427,8 +479,7 @@ impl TcpStack {
             let entries = rec.entries.clone();
             self.retransmissions += 1;
             self.counters.retransmissions.inc();
-            self.nic.post_tx(entries)?;
-            self.nic.poll_completions();
+            self.post_and_reap(entries)?;
         }
         Ok(())
     }

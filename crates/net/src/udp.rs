@@ -1,6 +1,8 @@
 //! The main Cornflakes UDP datapath (paper Listing 2).
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 use cf_mem::{AllocError, PoolConfig, RcBuf};
 use cf_nic::{Nic, NicError, Port};
@@ -85,10 +87,21 @@ struct UdpCounters {
 
 pub struct UdpStack {
     ctx: SerCtx,
-    nic: Nic,
+    nic: Rc<RefCell<Nic>>,
+    /// The NIC queue pair this stack posts to and polls from.
+    queue: usize,
+    /// Whether `nic` is shared with other stacks (sharded serving). A
+    /// shared NIC's telemetry is registered once by whoever owns the NIC,
+    /// not by each stack.
+    shared_nic: bool,
     local_port: u16,
     scratch: Vec<u8>,
     auto_complete: bool,
+    /// Staged descriptors awaiting a batched doorbell; empty unless
+    /// [`UdpStack::set_tx_batch`] enabled batching.
+    tx_batch: Vec<Vec<RcBuf>>,
+    /// Flush threshold for `tx_batch`; 0 disables batching.
+    tx_batch_limit: usize,
     counters: UdpCounters,
 }
 
@@ -108,23 +121,58 @@ impl UdpStack {
         pool_cfg: PoolConfig,
     ) -> Self {
         let ctx = SerCtx::with_pool_config(sim.clone(), config, pool_cfg);
-        let nic = Nic::new(sim, wire_port);
+        let nic = Rc::new(RefCell::new(Nic::new(sim, wire_port)));
         UdpStack {
             ctx,
             nic,
+            queue: 0,
+            shared_nic: false,
             local_port,
             scratch: Vec::with_capacity(4096),
             auto_complete: true,
+            tx_batch: Vec::new(),
+            tx_batch_limit: 0,
+            counters: UdpCounters::default(),
+        }
+    }
+
+    /// Creates a stack bound to queue `queue` of a shared multi-queue NIC
+    /// (the sharded-server datapath). The stack polls and posts only its
+    /// own queue, and the queue's NIC-side descriptor costs are charged to
+    /// this stack's `sim`.
+    pub fn on_queue(
+        sim: Sim,
+        nic: Rc<RefCell<Nic>>,
+        queue: usize,
+        local_port: u16,
+        config: SerializationConfig,
+        pool_cfg: PoolConfig,
+    ) -> Self {
+        let ctx = SerCtx::with_pool_config(sim.clone(), config, pool_cfg);
+        nic.borrow_mut().bind_queue_sim(queue, sim);
+        UdpStack {
+            ctx,
+            nic,
+            queue,
+            shared_nic: true,
+            local_port,
+            scratch: Vec::with_capacity(4096),
+            auto_complete: true,
+            tx_batch: Vec::new(),
+            tx_batch_limit: 0,
             counters: UdpCounters::default(),
         }
     }
 
     /// Wires this stack (and its NIC and serialization context) into a
     /// telemetry handle: `net.udp.*` packet counters, `nic.*` counters,
-    /// `mem.*` external metrics, and serializer decision logging.
+    /// `mem.*` external metrics, and serializer decision logging. A shared
+    /// NIC's counters are registered by the NIC's owner instead.
     pub fn set_telemetry(&mut self, tele: &Telemetry) {
         self.ctx.install_telemetry(tele);
-        self.nic.set_telemetry(tele);
+        if !self.shared_nic {
+            self.nic.borrow_mut().set_telemetry(tele);
+        }
         self.counters = UdpCounters {
             rx_packets: tele.counter("net.udp.rx_packets"),
             rx_runt_drops: tele.counter("net.udp.rx_runt_drops"),
@@ -177,18 +225,70 @@ impl UdpStack {
         self.auto_complete = on;
     }
 
-    /// Drains transmit completions, releasing in-flight buffer references.
+    /// Drains this stack's queue of transmit completions, releasing
+    /// in-flight buffer references.
     pub fn poll_completions(&mut self) -> usize {
-        self.nic.poll_completions()
+        self.nic.borrow_mut().poll_completions_on(self.queue)
+    }
+
+    /// Enables transmit batching: sends are staged (validated eagerly, so
+    /// errors still surface at the call site) and posted as one
+    /// [`Nic::post_tx_burst`] when `limit` descriptors accumulate or on
+    /// [`UdpStack::flush_tx`]. Batched frames are charged
+    /// `per_packet_base − doorbell_write`; the burst charges one doorbell,
+    /// so a B-frame batch saves `(B−1) × doorbell_write` of CPU. `limit` of
+    /// 0 disables batching (after flushing anything staged).
+    pub fn set_tx_batch(&mut self, limit: usize) {
+        if limit == 0 {
+            self.flush_tx().expect("staged descriptors were validated");
+        }
+        self.tx_batch_limit = limit;
+    }
+
+    /// Posts all staged transmit descriptors as one burst (one doorbell).
+    /// Returns the number of frames posted.
+    pub fn flush_tx(&mut self) -> Result<usize, NetError> {
+        if self.tx_batch.is_empty() {
+            return Ok(0);
+        }
+        let batch = std::mem::take(&mut self.tx_batch);
+        let n = self.nic.borrow_mut().post_tx_burst(self.queue, batch)?;
+        if self.auto_complete {
+            self.nic.borrow_mut().poll_completions_on(self.queue);
+        }
+        Ok(n)
+    }
+
+    /// Hands a fully built descriptor to the NIC — or stages it when
+    /// batching is on.
+    fn post(&mut self, entries: Vec<RcBuf>) -> Result<(), NetError> {
+        if self.tx_batch_limit > 0 {
+            self.nic.borrow().validate_descriptor(&entries)?;
+            self.tx_batch.push(entries);
+            if self.tx_batch.len() >= self.tx_batch_limit {
+                self.flush_tx()?;
+            }
+            return Ok(());
+        }
+        self.nic.borrow_mut().post_tx_on(self.queue, entries)?;
+        Ok(())
     }
 
     /// Receives the next packet, if any (paper Listing 2's `recv_packet`).
     /// The payload is a zero-copy view into the pinned receive buffer.
     /// Frames failing the CRC32 frame check sequence, and runt frames, are
-    /// dropped (counted) and the next frame is tried.
+    /// dropped (counted) and the next frame is tried. Shared-NIC stacks
+    /// poll only their own queue and scope subsequent cost attribution to
+    /// it.
     pub fn recv_packet(&mut self) -> Option<Packet> {
+        if self.shared_nic {
+            self.ctx.sim.set_active_queue(Some(self.queue));
+        }
         loop {
-            let frame = self.nic.recv_into(&self.ctx.pool)?;
+            let frame = self
+                .nic
+                .borrow_mut()
+                .recv_into_on(self.queue, &self.ctx.pool)?;
             let costs = self.ctx.sim.costs();
             self.ctx
                 .sim
@@ -217,16 +317,24 @@ impl UdpStack {
     }
 
     fn charge_tx_base(&self) {
+        if self.shared_nic {
+            self.ctx.sim.set_active_queue(Some(self.queue));
+        }
         let costs = self.ctx.sim.costs();
-        self.ctx
-            .sim
-            .charge(Category::Tx, costs.per_packet_base * 0.55);
+        // When batching, the doorbell is rung once per burst (charged by
+        // the NIC at flush) instead of once per frame inside the base.
+        let base = if self.tx_batch_limit > 0 {
+            costs.per_packet_base * 0.55 - costs.doorbell_write
+        } else {
+            costs.per_packet_base * 0.55
+        };
+        self.ctx.sim.charge(Category::Tx, base);
         self.counters.tx_packets.inc();
     }
 
     fn finish_tx(&mut self) {
-        if self.auto_complete {
-            self.nic.poll_completions();
+        if self.auto_complete && self.tx_batch.is_empty() {
+            self.nic.borrow_mut().poll_completions_on(self.queue);
         }
         self.ctx.end_request();
     }
@@ -328,14 +436,14 @@ impl UdpStack {
         // than the NIC supports is gathered through the copy path instead
         // of failing the send — identical wire bytes, more CPU (the paper's
         // §4 memory-transparency fallback extended to descriptor pressure).
-        if 1 + obj.zero_copy_entries() > self.nic.max_sg_entries() {
+        if 1 + obj.zero_copy_entries() > self.nic.borrow().max_sg_entries() {
             return self.send_object_copied(hdr, obj);
         }
         let first = self.build_first_entry(&hdr, obj, true, 0)?;
         let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
         entries.push(first);
         self.collect_zc_entries(obj, &mut entries);
-        self.nic.post_tx(entries)?;
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -374,7 +482,7 @@ impl UdpStack {
                 zero_copy: false,
             });
         });
-        self.nic.post_tx(vec![tx])?;
+        self.post(vec![tx])?;
         self.finish_tx();
         Ok(())
     }
@@ -412,7 +520,7 @@ impl UdpStack {
         entries.push(hdr_buf);
         entries.push(obj_buf);
         self.collect_zc_entries(obj, &mut entries);
-        self.nic.post_tx(entries)?;
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -442,7 +550,7 @@ impl UdpStack {
         tx.write_at(0, &pkt_hdr);
         self.scratch = pkt_hdr;
         tx.truncate(HEADER_BYTES + payload_len);
-        self.nic.post_tx(vec![tx])?;
+        self.post(vec![tx])?;
         self.finish_tx();
         Ok(())
     }
@@ -468,7 +576,7 @@ impl UdpStack {
         let mut entries = Vec::with_capacity(1 + segments.len());
         entries.push(hdr_buf);
         entries.extend(segments);
-        self.nic.post_tx(entries)?;
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -483,26 +591,44 @@ impl UdpStack {
         let dst = packet.hdr.dst_port;
         frame.write_at(34, &dst.to_be_bytes());
         frame.write_at(36, &src.to_be_bytes());
-        self.nic.post_tx(vec![frame])?;
+        self.post(vec![frame])?;
         self.finish_tx();
         Ok(())
     }
 
-    /// NIC statistics.
+    /// Aggregate NIC statistics (all queues).
     pub fn nic_stats(&self) -> cf_nic::NicStats {
-        self.nic.stats()
+        self.nic.borrow().stats()
+    }
+
+    /// Statistics for the NIC queue this stack owns — what a sharded
+    /// server reads so one shard's accounting never includes another
+    /// shard's traffic.
+    pub fn nic_queue_stats(&self) -> cf_nic::NicStats {
+        self.nic.borrow().queue_stats(self.queue)
+    }
+
+    /// The NIC queue index this stack is bound to.
+    pub fn queue(&self) -> usize {
+        self.queue
+    }
+
+    /// The shared NIC handle.
+    pub fn nic(&self) -> Rc<RefCell<Nic>> {
+        Rc::clone(&self.nic)
     }
 
     /// Arms deterministic fault injection on this stack's receive direction
     /// (see [`cf_nic::Port::install_faults`]); returns the injector handle
     /// for surgical faults and statistics.
     pub fn install_faults(&self, plan: cf_nic::FaultPlan) -> cf_nic::FaultInjector {
-        self.nic.port().install_faults(self.ctx.sim.clock(), plan)
+        let port = self.nic.borrow().port().clone();
+        port.install_faults(self.ctx.sim.clock(), plan)
     }
 
     /// Whether frames are waiting to be received.
     pub fn has_pending_rx(&self) -> bool {
-        self.nic.has_pending_rx()
+        self.nic.borrow().has_pending_rx()
     }
 
     /// A default packet header originating from this stack.

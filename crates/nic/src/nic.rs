@@ -1,5 +1,15 @@
-//! The simulated NIC: scatter-gather TX, completion queue, RX into pinned
-//! buffers.
+//! The simulated NIC: multi-queue scatter-gather TX with batched doorbells,
+//! RSS-steered RX into pinned buffers, per-queue completion queues.
+//!
+//! A [`Nic`] owns N queue pairs (default 1). Transmit descriptors are
+//! posted to an explicit queue ([`Nic::post_tx_on`], or [`Nic::post_tx`]
+//! for queue 0); received frames are steered to a queue by the
+//! [`RssConfig`] hash over the frame's flow key and drained per queue
+//! ([`Nic::recv_into_on`]) or round-robin across queues
+//! ([`Nic::recv_into`]). Each queue keeps its own [`NicStats`], completion
+//! queue, and `nic.qN.*` telemetry counters, and can be bound to its own
+//! [`Sim`] ([`Nic::bind_queue_sim`]) so a sharded server charges each
+//! queue's descriptor costs to the core that owns the queue.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -10,6 +20,7 @@ use cf_sim::Sim;
 use cf_telemetry::{Counter, Telemetry};
 
 use crate::frame::{Frame, Port};
+use crate::rss::RssConfig;
 use crate::MAX_FRAME;
 
 /// Errors surfaced by the transmit path.
@@ -30,6 +41,13 @@ pub enum NicError {
     },
     /// A descriptor with zero entries was posted.
     EmptyDescriptor,
+    /// A queue index past the configured queue count.
+    NoSuchQueue {
+        /// Queue requested.
+        queue: usize,
+        /// Queues configured.
+        queues: usize,
+    },
 }
 
 impl fmt::Display for NicError {
@@ -48,13 +66,16 @@ impl fmt::Display for NicError {
                 )
             }
             NicError::EmptyDescriptor => write!(f, "empty transmit descriptor"),
+            NicError::NoSuchQueue { queue, queues } => {
+                write!(f, "queue {queue} out of range ({queues} configured)")
+            }
         }
     }
 }
 
 impl std::error::Error for NicError {}
 
-/// Transmit/receive counters.
+/// Transmit/receive counters (per queue; [`Nic::stats`] sums them).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
     /// Frames transmitted.
@@ -63,6 +84,11 @@ pub struct NicStats {
     pub tx_bytes: u64,
     /// Scatter-gather entries posted across all transmits.
     pub tx_sg_entries: u64,
+    /// Doorbell rings (one per [`Nic::post_tx`], one per
+    /// [`Nic::post_tx_burst`] regardless of burst size).
+    pub doorbells: u64,
+    /// Completed transmit descriptors reaped by completion polling.
+    pub completions: u64,
     /// Frames received.
     pub rx_frames: u64,
     /// Bytes received.
@@ -70,6 +96,19 @@ pub struct NicStats {
     /// Frames dropped on receive because no pool buffer was available
     /// (receive-descriptor starvation).
     pub rx_nobuf_drops: u64,
+}
+
+impl NicStats {
+    fn accumulate(&mut self, o: &NicStats) {
+        self.tx_frames += o.tx_frames;
+        self.tx_bytes += o.tx_bytes;
+        self.tx_sg_entries += o.tx_sg_entries;
+        self.doorbells += o.doorbells;
+        self.completions += o.completions;
+        self.rx_frames += o.rx_frames;
+        self.rx_bytes += o.rx_bytes;
+        self.rx_nobuf_drops += o.rx_nobuf_drops;
+    }
 }
 
 /// Cached metric handles mirroring [`NicStats`] into a telemetry registry.
@@ -80,75 +119,140 @@ struct NicCounters {
     tx_frames: Counter,
     tx_bytes: Counter,
     tx_sg_entries: Counter,
+    doorbells: Counter,
     rx_frames: Counter,
     rx_bytes: Counter,
     rx_nobuf_drops: Counter,
     completions: Counter,
 }
 
-/// A simulated scatter-gather NIC attached to one wire port.
-pub struct Nic {
-    sim: Sim,
-    port: Port,
+impl NicCounters {
+    fn attach(tele: &Telemetry, prefix: &str, seed: &NicStats) -> Self {
+        let c = NicCounters {
+            tx_frames: tele.counter(&format!("{prefix}.tx_frames")),
+            tx_bytes: tele.counter(&format!("{prefix}.tx_bytes")),
+            tx_sg_entries: tele.counter(&format!("{prefix}.tx_sg_entries")),
+            doorbells: tele.counter(&format!("{prefix}.doorbells")),
+            rx_frames: tele.counter(&format!("{prefix}.rx_frames")),
+            rx_bytes: tele.counter(&format!("{prefix}.rx_bytes")),
+            rx_nobuf_drops: tele.counter(&format!("{prefix}.rx_nobuf_drops")),
+            completions: tele.counter(&format!("{prefix}.completions")),
+        };
+        c.tx_frames.add(seed.tx_frames);
+        c.tx_bytes.add(seed.tx_bytes);
+        c.tx_sg_entries.add(seed.tx_sg_entries);
+        c.doorbells.add(seed.doorbells);
+        c.rx_frames.add(seed.rx_frames);
+        c.rx_bytes.add(seed.rx_bytes);
+        c.rx_nobuf_drops.add(seed.rx_nobuf_drops);
+        c.completions.add(seed.completions);
+        c
+    }
+}
+
+/// One TX/RX queue pair: its completion queue, RSS-staged receive frames,
+/// stats, telemetry counters, and (optionally) its own charging context.
+#[derive(Default)]
+struct Queue {
     /// Buffers held by "in-flight DMA": released when completions are
     /// polled. Each inner vec is one descriptor's entries.
     completion_queue: VecDeque<Vec<RcBuf>>,
+    /// Received frames steered here by RSS, awaiting `recv_into*`.
+    rx_staging: VecDeque<Frame>,
     stats: NicStats,
     counters: NicCounters,
+    /// Charging context override for this queue (sharded servers bind the
+    /// owning core's `Sim`); `None` falls back to the NIC's base `Sim`.
+    sim: Option<Sim>,
+}
+
+/// A simulated multi-queue scatter-gather NIC attached to one wire port.
+pub struct Nic {
+    sim: Sim,
+    port: Port,
+    rss: RssConfig,
+    queues: Vec<Queue>,
+    /// Aggregate `nic.*` counters across queues.
+    counters: NicCounters,
+    /// Round-robin start for aggregate receive draining.
+    rx_rotor: usize,
 }
 
 impl Nic {
-    /// Creates a NIC on `port`, charging costs to `sim` (whose profile also
-    /// determines the NIC model).
+    /// Creates a single-queue NIC on `port`, charging costs to `sim` (whose
+    /// profile also determines the NIC model).
     pub fn new(sim: Sim, port: Port) -> Self {
+        Self::with_queues(sim, port, 1)
+    }
+
+    /// Creates a NIC with `num_queues` TX/RX queue pairs and the default
+    /// RSS steering profile for that queue count.
+    pub fn with_queues(sim: Sim, port: Port, num_queues: usize) -> Self {
+        assert!(num_queues > 0, "at least one queue");
         Nic {
             sim,
             port,
-            completion_queue: VecDeque::new(),
-            stats: NicStats::default(),
+            rss: RssConfig::new(num_queues),
+            queues: (0..num_queues).map(|_| Queue::default()).collect(),
             counters: NicCounters::default(),
+            rx_rotor: 0,
         }
     }
 
-    /// Mirrors this NIC's counters into `tele`'s metrics registry under the
-    /// `nic.*` names. Counters registered before any traffic flows start at
-    /// zero; attaching mid-run seeds them with the totals so far.
-    pub fn set_telemetry(&mut self, tele: &Telemetry) {
-        self.counters = NicCounters {
-            tx_frames: tele.counter("nic.tx_frames"),
-            tx_bytes: tele.counter("nic.tx_bytes"),
-            tx_sg_entries: tele.counter("nic.tx_sg_entries"),
-            rx_frames: tele.counter("nic.rx_frames"),
-            rx_bytes: tele.counter("nic.rx_bytes"),
-            rx_nobuf_drops: tele.counter("nic.rx_nobuf_drops"),
-            completions: tele.counter("nic.completions"),
-        };
-        self.counters.tx_frames.add(self.stats.tx_frames);
-        self.counters.tx_bytes.add(self.stats.tx_bytes);
-        self.counters.tx_sg_entries.add(self.stats.tx_sg_entries);
-        self.counters.rx_frames.add(self.stats.rx_frames);
-        self.counters.rx_bytes.add(self.stats.rx_bytes);
-        self.counters.rx_nobuf_drops.add(self.stats.rx_nobuf_drops);
+    /// Number of configured queue pairs.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
     }
 
-    /// Maximum scatter-gather entries per descriptor for this NIC.
+    /// The active RSS steering configuration.
+    pub fn rss(&self) -> &RssConfig {
+        &self.rss
+    }
+
+    /// Replaces the RSS steering configuration. The table must steer across
+    /// exactly this NIC's queues.
+    pub fn set_rss(&mut self, rss: RssConfig) {
+        assert_eq!(
+            rss.num_queues(),
+            self.queues.len(),
+            "RSS profile queue count must match the NIC"
+        );
+        self.rss = rss;
+    }
+
+    /// Binds queue `q`'s cost charging to `sim` (the core that owns the
+    /// queue in a sharded server). Unbound queues charge the NIC's base
+    /// `Sim`.
+    pub fn bind_queue_sim(&mut self, q: usize, sim: Sim) {
+        self.queues[q].sim = Some(sim);
+    }
+
+    fn queue_sim(&self, q: usize) -> &Sim {
+        self.queues[q].sim.as_ref().unwrap_or(&self.sim)
+    }
+
+    /// Mirrors this NIC's counters into `tele`'s metrics registry: the
+    /// aggregate `nic.*` names plus per-queue `nic.qN.*` names. Counters
+    /// registered before any traffic flows start at zero; attaching mid-run
+    /// seeds them with the totals so far.
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        let total = self.stats();
+        self.counters = NicCounters::attach(tele, "nic", &total);
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            q.counters = NicCounters::attach(tele, &format!("nic.q{i}"), &q.stats);
+        }
+    }
+
+    /// Maximum scatter-gather entries per descriptor for this NIC (a
+    /// per-queue limit: every queue of an mlx5 or e810 has the same one).
     pub fn max_sg_entries(&self) -> usize {
         self.sim.nic().max_sg_entries()
     }
 
-    /// Posts a transmit descriptor whose payload is the concatenation of
-    /// `entries`, then rings the doorbell.
-    ///
-    /// The simulated DMA engine gathers the entry bytes into one frame and
-    /// puts it on the wire immediately, but the entry buffers remain
-    /// referenced in the completion queue until [`Nic::poll_completions`] —
-    /// that is the asynchrony that makes memory safety matter.
-    ///
-    /// Cost accounting: each entry after the first is charged the NIC's
-    /// per-entry descriptor cost ([`Category::Tx`]); the first entry and the
-    /// doorbell are part of the calibrated per-packet base charged by the
-    /// networking stack.
-    pub fn post_tx(&mut self, entries: Vec<RcBuf>) -> Result<(), NicError> {
+    /// Checks a descriptor against the NIC's limits without posting it.
+    /// Batching stacks use this to surface errors at enqueue time, so a
+    /// later burst flush cannot fail.
+    pub fn validate_descriptor(&self, entries: &[RcBuf]) -> Result<(), NicError> {
         if entries.is_empty() {
             return Err(NicError::EmptyDescriptor);
         }
@@ -163,18 +267,41 @@ impl Nic {
         if size > MAX_FRAME {
             return Err(NicError::FrameTooLarge { size });
         }
-        // Descriptor-write cost for the additional entries.
-        for _ in 1..entries.len() {
-            self.sim.charge_sg_entry(Category::Tx);
+        Ok(())
+    }
+
+    fn check_queue(&self, q: usize) -> Result<(), NicError> {
+        if q >= self.queues.len() {
+            return Err(NicError::NoSuchQueue {
+                queue: q,
+                queues: self.queues.len(),
+            });
         }
+        Ok(())
+    }
+
+    /// Posts one validated descriptor on queue `q`: charges the per-entry
+    /// descriptor cost for entries after the first, gathers, seals, sends,
+    /// and parks the entries in the queue's completion queue.
+    fn post_validated(&mut self, q: usize, entries: Vec<RcBuf>) {
+        // Descriptor-write cost for the additional entries, charged to the
+        // core that owns the queue.
+        for _ in 1..entries.len() {
+            self.queue_sim(q).charge_sg_entry(Category::Tx);
+        }
+        let size: usize = entries.iter().map(|e| e.len()).sum();
         // NIC-side gather (PCIe reads): real data movement, no CPU charge.
         let mut data = Vec::with_capacity(size);
         for e in &entries {
             data.extend_from_slice(e.as_slice());
         }
-        self.stats.tx_frames += 1;
-        self.stats.tx_bytes += size as u64;
-        self.stats.tx_sg_entries += entries.len() as u64;
+        let queue = &mut self.queues[q];
+        queue.stats.tx_frames += 1;
+        queue.stats.tx_bytes += size as u64;
+        queue.stats.tx_sg_entries += entries.len() as u64;
+        queue.counters.tx_frames.inc();
+        queue.counters.tx_bytes.add(size as u64);
+        queue.counters.tx_sg_entries.add(entries.len() as u64);
         self.counters.tx_frames.inc();
         self.counters.tx_bytes.add(size as u64);
         self.counters.tx_sg_entries.add(entries.len() as u64);
@@ -183,29 +310,154 @@ impl Nic {
         let mut frame = Frame::new(data);
         frame.seal();
         self.port.send(frame);
-        self.completion_queue.push_back(entries);
+        self.queues[q].completion_queue.push_back(entries);
+    }
+
+    fn ring_doorbell(&mut self, q: usize) {
+        self.queues[q].stats.doorbells += 1;
+        self.queues[q].counters.doorbells.inc();
+        self.counters.doorbells.inc();
+    }
+
+    /// Posts a transmit descriptor on queue 0 (the single-queue API), then
+    /// rings the doorbell.
+    ///
+    /// The simulated DMA engine gathers the entry bytes into one frame and
+    /// puts it on the wire immediately, but the entry buffers remain
+    /// referenced in the completion queue until [`Nic::poll_completions`] —
+    /// that is the asynchrony that makes memory safety matter.
+    ///
+    /// Cost accounting: each entry after the first is charged the NIC's
+    /// per-entry descriptor cost ([`Category::Tx`]); the first entry and the
+    /// doorbell are part of the calibrated per-packet base charged by the
+    /// networking stack.
+    pub fn post_tx(&mut self, entries: Vec<RcBuf>) -> Result<(), NicError> {
+        self.post_tx_on(0, entries)
+    }
+
+    /// Posts a transmit descriptor on queue `q` and rings that queue's
+    /// doorbell. See [`Nic::post_tx`] for cost accounting.
+    pub fn post_tx_on(&mut self, q: usize, entries: Vec<RcBuf>) -> Result<(), NicError> {
+        self.check_queue(q)?;
+        self.validate_descriptor(&entries)?;
+        self.post_validated(q, entries);
+        self.ring_doorbell(q);
         Ok(())
     }
 
-    /// Drains the completion queue, releasing all buffer references held by
-    /// completed transmits. Returns the number of completed descriptors.
+    /// Posts a burst of descriptors on queue `q` with **one** doorbell ring
+    /// for the whole burst — the batched-doorbell optimization every
+    /// kernel-bypass TX path uses.
+    ///
+    /// Cost accounting: per-descriptor SG-entry costs are charged exactly as
+    /// in [`Nic::post_tx`], plus one `doorbell_write` (the MMIO register
+    /// write) for the burst. Callers that batch charge
+    /// `per_packet_base − doorbell_write` per frame instead of the full
+    /// base, so a B-frame burst saves `(B−1) × doorbell_write` of CPU time
+    /// over B single posts.
+    ///
+    /// All descriptors are validated before any is posted: on error nothing
+    /// was sent. Returns the number of frames posted.
+    pub fn post_tx_burst(&mut self, q: usize, descs: Vec<Vec<RcBuf>>) -> Result<usize, NicError> {
+        self.check_queue(q)?;
+        if descs.is_empty() {
+            return Ok(0);
+        }
+        for d in &descs {
+            self.validate_descriptor(d)?;
+        }
+        let costs = self.queue_sim(q).costs();
+        self.queue_sim(q).charge(Category::Tx, costs.doorbell_write);
+        let n = descs.len();
+        for d in descs {
+            self.post_validated(q, d);
+        }
+        self.ring_doorbell(q);
+        Ok(n)
+    }
+
+    /// Drains every queue's completion queue, releasing all buffer
+    /// references held by completed transmits and attributing each
+    /// completion to the queue that posted it. Returns the total number of
+    /// completed descriptors.
     ///
     /// The cost of completion processing is part of the per-packet base.
     pub fn poll_completions(&mut self) -> usize {
-        let n = self.completion_queue.len();
-        self.completion_queue.clear();
+        (0..self.queues.len()).map(|q| self.reap_queue(q)).sum()
+    }
+
+    /// Drains queue `q`'s completion queue only.
+    pub fn poll_completions_on(&mut self, q: usize) -> usize {
+        self.reap_queue(q)
+    }
+
+    fn reap_queue(&mut self, q: usize) -> usize {
+        let queue = &mut self.queues[q];
+        let n = queue.completion_queue.len();
+        queue.completion_queue.clear();
+        queue.stats.completions += n as u64;
+        queue.counters.completions.add(n as u64);
         self.counters.completions.add(n as u64);
         n
     }
 
-    /// Number of descriptors whose buffers are still held by the NIC.
+    /// Number of descriptors whose buffers are still held by the NIC,
+    /// across all queues.
     pub fn pending_completions(&self) -> usize {
-        self.completion_queue.len()
+        self.queues.iter().map(|q| q.completion_queue.len()).sum()
     }
 
-    /// Receives the next frame, DMA-ing it into a pinned buffer from
-    /// `rx_pool` (pre-posted receive descriptor). The DMA write is NIC-side
-    /// work and is not charged to the CPU; parsing costs are charged by the
+    /// Number of descriptors still held by queue `q`.
+    pub fn pending_completions_on(&self, q: usize) -> usize {
+        self.queues[q].completion_queue.len()
+    }
+
+    /// Pulls one frame off the wire and stages it on the queue RSS steers
+    /// it to. Returns the queue index, or `None` when the wire is idle.
+    fn pull_one(&mut self) -> Option<usize> {
+        let frame = self.port.recv()?;
+        let q = if self.queues.len() == 1 {
+            0
+        } else {
+            self.rss
+                .queue_for_frame(&frame.data)
+                .min(self.queues.len() - 1)
+        };
+        self.queues[q].rx_staging.push_back(frame);
+        Some(q)
+    }
+
+    /// DMAs a staged frame into a buffer from `rx_pool`, attributing to
+    /// queue `q`. `None` means the frame was dropped (pool exhausted).
+    fn dma_rx(&mut self, q: usize, frame: Frame, rx_pool: &PinnedPool) -> Option<RcBuf> {
+        let Ok(mut buf) = rx_pool.alloc(frame.len().max(1)) else {
+            self.queues[q].stats.rx_nobuf_drops += 1;
+            self.queues[q].counters.rx_nobuf_drops.inc();
+            self.counters.rx_nobuf_drops.inc();
+            return None;
+        };
+        let queue = &mut self.queues[q];
+        queue.stats.rx_frames += 1;
+        queue.stats.rx_bytes += frame.len() as u64;
+        queue.counters.rx_frames.inc();
+        queue.counters.rx_bytes.add(frame.len() as u64);
+        self.counters.rx_frames.inc();
+        self.counters.rx_bytes.add(frame.len() as u64);
+        if !frame.is_empty() {
+            buf.write_at(0, &frame.data);
+        }
+        buf.truncate(frame.len());
+        // The DMA write invalidates any cached copies of the receive
+        // buffer (no DDIO on the modeled AMD platform): the CPU's first
+        // touch of received data misses to memory.
+        self.queue_sim(q).dma_write(buf.addr(), frame.len());
+        Some(buf)
+    }
+
+    /// Receives the next frame from any queue (round-robin across queues
+    /// with staged frames), DMA-ing it into a pinned buffer from `rx_pool`
+    /// (pre-posted receive descriptor). The DMA write is NIC-side work and
+    /// is not charged to the CPU; parsing costs are charged by the
     /// networking stack.
     ///
     /// Returns `None` when no frame is pending. If the RX pool is exhausted
@@ -215,36 +467,58 @@ impl Nic {
     /// or retry, never by panicking.
     pub fn recv_into(&mut self, rx_pool: &PinnedPool) -> Option<RcBuf> {
         loop {
-            let frame = self.port.recv()?;
-            let Ok(mut buf) = rx_pool.alloc(frame.len().max(1)) else {
-                self.stats.rx_nobuf_drops += 1;
-                self.counters.rx_nobuf_drops.inc();
-                continue;
+            let nq = self.queues.len();
+            let staged = (0..nq)
+                .map(|i| (self.rx_rotor + i) % nq)
+                .find(|&q| !self.queues[q].rx_staging.is_empty());
+            let q = match staged {
+                Some(q) => q,
+                None => {
+                    self.pull_one()?;
+                    continue;
+                }
             };
-            self.stats.rx_frames += 1;
-            self.stats.rx_bytes += frame.len() as u64;
-            self.counters.rx_frames.inc();
-            self.counters.rx_bytes.add(frame.len() as u64);
-            if !frame.is_empty() {
-                buf.write_at(0, &frame.data);
+            self.rx_rotor = (q + 1) % nq;
+            let frame = self.queues[q].rx_staging.pop_front().expect("staged");
+            if let Some(buf) = self.dma_rx(q, frame, rx_pool) {
+                return Some(buf);
             }
-            buf.truncate(frame.len());
-            // The DMA write invalidates any cached copies of the receive
-            // buffer (no DDIO on the modeled AMD platform): the CPU's first
-            // touch of received data misses to memory.
-            self.sim.dma_write(buf.addr(), frame.len());
-            return Some(buf);
         }
     }
 
-    /// Whether frames are waiting in the receive queue.
-    pub fn has_pending_rx(&self) -> bool {
-        self.port.pending_rx() > 0
+    /// Receives the next frame steered to queue `q` (per-queue polling, the
+    /// sharded-server path). Frames for other queues encountered while
+    /// searching stay staged on their queues for their owners to drain.
+    pub fn recv_into_on(&mut self, q: usize, rx_pool: &PinnedPool) -> Option<RcBuf> {
+        loop {
+            while self.queues[q].rx_staging.is_empty() {
+                self.pull_one()?;
+            }
+            let frame = self.queues[q].rx_staging.pop_front().expect("staged");
+            if let Some(buf) = self.dma_rx(q, frame, rx_pool) {
+                return Some(buf);
+            }
+        }
     }
 
-    /// Transmit/receive counters.
+    /// Whether frames are waiting to be received (on the wire or staged on
+    /// any queue).
+    pub fn has_pending_rx(&self) -> bool {
+        self.port.pending_rx() > 0 || self.queues.iter().any(|q| !q.rx_staging.is_empty())
+    }
+
+    /// Aggregate transmit/receive counters across all queues.
     pub fn stats(&self) -> NicStats {
-        self.stats
+        let mut total = NicStats::default();
+        for q in &self.queues {
+            total.accumulate(&q.stats);
+        }
+        total
+    }
+
+    /// Queue `q`'s transmit/receive counters.
+    pub fn queue_stats(&self, q: usize) -> NicStats {
+        self.queues[q].stats
     }
 
     /// The attached wire port (test hook).
@@ -257,8 +531,9 @@ impl fmt::Debug for Nic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Nic")
             .field("model", &self.sim.nic())
-            .field("stats", &self.stats)
-            .field("pending_completions", &self.completion_queue.len())
+            .field("queues", &self.queues.len())
+            .field("stats", &self.stats())
+            .field("pending_completions", &self.pending_completions())
             .finish()
     }
 }
@@ -281,6 +556,14 @@ mod tests {
 
     fn buf(pool: &PinnedPool, bytes: &[u8]) -> RcBuf {
         pool.alloc_from(bytes).unwrap()
+    }
+
+    /// A 64-byte frame whose port fields steer it through RSS.
+    fn flow_frame(pool: &PinnedPool, src_port: u16, dst_port: u16) -> RcBuf {
+        let mut data = [0u8; 64];
+        data[34..36].copy_from_slice(&src_port.to_be_bytes());
+        data[36..38].copy_from_slice(&dst_port.to_be_bytes());
+        buf(pool, &data)
     }
 
     #[test]
@@ -367,6 +650,7 @@ mod tests {
         assert_eq!(s.tx_frames, 2);
         assert_eq!(s.tx_bytes, 10);
         assert_eq!(s.tx_sg_entries, 3);
+        assert_eq!(s.doorbells, 2, "each single post rings once");
         b.recv_into(&pool).unwrap();
         assert_eq!(b.stats().rx_frames, 1);
         assert_eq!(b.stats().rx_bytes, 5);
@@ -429,5 +713,171 @@ mod tests {
         let inner = &rx.as_slice()[8..14];
         let rec = reg.recover(inner).expect("rx data recovers");
         assert_eq!(&*rec, b"in pin");
+    }
+
+    // ---- Multi-queue behavior -------------------------------------------
+
+    /// A source port whose flow to `dst` steers to queue `q` under `rss`.
+    fn port_for_queue(rss: &RssConfig, dst: u16, q: usize) -> u16 {
+        (4000..u16::MAX)
+            .find(|&p| rss.queue_for_flow(p, dst) == q)
+            .expect("steering port exists")
+    }
+
+    #[test]
+    fn rss_steers_frames_to_owning_queues() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let mut tx = Nic::new(sim.clone(), pa);
+        let mut rx = Nic::with_queues(sim, pb, 4);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        let rss = rx.rss().clone();
+        // One frame aimed at each queue, interleaved.
+        let ports: Vec<u16> = (0..4).map(|q| port_for_queue(&rss, 9000, q)).collect();
+        for &p in &ports {
+            tx.post_tx(vec![flow_frame(&pool, p, 9000)]).unwrap();
+        }
+        // Per-queue polling yields exactly the frame for that queue.
+        for (q, &p) in ports.iter().enumerate() {
+            let frame = rx.recv_into_on(q, &pool).expect("frame for queue");
+            let got = u16::from_be_bytes([frame.as_slice()[34], frame.as_slice()[35]]);
+            assert_eq!(got, p, "queue {q} got the frame RSS steered to it");
+            assert_eq!(rx.queue_stats(q).rx_frames, 1);
+        }
+        assert!(!rx.has_pending_rx());
+    }
+
+    #[test]
+    fn aggregate_recv_drains_all_queues() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let mut tx = Nic::new(sim.clone(), pa);
+        let mut rx = Nic::with_queues(sim, pb, 4);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        for src in 4000..4016u16 {
+            tx.post_tx(vec![flow_frame(&pool, src, 9000)]).unwrap();
+        }
+        let mut got = 0;
+        while rx.recv_into(&pool).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 16);
+        assert_eq!(rx.stats().rx_frames, 16);
+        let per_queue: u64 = (0..4).map(|q| rx.queue_stats(q).rx_frames).sum();
+        assert_eq!(per_queue, 16, "per-queue stats sum to the aggregate");
+    }
+
+    #[test]
+    fn completions_attributed_to_owning_queue() {
+        // Regression: poll_completions used to report one aggregate count
+        // with no per-queue attribution. Completions must be reaped from —
+        // and counted against — exactly the queue that posted them.
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, _pb) = link();
+        let mut nic = Nic::with_queues(sim, pa, 3);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        nic.post_tx_on(0, vec![buf(&pool, b"q0-a")]).unwrap();
+        nic.post_tx_on(0, vec![buf(&pool, b"q0-b")]).unwrap();
+        nic.post_tx_on(2, vec![buf(&pool, b"q2")]).unwrap();
+        assert_eq!(nic.pending_completions(), 3);
+        assert_eq!(nic.pending_completions_on(0), 2);
+        assert_eq!(nic.pending_completions_on(1), 0);
+        assert_eq!(nic.pending_completions_on(2), 1);
+        // Reaping queue 2 must not touch queue 0's descriptors.
+        assert_eq!(nic.poll_completions_on(2), 1);
+        assert_eq!(nic.queue_stats(2).completions, 1);
+        assert_eq!(nic.queue_stats(0).completions, 0);
+        assert_eq!(nic.pending_completions_on(0), 2);
+        // The aggregate poll reaps the rest, attributed per queue.
+        assert_eq!(nic.poll_completions(), 2);
+        assert_eq!(nic.queue_stats(0).completions, 2);
+        assert_eq!(nic.queue_stats(1).completions, 0);
+        assert_eq!(nic.stats().completions, 3);
+    }
+
+    #[test]
+    fn burst_rings_one_doorbell_and_charges_it() {
+        let (mut a, _b, pool, sim) = setup();
+        let t0 = sim.now();
+        let n = a
+            .post_tx_burst(
+                0,
+                vec![
+                    vec![buf(&pool, b"frame one")],
+                    vec![buf(&pool, b"frame two")],
+                    vec![buf(&pool, b"frame three")],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        // One doorbell_write charge for the burst, no per-frame SG charges
+        // (single-entry descriptors).
+        let db = sim.costs().doorbell_write;
+        assert_eq!(sim.now() - t0, db.round() as u64);
+        let s = a.stats();
+        assert_eq!(s.tx_frames, 3);
+        assert_eq!(s.doorbells, 1, "one ring per burst");
+        assert_eq!(a.pending_completions(), 3);
+    }
+
+    #[test]
+    fn empty_burst_is_free() {
+        let (mut a, _b, _pool, sim) = setup();
+        let t0 = sim.now();
+        assert_eq!(a.post_tx_burst(0, vec![]).unwrap(), 0);
+        assert_eq!(sim.now(), t0);
+        assert_eq!(a.stats().doorbells, 0);
+    }
+
+    #[test]
+    fn burst_validates_before_posting_anything() {
+        let (mut a, _b, pool, _sim) = setup();
+        let err = a
+            .post_tx_burst(0, vec![vec![buf(&pool, b"fine")], vec![]])
+            .unwrap_err();
+        assert_eq!(err, NicError::EmptyDescriptor);
+        assert_eq!(a.stats().tx_frames, 0, "nothing posted on a bad burst");
+        assert_eq!(a.pending_completions(), 0);
+    }
+
+    #[test]
+    fn queue_bound_sim_is_charged() {
+        let base = Sim::new(MachineProfile::tiny_for_tests());
+        let shard = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, _pb) = link();
+        let mut nic = Nic::with_queues(base.clone(), pa, 2);
+        nic.bind_queue_sim(1, shard.clone());
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        // A two-entry descriptor charges one SG entry — to the bound Sim.
+        nic.post_tx_on(1, vec![buf(&pool, b"a"), buf(&pool, b"b")])
+            .unwrap();
+        assert_eq!(base.now(), 0, "base core untouched");
+        let per_entry = shard.nic().sg_entry_cost_ns();
+        assert_eq!(shard.now(), per_entry.round() as u64);
+    }
+
+    #[test]
+    fn posting_to_missing_queue_fails() {
+        let (mut a, _b, pool, _sim) = setup();
+        let err = a.post_tx_on(3, vec![buf(&pool, b"x")]).unwrap_err();
+        assert_eq!(
+            err,
+            NicError::NoSuchQueue {
+                queue: 3,
+                queues: 1
+            }
+        );
+    }
+
+    #[test]
+    fn short_control_frames_land_on_queue_zero() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let tx = Nic::new(sim.clone(), pa);
+        let mut rx = Nic::with_queues(sim, pb, 4);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        tx.port().send(Frame::new(vec![0xAB; 8]));
+        let got = rx.recv_into_on(0, &pool).expect("runt on default queue");
+        assert_eq!(got.len(), 8);
     }
 }

@@ -1,0 +1,207 @@
+//! Receive-side scaling: Toeplitz flow hashing + indirection table.
+//!
+//! Multi-queue NICs steer each received frame to one of N queues by hashing
+//! the packet's flow key (here: the 16-bit source and destination ports at
+//! the offsets both our UDP and TCP header layouts share) with the Toeplitz
+//! hash, then indexing an indirection table with the low bits of the hash.
+//! The table is what makes rebalancing cheap: growing from N to 2N queues
+//! rewrites table entries, moving only the flows whose entries changed.
+//!
+//! [`RssConfig::queue_for_flow`] is public so clients can steer *to* a
+//! queue: pick a source port whose flow hash lands on the shard that owns
+//! the keys in the request (what real kernel-bypass clients do — the NIC's
+//! hash function and key are documented precisely so software can predict
+//! placements).
+
+/// Length of the Toeplitz secret key in bytes. 40 bytes covers IPv4
+/// 5-tuples; our 4-byte flow key uses the first 8.
+pub const RSS_KEY_LEN: usize = 40;
+
+/// The Microsoft-standard default RSS key, used by mlx5 and ice drivers
+/// alike when the OS does not override it.
+pub const DEFAULT_RSS_KEY: [u8; RSS_KEY_LEN] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Default indirection-table size (the mlx5/ice default of 128 entries).
+pub const RSS_TABLE_SIZE: usize = 128;
+
+/// Byte offset of the big-endian source port in a frame — shared by the
+/// UDP ([`crate::Nic`]'s default traffic) and TCP header layouts.
+const OFF_SRC_PORT: usize = 34;
+/// Byte offset of the big-endian destination port.
+const OFF_DST_PORT: usize = 36;
+
+/// The Toeplitz hash of `data` under `key`: for every set bit of the input,
+/// XOR in the 32-bit window of the key starting at that bit position.
+pub fn toeplitz_hash(key: &[u8], data: &[u8]) -> u32 {
+    let mut result = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        for bit in 0..8 {
+            if byte & (0x80 >> bit) != 0 {
+                result ^= key_window(key, i * 8 + bit);
+            }
+        }
+    }
+    result
+}
+
+/// The 32 bits of `key` starting at `bit_off` (big-endian bit order; bits
+/// past the end of the key read as zero).
+fn key_window(key: &[u8], bit_off: usize) -> u32 {
+    let byte = bit_off / 8;
+    let shift = bit_off % 8;
+    let mut w: u64 = 0;
+    for j in 0..5 {
+        w = (w << 8) | u64::from(key.get(byte + j).copied().unwrap_or(0));
+    }
+    ((w >> (8 - shift)) & 0xFFFF_FFFF) as u32
+}
+
+/// RSS steering state: secret key + indirection table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RssConfig {
+    key: [u8; RSS_KEY_LEN],
+    /// Indirection table: hash % table.len() indexes a queue id.
+    table: Vec<u16>,
+    num_queues: usize,
+}
+
+impl RssConfig {
+    /// The default steering profile for `num_queues` queues: the standard
+    /// key and a 128-entry round-robin indirection table (entry `i` maps to
+    /// queue `i % num_queues`), matching what the mlx5 and ice drivers
+    /// program at init.
+    pub fn new(num_queues: usize) -> Self {
+        Self::with_table_size(num_queues, RSS_TABLE_SIZE)
+    }
+
+    /// Like [`RssConfig::new`] with an explicit table size.
+    pub fn with_table_size(num_queues: usize, table_size: usize) -> Self {
+        assert!(num_queues > 0, "at least one queue");
+        assert!(table_size > 0, "at least one table entry");
+        RssConfig {
+            key: DEFAULT_RSS_KEY,
+            table: (0..table_size).map(|i| (i % num_queues) as u16).collect(),
+            num_queues,
+        }
+    }
+
+    /// Number of queues the table steers across.
+    pub fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    /// The indirection table (entries are queue ids).
+    pub fn table(&self) -> &[u16] {
+        &self.table
+    }
+
+    /// The Toeplitz hash of the (src_port, dst_port) flow key.
+    pub fn hash_flow(&self, src_port: u16, dst_port: u16) -> u32 {
+        let mut flow = [0u8; 4];
+        flow[..2].copy_from_slice(&src_port.to_be_bytes());
+        flow[2..].copy_from_slice(&dst_port.to_be_bytes());
+        toeplitz_hash(&self.key, &flow)
+    }
+
+    /// The queue the flow (src_port, dst_port) steers to.
+    pub fn queue_for_flow(&self, src_port: u16, dst_port: u16) -> usize {
+        let h = self.hash_flow(src_port, dst_port) as usize;
+        usize::from(self.table[h % self.table.len()])
+    }
+
+    /// The queue a raw frame steers to: the flow key is read from the
+    /// frame's port fields. Frames too short to carry ports (control runts)
+    /// land on queue 0, like hardware's non-RSS default queue.
+    pub fn queue_for_frame(&self, frame: &[u8]) -> usize {
+        if frame.len() < OFF_DST_PORT + 2 {
+            return 0;
+        }
+        let src = u16::from_be_bytes([frame[OFF_SRC_PORT], frame[OFF_SRC_PORT + 1]]);
+        let dst = u16::from_be_bytes([frame[OFF_DST_PORT], frame[OFF_DST_PORT + 1]]);
+        self.queue_for_flow(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toeplitz_matches_known_vector() {
+        // Microsoft's published verification vector for the default key:
+        // 66.9.149.187:2794 -> 161.142.100.80:1766 hashes to 0x51ccc178
+        // over the 12-byte (src ip, dst ip, src port, dst port) input.
+        let data: [u8; 12] = [
+            66, 9, 149, 187, // src ip
+            161, 142, 100, 80, // dst ip
+            0x0a, 0xea, // src port 2794
+            0x06, 0xe6, // dst port 1766
+        ];
+        assert_eq!(toeplitz_hash(&DEFAULT_RSS_KEY, &data), 0x51cc_c178);
+        // The IPv4-only (addresses, no ports) vector from the same suite.
+        assert_eq!(toeplitz_hash(&DEFAULT_RSS_KEY, &data[..8]), 0x323e_8fc2);
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_instances() {
+        let a = RssConfig::new(4);
+        let b = RssConfig::new(4);
+        for src in [1000u16, 4000, 4001, 9000, 65535] {
+            assert_eq!(a.queue_for_flow(src, 9000), b.queue_for_flow(src, 9000));
+        }
+    }
+
+    #[test]
+    fn table_round_robin_covers_all_queues() {
+        for n in 1..=16 {
+            let rss = RssConfig::new(n);
+            for q in 0..n {
+                assert!(
+                    rss.table().contains(&(q as u16)),
+                    "queue {q} missing from {n}-queue table"
+                );
+            }
+            assert!(rss.table().iter().all(|&q| usize::from(q) < n));
+        }
+    }
+
+    #[test]
+    fn frames_parse_ports_big_endian() {
+        let rss = RssConfig::new(8);
+        let mut frame = vec![0u8; 64];
+        frame[34..36].copy_from_slice(&4321u16.to_be_bytes());
+        frame[36..38].copy_from_slice(&9000u16.to_be_bytes());
+        assert_eq!(rss.queue_for_frame(&frame), rss.queue_for_flow(4321, 9000));
+    }
+
+    #[test]
+    fn short_frames_default_to_queue_zero() {
+        let rss = RssConfig::new(8);
+        assert_eq!(rss.queue_for_frame(&[0u8; 10]), 0);
+        assert_eq!(rss.queue_for_frame(&[]), 0);
+    }
+
+    #[test]
+    fn single_queue_steers_everything_to_zero() {
+        let rss = RssConfig::new(1);
+        for src in 0..200u16 {
+            assert_eq!(rss.queue_for_flow(src, 9000), 0);
+        }
+    }
+
+    #[test]
+    fn flows_spread_across_queues() {
+        let rss = RssConfig::new(4);
+        let mut seen = [0u32; 4];
+        for src in 4000..4256u16 {
+            seen[rss.queue_for_flow(src, 9000)] += 1;
+        }
+        for (q, &count) in seen.iter().enumerate() {
+            assert!(count > 16, "queue {q} starved: {seen:?}");
+        }
+    }
+}

@@ -96,6 +96,13 @@ pub struct CostModel {
     /// Fixed per-packet cost: RX poll + packet header parse + TX descriptor
     /// for the header entry + doorbell + completion handling.
     pub per_packet_base: f64,
+    /// Cost of one doorbell ring: an uncached MMIO write to the NIC's
+    /// doorbell register. For single-descriptor posts this is *included in*
+    /// `per_packet_base` (the calibration anchors absorb it); it is broken
+    /// out so batched posts (`post_tx_burst`-style) can ring once per
+    /// burst and charge `per_packet_base − doorbell_write` for the frames
+    /// that share the ring.
+    pub doorbell_write: f64,
     /// Startup cost of one copy operation (call overhead, loop setup).
     pub copy_startup: f64,
     /// Per-cache-line cost when the source line misses in LLC (streaming,
@@ -154,6 +161,7 @@ impl CostModel {
     pub fn cloudlab_c6525() -> Self {
         CostModel {
             per_packet_base: 426.0,
+            doorbell_write: 64.0,
             copy_startup: 22.0,
             copy_line_miss: 8.8,
             copy_line_hit: 4.0,

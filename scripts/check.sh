@@ -19,6 +19,11 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> wire-format gates: differential + golden suites"
+cargo test -q -p cf-kv --test differential
+cargo test -q --test golden
+cargo test -q -p cf-nic --test rss_proptests
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full: cargo test --workspace -q"
     cargo test --workspace -q

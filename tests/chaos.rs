@@ -21,6 +21,7 @@ use proptest::prelude::*;
 use cornflakes::kv::client::{KvClient, RetryConfig, CLIENT_PORT, SERVER_PORT};
 use cornflakes::kv::flags;
 use cornflakes::kv::server::{KvServer, SerKind};
+use cornflakes::kv::sharded::ShardedKvServer;
 use cornflakes::mem::PoolConfig;
 use cornflakes::net::UdpStack;
 use cornflakes::nic::{link, FaultPlan};
@@ -76,9 +77,10 @@ enum Outcome {
 }
 
 /// Drives one request to its mandatory conclusion: response or timeout.
-fn drive(client: &mut KvClient, server: &mut KvServer, sim: &Sim, id: u32) -> Outcome {
+/// `poll_server` is the server's poll entry point (plain or sharded).
+fn drive_with(client: &mut KvClient, poll_server: &mut dyn FnMut(), sim: &Sim, id: u32) -> Outcome {
     for _round in 0..80 {
-        server.poll();
+        poll_server();
         if let Some(resp) = client.recv_response() {
             assert_eq!(resp.id, Some(id), "tracking filters foreign responses");
             return Outcome::Answered {
@@ -170,7 +172,14 @@ proptest! {
                 let val = vec![op_idx as u8 ^ 0xA5; VALUE_BYTES];
                 puts_sent += 1;
                 let id = client.send_put(&key, &val);
-                match drive(&mut client, &mut server, &sim, id) {
+                match drive_with(
+                    &mut client,
+                    &mut || {
+                        server.poll();
+                    },
+                    &sim,
+                    id,
+                ) {
                     Outcome::Answered { flags: f, .. } => {
                         answered += 1;
                         if f & flags::DEGRADED == 0 {
@@ -187,7 +196,14 @@ proptest! {
                 }
             } else {
                 let id = client.send_get(&[&key]);
-                match drive(&mut client, &mut server, &sim, id) {
+                match drive_with(
+                    &mut client,
+                    &mut || {
+                        server.poll();
+                    },
+                    &sim,
+                    id,
+                ) {
                     Outcome::Answered { vals, .. } => {
                         answered += 1;
                         prop_assert_eq!(vals.len(), 1, "one value per get");
@@ -250,5 +266,178 @@ proptest! {
             store_slots,
             "server pool occupancy != store contents: leak or early free"
         );
+    }
+
+    /// The same chaos invariants with the multi-queue datapath: a sharded
+    /// server behind RSS steering, faults hitting the shared wire before
+    /// the steering stage. Requests must still conclude exactly once,
+    /// puts stay exactly-once *per owning shard*, and no shard ever sees
+    /// a request for a key it does not own.
+    #[test]
+    fn sharded_kv_traffic_survives_arbitrary_fault_plans(
+        seed in any::<u64>(),
+        queues in 2usize..=4,
+        drop_bp in 0u32..2000,
+        dup_bp in 0u32..2000,
+        reorder_bp in 0u32..2000,
+        corrupt_bp in 0u32..1500,
+        delay_bp in 0u32..2000,
+        ops in proptest::collection::vec(any::<bool>(), 10..20),
+    ) {
+        // Shards share one Sim (one clock) so retry deadlines and fault
+        // delays stay coherent with the client's view of time.
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (cp, sp) = link();
+        let mut server = ShardedKvServer::on_sims(
+            vec![sim.clone(); queues],
+            sp,
+            SerKind::Cornflakes,
+            cornflakes::core::SerializationConfig::hybrid(),
+            PoolConfig::small_for_tests(),
+        );
+        let client_stack = UdpStack::new(
+            sim.clone(),
+            cp,
+            CLIENT_PORT,
+            cornflakes::core::SerializationConfig::hybrid(),
+        );
+        let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
+        client.enable_steering(&server.rss());
+        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3 });
+
+        let keys: Vec<Vec<u8>> = (0..NUM_KEYS)
+            .map(|i| key_string(i).into_bytes())
+            .collect();
+        let mut candidates: Vec<Vec<Vec<u8>>> = Vec::new();
+        for key in &keys {
+            server.preload(key, &[VALUE_BYTES]).expect("preload fits");
+            let fill = cornflakes::kv::store::KvStore::expected_fill(key, 0);
+            candidates.push(vec![vec![fill; VALUE_BYTES]]);
+        }
+
+        let p = |bp: u32| f64::from(bp) / 10_000.0;
+        let _requests = server.install_faults(
+            FaultPlan::seeded(seed)
+                .with_drop(p(drop_bp))
+                .with_duplicate(p(dup_bp))
+                .with_reorder(p(reorder_bp))
+                .with_corrupt(p(corrupt_bp))
+                .with_delay(p(delay_bp), (10_000, 150_000)),
+        );
+        let _responses = client.stack.install_faults(
+            FaultPlan::seeded(seed ^ 0x9E37_79B9_7F4A_7C15)
+                .with_drop(p(drop_bp))
+                .with_duplicate(p(dup_bp))
+                .with_reorder(p(reorder_bp))
+                .with_corrupt(p(corrupt_bp))
+                .with_delay(p(delay_bp), (10_000, 150_000)),
+        );
+
+        let mut ycsb = Ycsb::new(
+            YcsbConfig {
+                num_keys: NUM_KEYS,
+                theta: 0.9,
+                value_segments: 1,
+                segment_size: VALUE_BYTES,
+            },
+            seed,
+        );
+        let mut answered = 0u64;
+        let mut timeouts = 0u64;
+        let mut clean_put_acks = 0u64;
+        let mut puts_sent = 0u64;
+        for (op_idx, &is_put) in ops.iter().enumerate() {
+            let key_id = ycsb.next_key() % NUM_KEYS;
+            let key = keys[key_id as usize].clone();
+            if is_put {
+                let val = vec![op_idx as u8 ^ 0xA5; VALUE_BYTES];
+                puts_sent += 1;
+                let id = client.send_put(&key, &val);
+                match drive_with(
+                    &mut client,
+                    &mut || {
+                        server.poll();
+                    },
+                    &sim,
+                    id,
+                ) {
+                    Outcome::Answered { flags: f, .. } => {
+                        answered += 1;
+                        if f & flags::DEGRADED == 0 {
+                            clean_put_acks += 1;
+                            candidates[key_id as usize].push(val);
+                        }
+                    }
+                    Outcome::TimedOut => {
+                        timeouts += 1;
+                        candidates[key_id as usize].push(val);
+                    }
+                }
+            } else {
+                let id = client.send_get(&[&key]);
+                match drive_with(
+                    &mut client,
+                    &mut || {
+                        server.poll();
+                    },
+                    &sim,
+                    id,
+                ) {
+                    Outcome::Answered { vals, .. } => {
+                        answered += 1;
+                        prop_assert_eq!(vals.len(), 1, "one value per get");
+                        prop_assert!(
+                            candidates[key_id as usize].contains(&vals[0]),
+                            "read bytes must match some legitimate write"
+                        );
+                    }
+                    Outcome::TimedOut => timeouts += 1,
+                }
+            }
+        }
+
+        prop_assert_eq!(answered + timeouts, ops.len() as u64);
+        prop_assert!(client.pending_ids().is_empty());
+        let applied = server.puts_applied();
+        prop_assert!(applied >= clean_put_acks);
+        prop_assert!(
+            applied <= puts_sent,
+            "applied {applied} > puts sent {puts_sent}: a retry was re-applied"
+        );
+
+        // Let stragglers land, then check shard isolation: each shard
+        // stored only keys it owns, and pool occupancy matches its store.
+        for _ in 0..6 {
+            sim.clock().advance(500_000);
+            server.poll();
+            prop_assert!(client.recv_response().is_none(), "no untracked responses");
+        }
+        for (q, shard) in server.shards().iter().enumerate() {
+            let mut store_slots = 0usize;
+            for key in &keys {
+                let owner = server.shard_of(key);
+                match shard.store.get(key) {
+                    Some(value) => {
+                        prop_assert_eq!(
+                            owner, q,
+                            "shard {} holds a key owned by shard {}", q, owner
+                        );
+                        store_slots += value.segments.len();
+                        for seg in &value.segments {
+                            prop_assert_eq!(seg.refcount(), 1);
+                        }
+                    }
+                    None => prop_assert!(
+                        owner != q,
+                        "shard {} lost a key it owns", q
+                    ),
+                }
+            }
+            prop_assert_eq!(
+                shard.stack.ctx().pool.live_slots(),
+                store_slots,
+                "shard pool occupancy != its store contents"
+            );
+        }
     }
 }

@@ -1,0 +1,294 @@
+//! Golden wire-format snapshots: byte-exact fixtures for representative
+//! frames, checked into `tests/golden/*.bin`.
+//!
+//! Every frame the datapath puts on the wire is deterministic — same
+//! requests, same bytes — so the exact frames are pinned as fixtures.
+//! A wire-format change (header layout, serialization framing, FCS, TCP
+//! segment fields) fails these tests with the first differing offset
+//! named, instead of silently breaking cross-version compatibility.
+//!
+//! Regenerate the fixtures deliberately with:
+//!
+//! ```text
+//! CF_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and review the resulting `.bin` diffs like any other code change.
+//!
+//! The fixtures also lock the acceptance criterion that a single-queue
+//! multi-queue configuration is wire-identical to the original
+//! single-ring datapath: the sharded server's reply must match the plain
+//! server's golden reply byte for byte.
+
+use std::path::PathBuf;
+
+use cornflakes::core::SerializationConfig;
+use cornflakes::kv::client::{client_server_pair, KvClient, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::server::{KvServer, SerKind};
+use cornflakes::kv::sharded::ShardedKvServer;
+use cornflakes::kv::{flags, store::KvStore};
+use cornflakes::mem::PoolConfig;
+use cornflakes::net::{TcpStack, UdpStack};
+use cornflakes::nic::{fcs_ok, link, Frame, Port, FCS_OFFSET};
+use cornflakes::sim::{MachineProfile, Sim};
+
+/// Frame-header offsets pinned by the fixtures (see `cf-net`).
+const OFF_FLAGS: usize = 43;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `bytes` against the checked-in fixture `name`, or rewrites
+/// the fixture when `CF_BLESS=1`. Every fixture must also carry a valid
+/// FCS — the NIC seals each gathered frame, and the fixture pins that.
+fn check_golden(name: &str, bytes: &[u8]) {
+    assert!(
+        bytes.len() >= FCS_OFFSET + 4 && fcs_ok(bytes),
+        "{name}: captured frame must carry a valid FCS"
+    );
+    let path = golden_dir().join(name);
+    if std::env::var_os("CF_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("fixture dir");
+        std::fs::write(&path, bytes).expect("bless fixture");
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|_| {
+        panic!("missing fixture {name}: run `CF_BLESS=1 cargo test --test golden` and commit tests/golden/{name}")
+    });
+    if expected != bytes {
+        let first_diff = expected
+            .iter()
+            .zip(bytes.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.len().min(bytes.len()));
+        panic!(
+            "{name}: wire format drifted: fixture {} bytes, captured {} bytes, \
+             first difference at offset {} (fixture {:#04x} vs captured {:#04x}); \
+             if intentional, re-bless with CF_BLESS=1 and review the diff",
+            expected.len(),
+            bytes.len(),
+            first_diff,
+            expected.get(first_diff).copied().unwrap_or(0),
+            bytes.get(first_diff).copied().unwrap_or(0),
+        );
+    }
+}
+
+/// Pulls the next frame off `tap` (a clone of the receiving end's port),
+/// snapshots it, and pushes it back on the wire via `reinject` (a clone
+/// of the *sending* end, whose tx is the same channel) so the datapath
+/// under test still sees it.
+fn capture(name: &str, tap: &Port, reinject: &Port) -> Vec<u8> {
+    let frame = tap
+        .recv()
+        .unwrap_or_else(|| panic!("{name}: no frame on the wire"));
+    let bytes = frame.data.clone();
+    check_golden(name, &bytes);
+    reinject.send(frame);
+    bytes
+}
+
+/// A deterministic client/server pair with taps on both wire directions:
+/// returns (client, server, client_port_tap, server_port_tap).
+fn tapped_pair(kind: SerKind) -> (KvClient, KvServer, Port, Port) {
+    let (cp, sp) = link();
+    let (cp_tap, sp_tap) = (cp.clone(), sp.clone());
+    let client_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let server_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let client_stack = UdpStack::new(client_sim, cp, CLIENT_PORT, SerializationConfig::hybrid());
+    let server_stack = UdpStack::with_pool_config(
+        server_sim,
+        sp,
+        SERVER_PORT,
+        SerializationConfig::hybrid(),
+        PoolConfig::small_for_tests(),
+    );
+    (
+        KvClient::new(client_stack, kind),
+        KvServer::new(server_stack, kind),
+        cp_tap,
+        sp_tap,
+    )
+}
+
+#[test]
+fn udp_cornflakes_frames_match_fixtures() {
+    let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
+    server
+        .store
+        .preload(server.stack.ctx(), b"key-a", &[256])
+        .unwrap();
+    server
+        .store
+        .preload(server.stack.ctx(), b"seg", &[64, 64])
+        .unwrap();
+
+    // GET request (req_id 1) and its zero-copy reply.
+    client.send_get(&[b"key-a"]);
+    capture("udp_get_request.bin", &sp_tap, &cp_tap);
+    assert_eq!(server.poll(), 1);
+    capture("udp_get_response.bin", &cp_tap, &sp_tap);
+    let resp = client.recv_response().expect("get reply");
+    assert_eq!(resp.vals.len(), 1);
+    assert_eq!(resp.vals[0][0], KvStore::expected_fill(b"key-a", 0));
+
+    // PUT request (req_id 2).
+    client.send_put(b"key-b", &[0x42u8; 64]);
+    capture("udp_put_request.bin", &sp_tap, &cp_tap);
+    server.poll();
+    client.recv_response().expect("put ack");
+
+    // GET_SEGMENT request (req_id 3) carrying the auxiliary index field.
+    client.send_get_segment(b"seg", 1);
+    capture("udp_get_segment_request.bin", &sp_tap, &cp_tap);
+    server.poll();
+    let resp = client.recv_response().expect("segment reply");
+    assert_eq!(resp.vals.len(), 1);
+}
+
+#[test]
+fn protolite_response_matches_fixture() {
+    // A copy-serializer reply pins the baseline wire format too: the
+    // differential suite proves systems agree on *fields*, this fixture
+    // pins protolite's exact *bytes* inside a frame.
+    let (mut client, mut server) = client_server_pair(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        SerKind::Protobuf,
+        SerializationConfig::hybrid(),
+        PoolConfig::small_for_tests(),
+    );
+    let client_tap = client.stack.nic().borrow().port().clone();
+    let server_tap = server.stack.nic().borrow().port().clone();
+    server
+        .store
+        .preload(server.stack.ctx(), b"key-a", &[256])
+        .unwrap();
+    client.send_get(&[b"key-a"]);
+    server.poll();
+    // Receiving on the client's port pulls the reply; sending on the
+    // server's port puts it back on the same channel.
+    let frame = client_tap.recv().expect("protolite reply on the wire");
+    check_golden("udp_get_response_protolite.bin", &frame.data);
+    server_tap.send(frame);
+    let resp = client.recv_response().expect("protolite reply decodes");
+    assert_eq!(resp.vals.len(), 1);
+}
+
+#[test]
+fn degraded_put_reply_matches_fixture() {
+    let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
+    // Saturate the store's size class so the put cannot allocate (same
+    // trigger as the e2e degradation test): the reply must carry
+    // flags::DEGRADED on the wire.
+    server.put_segment_size = 600;
+    server
+        .store
+        .preload(server.stack.ctx(), b"k", &[600])
+        .unwrap();
+    let mut filler = 0u32;
+    while server
+        .store
+        .preload(
+            server.stack.ctx(),
+            format!("filler-{filler}").as_bytes(),
+            &[600],
+        )
+        .is_ok()
+    {
+        filler += 1;
+    }
+    client.send_put(b"k", &[0x5Cu8; 1500]);
+    // Let the request through untouched; snapshot only the reply.
+    let req = sp_tap.recv().expect("put request");
+    cp_tap.send(req);
+    server.poll();
+    let bytes = capture("udp_degraded_put_reply.bin", &cp_tap, &sp_tap);
+    assert_eq!(
+        bytes[OFF_FLAGS] & flags::DEGRADED,
+        flags::DEGRADED,
+        "DEGRADED flag is on the wire"
+    );
+    let resp = client.recv_response().expect("degraded ack");
+    assert_eq!(resp.flags, flags::DEGRADED);
+}
+
+#[test]
+fn tcp_segments_match_fixtures() {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (pa, pb) = link();
+    let (a_tap, b_tap) = (pa.clone(), pb.clone());
+    let mut a = TcpStack::new(sim.clone(), pa, 1000, SerializationConfig::hybrid());
+    let mut b = TcpStack::new(sim, pb, 2000, SerializationConfig::hybrid());
+
+    a.connect(2000).unwrap();
+    capture("tcp_syn_segment.bin", &b_tap, &a_tap);
+    b.poll().unwrap();
+    capture("tcp_synack_segment.bin", &a_tap, &b_tap);
+    a.poll().unwrap();
+    b.poll().unwrap();
+    assert!(a.is_established() && b.is_established());
+
+    a.send_bytes(b"golden tcp payload").unwrap();
+    capture("tcp_data_segment.bin", &b_tap, &a_tap);
+    b.poll().unwrap();
+    let msg = b.recv_msg().unwrap().expect("payload delivered");
+    assert_eq!(msg.as_slice(), b"golden tcp payload");
+}
+
+#[test]
+fn single_queue_sharded_server_is_wire_identical_to_plain_server() {
+    // Plain single-ring server.
+    let (mut plain_client, mut plain_server, plain_cp_tap, plain_sp_tap) =
+        tapped_pair(SerKind::Cornflakes);
+    plain_server
+        .store
+        .preload(plain_server.stack.ctx(), b"key-a", &[256])
+        .unwrap();
+    plain_client.send_get(&[b"key-a"]);
+    let req = plain_sp_tap.recv().expect("plain request");
+    let plain_request = req.data.clone();
+    plain_cp_tap.send(req);
+    plain_server.poll();
+    let plain_reply = plain_cp_tap.recv().expect("plain reply").data;
+
+    // The same scenario through a single-queue ShardedKvServer with
+    // steering enabled (one queue ⇒ the steering port is CLIENT_PORT).
+    let (cp, sp) = link();
+    let (cp_tap, sp_tap) = (cp.clone(), sp.clone());
+    let mut server = ShardedKvServer::on_sims(
+        vec![Sim::new(MachineProfile::tiny_for_tests())],
+        sp,
+        SerKind::Cornflakes,
+        SerializationConfig::hybrid(),
+        PoolConfig::small_for_tests(),
+    );
+    let client_stack = UdpStack::new(
+        Sim::new(MachineProfile::tiny_for_tests()),
+        cp,
+        CLIENT_PORT,
+        SerializationConfig::hybrid(),
+    );
+    let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
+    client.enable_steering(&server.rss());
+    assert_eq!(client.steer_ports(), &[CLIENT_PORT]);
+    server.preload(b"key-a", &[256]).unwrap();
+    client.send_get(&[b"key-a"]);
+    let req = sp_tap.recv().expect("sharded request");
+    assert_eq!(
+        req.data, plain_request,
+        "single-queue sharded client emits the identical request frame"
+    );
+    cp_tap.send(req);
+    assert_eq!(server.poll(), 1);
+    let sharded_reply = cp_tap.recv().expect("sharded reply").data;
+    assert_eq!(
+        sharded_reply, plain_reply,
+        "single-queue sharded server emits the identical reply frame"
+    );
+    // The shared fixture: both paths must keep matching it.
+    check_golden("udp_single_queue_reply.bin", &sharded_reply);
+    sp_tap.send(Frame::new(sharded_reply));
+    let resp = client.recv_response().expect("sharded reply decodes");
+    assert_eq!(resp.vals.len(), 1);
+}
