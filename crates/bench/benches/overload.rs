@@ -1,0 +1,14 @@
+//! Goodput under overload: offered load 0.5×–4× of measured capacity on
+//! the sharded multi-queue server, with overload control on and off.
+//! Emits `overload.json`.
+
+use cf_bench::experiments::overload;
+
+fn main() {
+    let params = if std::env::var("CF_QUICK").is_ok() {
+        overload::OverloadParams::quick()
+    } else {
+        overload::OverloadParams::full()
+    };
+    overload::run(&params);
+}

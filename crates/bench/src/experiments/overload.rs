@@ -1,0 +1,442 @@
+//! Goodput under overload: offered load swept past saturation, with and
+//! without the overload-control stack.
+//!
+//! The fixture is the steered multi-queue sharded server from the scaling
+//! experiment. A slice-based open-loop harness offers load at a multiple
+//! of the *measured* closed-loop capacity (0.5×–4×) for a fixed virtual
+//! duration, then drains. Each shard serves only while its own clock is
+//! behind the harness arrival clock, so offered load above capacity builds
+//! a real backlog instead of being absorbed by closed-loop pacing.
+//!
+//! - **Control on**: server-side admission (bounded backlog + CoDel
+//!   sojourn shedding + bounded NIC rx rings, GET priority) and
+//!   client-side protection (retry budget + breaker + jittered backoff).
+//! - **Control off**: unbounded rx staging, FIFO service, naive
+//!   exponential-backoff retries.
+//!
+//! Goodput counts replies that arrive within the SLO
+//! ([`OverloadParams::slo_ns`]) and were actually served (`SHED`
+//! fast-rejects are not goodput — but they cost almost nothing and keep
+//! latency bounded). The artifact (`overload.json`) shows goodput holding
+//! within ~15 % of peak past saturation with control on, and collapsing —
+//! or p99 inflating by ≥2× — with control off.
+
+use std::collections::HashMap;
+
+use cf_sim::rng::SplitMix64;
+
+use cf_kv::client::{ProtectionConfig, RetryConfig};
+use cf_kv::flags;
+use cf_kv::overload::AdmissionConfig;
+use cf_workloads::key_string;
+
+use crate::artifacts::write_json_artifact;
+use crate::experiments::scaling::{scaling_fixture, ScaleWorkload};
+use crate::tables::{f1, print_table};
+
+/// Sweep knobs; [`OverloadParams::quick`] is the CI-sized preset.
+#[derive(Clone, Debug)]
+pub struct OverloadParams {
+    /// Shard (= NIC queue) count.
+    pub queues: usize,
+    /// Distinct keys, preloaded and uniformly addressed (uniform keys keep
+    /// the shards balanced so the sweep measures overload, not skew).
+    pub num_keys: u64,
+    /// Closed-loop requests used to measure capacity.
+    pub probe_requests: u64,
+    /// Virtual time the open-loop load is offered for, per point.
+    pub duration_ns: u64,
+    /// Harness slice: arrivals are generated and the server served in
+    /// slices of this many virtual nanoseconds.
+    pub slice_ns: u64,
+    /// Reply-latency SLO: completions slower than this are not goodput.
+    pub slo_ns: u64,
+    /// Offered-load multipliers applied to the measured capacity.
+    pub multipliers: Vec<f64>,
+    /// PUT fraction (the rest are GETs), exercising GET priority.
+    pub put_fraction: f64,
+}
+
+impl OverloadParams {
+    /// Full sweep: 2 shards, 0.5×–4×.
+    pub fn full() -> Self {
+        OverloadParams {
+            queues: 2,
+            num_keys: 1024,
+            probe_requests: 3_000,
+            duration_ns: 3_000_000,
+            slice_ns: 50_000,
+            slo_ns: 1_000_000,
+            multipliers: vec![0.5, 1.0, 1.5, 2.0, 3.0, 4.0],
+            put_fraction: 0.1,
+        }
+    }
+
+    /// CI smoke preset: the same shape, a fraction of the volume.
+    pub fn quick() -> Self {
+        OverloadParams {
+            num_keys: 256,
+            probe_requests: 1_200,
+            duration_ns: 1_200_000,
+            multipliers: vec![0.5, 1.0, 2.0, 4.0],
+            ..OverloadParams::full()
+        }
+    }
+}
+
+/// One measured (multiplier, control) point.
+#[derive(Clone, Debug)]
+pub struct OverloadPoint {
+    /// Offered load as a multiple of measured capacity.
+    pub multiplier: f64,
+    /// Overload control (admission + client protection) enabled?
+    pub control: bool,
+    /// Arrivals offered during the load phase.
+    pub offered: u64,
+    /// Replies served within the SLO.
+    pub good: u64,
+    /// Goodput in kilo-requests/s of virtual time over the load phase.
+    pub goodput_krps: f64,
+    /// Median reply latency (ns) over served replies.
+    pub p50_ns: u64,
+    /// 99th-percentile reply latency (ns) over served replies.
+    pub p99_ns: u64,
+    /// `SHED` fast-rejects observed by the client.
+    pub shed: u64,
+    /// Requests that timed out client-side (all retries exhausted, retry
+    /// budget empty, or breaker fast-fail).
+    pub timed_out: u64,
+    /// Client retransmissions.
+    pub retries: u64,
+    /// Frames tail-dropped by the bounded NIC rx rings (control on only).
+    pub rx_dropped: u64,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct OverloadResult {
+    /// Measured closed-loop capacity, requests/s of virtual time.
+    pub capacity_rps: f64,
+    /// Control-on and control-off points, interleaved per multiplier.
+    pub points: Vec<OverloadPoint>,
+}
+
+impl OverloadResult {
+    /// Points for one arm, ascending by multiplier.
+    pub fn arm(&self, control: bool) -> Vec<&OverloadPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.control == control)
+            .collect()
+    }
+
+    /// Peak goodput of one arm.
+    pub fn peak_goodput(&self, control: bool) -> f64 {
+        self.arm(control)
+            .iter()
+            .map(|p| p.goodput_krps)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Measures closed-loop capacity (requests/s of virtual time) on the
+/// scaling fixture: saturating bursts, makespan = furthest shard clock.
+pub fn measure_capacity(params: &OverloadParams) -> f64 {
+    let (mut client, mut server) =
+        scaling_fixture(ScaleWorkload::YcsbC, params.queues, params.num_keys);
+    let mut rng = SplitMix64::new(0xCAFE);
+    let mut sent = 0u64;
+    while sent < params.probe_requests {
+        let burst = 16.min(params.probe_requests - sent);
+        for _ in 0..burst {
+            let key = key_string(rng.next_bounded(params.num_keys));
+            client.send_get(&[key.as_bytes()]);
+            sent += 1;
+        }
+        server.poll();
+        while client.recv_response().is_some() {}
+    }
+    let elapsed = server.max_clock_ns().max(1);
+    server.total_requests() as f64 / elapsed as f64 * 1e9
+}
+
+/// Runs one (multiplier, control) point at `rate_rps` offered load.
+pub fn run_point(
+    params: &OverloadParams,
+    multiplier: f64,
+    rate_rps: f64,
+    control: bool,
+) -> OverloadPoint {
+    let (mut client, mut server) =
+        scaling_fixture(ScaleWorkload::YcsbC, params.queues, params.num_keys);
+    if control {
+        // The bounded NIC ring is the primary steady-state shedder: like
+        // hardware ring overflow, a tail drop there costs zero CPU. A
+        // deeper backlog with sojourn shedding retains less goodput, not
+        // more — every frame that crosses rx pays full ingest cost, so
+        // shedding it afterwards wastes work the ring rejects for free.
+        // The CoDel layer guards the *transition* (admitted entries aged
+        // past patience by a service stall), not sustained excess.
+        server.enable_admission(AdmissionConfig {
+            target_sojourn_ns: params.slo_ns / 2,
+            ..AdmissionConfig::default()
+        });
+        client.enable_retries(RetryConfig {
+            timeout_ns: params.slo_ns,
+            max_retries: 2,
+            max_backoff_ns: 4 * params.slo_ns,
+            jitter_seed: Some(0x5EED ^ multiplier.to_bits()),
+        });
+        client.enable_protection(ProtectionConfig::default());
+    } else {
+        client.enable_retries(RetryConfig {
+            timeout_ns: params.slo_ns,
+            max_retries: 2,
+            max_backoff_ns: 0,
+            jitter_seed: None,
+        });
+    }
+
+    let mut rng = SplitMix64::new(0xD15EA5E ^ multiplier.to_bits());
+    let interarrival = 1e9 / rate_rps;
+    let put_scratch = vec![0xB0u8; 1024];
+
+    let mut send_time: HashMap<u32, u64> = HashMap::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut offered = 0u64;
+    let mut good = 0u64;
+    let mut shed = 0u64;
+    let mut timed_out = 0u64;
+    let mut next_arrival = 0.0f64;
+
+    let mut t = 0u64;
+    // Load phase, then a drain phase long enough for the uncontrolled
+    // backlog to clear (bounded so a pathological arm still terminates).
+    let drain_deadline = params.duration_ns.saturating_mul(8);
+    loop {
+        let t_next = t + params.slice_ns;
+        // Offer this slice's arrivals (load phase only).
+        if t < params.duration_ns {
+            let client_clock = client.stack.sim().clock();
+            if client_clock.now() < t {
+                client_clock.advance_to(t);
+            }
+            while next_arrival < t_next as f64 && (next_arrival as u64) < params.duration_ns {
+                let key = key_string(rng.next_bounded(params.num_keys));
+                let id = if rng.next_f64() < params.put_fraction {
+                    client.send_put(key.as_bytes(), &put_scratch)
+                } else {
+                    client.send_get(&[key.as_bytes()])
+                };
+                send_time.insert(id, next_arrival as u64);
+                offered += 1;
+                next_arrival += interarrival;
+            }
+        }
+        // Serve: each shard runs only until the harness clock.
+        if control {
+            server.poll_admitted_until(t_next, t_next);
+        } else {
+            server.poll_until(t_next, t_next);
+        }
+        // Collect replies and fire timers on the advanced client clock.
+        let client_clock = client.stack.sim().clock();
+        if client_clock.now() < t_next {
+            client_clock.advance_to(t_next);
+        }
+        while let Some(resp) = client.recv_response() {
+            let Some(id) = resp.id else { continue };
+            let Some(sent_at) = send_time.remove(&id) else {
+                continue;
+            };
+            if resp.flags & flags::SHED != 0 {
+                shed += 1;
+                continue;
+            }
+            let lat = t_next.saturating_sub(sent_at);
+            latencies.push(lat);
+            if lat <= params.slo_ns {
+                good += 1;
+            }
+        }
+        for id in client.poll_timers() {
+            if send_time.remove(&id).is_some() {
+                timed_out += 1;
+            }
+        }
+        t = t_next;
+        let loading = t < params.duration_ns;
+        let draining = !send_time.is_empty() || server.backlog_len() > 0;
+        if !loading && (!draining || t >= drain_deadline) {
+            break;
+        }
+    }
+
+    latencies.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    OverloadPoint {
+        multiplier,
+        control,
+        offered,
+        good,
+        goodput_krps: good as f64 / params.duration_ns as f64 * 1e6,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        shed,
+        timed_out,
+        retries: client.retries_sent(),
+        rx_dropped: server.rx_backlog_drops(),
+    }
+}
+
+/// Runs the sweep: measure capacity once, then every multiplier × arm.
+pub fn sweep(params: &OverloadParams) -> OverloadResult {
+    let capacity_rps = measure_capacity(params);
+    let mut points = Vec::new();
+    for &m in &params.multipliers {
+        let rate = capacity_rps * m;
+        for control in [true, false] {
+            points.push(run_point(params, m, rate, control));
+        }
+    }
+    OverloadResult {
+        capacity_rps,
+        points,
+    }
+}
+
+/// Renders the sweep as the `overload.json` artifact body.
+pub fn to_json(r: &OverloadResult) -> String {
+    let mut out = format!(
+        "{{\n  \"experiment\": \"overload\",\n  \"capacity_rps\": {:.1},\n  \"points\": [\n",
+        r.capacity_rps
+    );
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"multiplier\": {:.2}, \"control\": {}, \"offered\": {}, \"good\": {}, \"goodput_krps\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"shed\": {}, \"timed_out\": {}, \"rx_dropped\": {}}}{}\n",
+            p.multiplier,
+            p.control,
+            p.offered,
+            p.good,
+            p.goodput_krps,
+            p.p50_ns,
+            p.p99_ns,
+            p.shed,
+            p.timed_out,
+            p.rx_dropped,
+            if i + 1 < r.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the full sweep, prints the table, writes `overload.json`.
+pub fn run(params: &OverloadParams) -> OverloadResult {
+    let r = sweep(params);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}x", p.multiplier),
+                if p.control { "on" } else { "off" }.to_string(),
+                f1(p.goodput_krps),
+                format!("{}", p.p99_ns / 1000),
+                p.shed.to_string(),
+                p.timed_out.to_string(),
+                p.rx_dropped.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Overload: goodput vs offered load (capacity {:.0} krps)",
+            r.capacity_rps / 1e3
+        ),
+        &[
+            "Offered",
+            "Control",
+            "Goodput krps",
+            "p99 us",
+            "Shed",
+            "TimedOut",
+            "RxDrop",
+        ],
+        &rows,
+    );
+    match write_json_artifact("overload", &to_json(&r)) {
+        Ok(path) => println!("  artifact: {}", path.display()),
+        Err(e) => println!("  artifact write failed: {e}"),
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_goodput_holds_past_saturation_and_uncontrolled_degrades() {
+        let params = OverloadParams::quick();
+        let r = sweep(&params);
+        let on = r.arm(true);
+        let off = r.arm(false);
+        let peak_on = r.peak_goodput(true);
+        assert!(peak_on > 0.0, "controlled arm serves traffic");
+
+        // With control on, goodput at every post-saturation multiplier
+        // stays within 15% of the arm's peak.
+        for p in on.iter().filter(|p| p.multiplier >= 2.0) {
+            assert!(
+                p.goodput_krps >= peak_on * 0.85,
+                "controlled goodput retained at {}x: {:.1} vs peak {:.1}",
+                p.multiplier,
+                p.goodput_krps,
+                peak_on
+            );
+        }
+        // The admission layer is actually doing the work: past saturation
+        // it sheds and/or tail-drops rather than queueing unboundedly.
+        let at4_on = on.iter().find(|p| p.multiplier == 4.0).unwrap();
+        assert!(
+            at4_on.shed + at4_on.rx_dropped + at4_on.timed_out > 0,
+            "overload must be rejected somewhere, not absorbed"
+        );
+
+        // Without control the system degrades past saturation: goodput
+        // collapses below 50% of its peak, or p99 inflates >= 2x vs 1x.
+        let peak_off = r.peak_goodput(false);
+        let at4_off = off.iter().find(|p| p.multiplier == 4.0).unwrap();
+        let at1_off = off.iter().find(|p| p.multiplier == 1.0).unwrap();
+        let collapsed = at4_off.goodput_krps < peak_off * 0.5;
+        let inflated = at4_off.p99_ns >= 2 * at1_off.p99_ns.max(1);
+        assert!(
+            collapsed || inflated,
+            "uncontrolled arm must collapse or inflate: goodput {:.1} (peak {:.1}), p99 {} vs {}",
+            at4_off.goodput_krps,
+            peak_off,
+            at4_off.p99_ns,
+            at1_off.p99_ns
+        );
+    }
+
+    #[test]
+    fn artifact_json_is_valid() {
+        let mut params = OverloadParams::quick();
+        params.multipliers = vec![0.5, 2.0];
+        params.probe_requests = 400;
+        params.duration_ns = 400_000;
+        let r = sweep(&params);
+        let json = to_json(&r);
+        cf_telemetry::json::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"control\": true"));
+        assert!(!json.contains("\"multiplier\": 4.00"));
+    }
+}

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use cf_mem::PoolConfig;
 use cf_net::{FrameMeta, NetError, UdpStack, HEADER_BYTES};
 use cf_nic::link;
+use cf_sim::rng::SplitMix64;
 use cf_sim::{MachineProfile, Sim};
 use cf_telemetry::{Counter, Telemetry};
 use cornflakes_core::{CornflakesObj, SerializationConfig};
@@ -24,8 +25,13 @@ use cf_baselines::capnlite::{CapnGetM, CapnReader};
 use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
 use cf_baselines::protolite::PGetM;
 
+use crate::flags;
 use crate::msg_type;
 use crate::msgs::GetMsg;
+use crate::overload::{
+    decorrelated_jitter, BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, RetryBudget,
+    RetryBudgetConfig,
+};
 use crate::server::{KvServer, SerKind};
 use crate::sharded::shard_of_key;
 
@@ -57,6 +63,14 @@ pub struct RetryConfig {
     /// Retransmissions after the original send before the request is
     /// reported as timed out.
     pub max_retries: u32,
+    /// Ceiling on any single backoff interval (0 = uncapped). Bounds the
+    /// exponential growth so deep retry counts cannot overflow or stall.
+    pub max_backoff_ns: u64,
+    /// When set, backoffs use AWS-style decorrelated jitter
+    /// (`min(cap, uniform(base, 3 × previous))`) from a [`SplitMix64`]
+    /// seeded here, de-synchronizing retry storms across clients while
+    /// keeping runs reproducible. `None` keeps plain doubling.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryConfig {
@@ -64,8 +78,30 @@ impl Default for RetryConfig {
         RetryConfig {
             timeout_ns: 500_000,
             max_retries: 3,
+            max_backoff_ns: 8_000_000,
+            jitter_seed: None,
         }
     }
+}
+
+/// Client-side overload protection for [`KvClient::enable_protection`]:
+/// a retry budget plus a per-server circuit breaker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProtectionConfig {
+    /// Token-bucket retry budget (see [`RetryBudget`]).
+    pub budget: RetryBudgetConfig,
+    /// Circuit-breaker tuning (see [`CircuitBreaker`]).
+    pub breaker: BreakerConfig,
+}
+
+/// Live protection state: the budget, the breaker for the (single)
+/// server this client talks to, and ids the breaker fast-failed locally,
+/// drained by [`KvClient::poll_timers`].
+#[derive(Debug)]
+struct Protection {
+    budget: RetryBudget,
+    breaker: CircuitBreaker,
+    fast_failed: Vec<u32>,
 }
 
 /// An in-flight request retained for retransmission.
@@ -77,6 +113,8 @@ struct PendingReq {
     vals: Vec<Vec<u8>>,
     deadline: u64,
     retries: u32,
+    /// Previous backoff interval (feeds decorrelated jitter).
+    last_backoff: u64,
 }
 
 /// Client-side reliability counters; defaults are unregistered no-ops.
@@ -85,6 +123,26 @@ struct ClientCounters {
     retries: Counter,
     timeouts: Counter,
     stale_responses: Counter,
+    shed_replies: Counter,
+    retry_budget_exhausted: Counter,
+    breaker_fast_fails: Counter,
+    breaker_open: Counter,
+    breaker_half_open: Counter,
+    breaker_close: Counter,
+}
+
+impl ClientCounters {
+    /// Counts a breaker state transition.
+    fn note_breaker(&self, prev: BreakerState, cur: BreakerState) {
+        if prev == cur {
+            return;
+        }
+        match cur {
+            BreakerState::Open => self.breaker_open.inc(),
+            BreakerState::HalfOpen => self.breaker_half_open.inc(),
+            BreakerState::Closed => self.breaker_close.inc(),
+        }
+    }
 }
 
 /// The key-value client.
@@ -95,6 +153,8 @@ pub struct KvClient {
     kind: SerKind,
     next_id: u32,
     retry: Option<RetryConfig>,
+    jitter_rng: Option<SplitMix64>,
+    protection: Option<Protection>,
     pending: HashMap<u32, PendingReq>,
     /// Per-shard source ports: entry `q` is a source port whose flow to
     /// [`SERVER_PORT`] RSS-steers to queue `q`. Empty = steering disabled.
@@ -128,6 +188,8 @@ impl KvClient {
             kind,
             next_id: 1,
             retry: None,
+            jitter_rng: None,
+            protection: None,
             pending: HashMap::new(),
             steer_ports: Vec::new(),
             counters: ClientCounters::default(),
@@ -161,7 +223,32 @@ impl KvClient {
     /// From here on every request is held until its response arrives or it
     /// times out; [`KvClient::poll_timers`] drives the retransmissions.
     pub fn enable_retries(&mut self, config: RetryConfig) {
+        self.jitter_rng = config.jitter_seed.map(SplitMix64::new);
         self.retry = Some(config);
+    }
+
+    /// Turns on client-side overload protection: a [`RetryBudget`] capping
+    /// retries as a fraction of fresh traffic, and a [`CircuitBreaker`]
+    /// that fast-fails sends locally once the server stops answering
+    /// (driven by `SHED` replies and timeouts), half-opening with a probe
+    /// request after [`BreakerConfig::open_ns`]. Fast-failed ids surface
+    /// through [`KvClient::poll_timers`] like timeouts.
+    pub fn enable_protection(&mut self, config: ProtectionConfig) {
+        self.protection = Some(Protection {
+            budget: RetryBudget::new(config.budget),
+            breaker: CircuitBreaker::new(config.breaker),
+            fast_failed: Vec::new(),
+        });
+    }
+
+    /// Current breaker state (`None` when protection is disabled).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.protection.as_ref().map(|p| p.breaker.state())
+    }
+
+    /// Remaining retry-budget tokens (`None` when protection is disabled).
+    pub fn retry_tokens(&self) -> Option<f64> {
+        self.protection.as_ref().map(|p| p.budget.tokens())
     }
 
     /// Registers the client's reliability counters (`net.udp.retries`,
@@ -173,6 +260,12 @@ impl KvClient {
             retries: tele.counter("net.udp.retries"),
             timeouts: tele.counter("net.udp.timeouts"),
             stale_responses: tele.counter("net.udp.stale_responses"),
+            shed_replies: tele.counter("kv.client.shed_replies"),
+            retry_budget_exhausted: tele.counter("kv.client.retry_budget_exhausted"),
+            breaker_fast_fails: tele.counter("kv.client.breaker_fast_fails"),
+            breaker_open: tele.counter("kv.client.breaker_open"),
+            breaker_half_open: tele.counter("kv.client.breaker_half_open"),
+            breaker_close: tele.counter("kv.client.breaker_close"),
         };
     }
 
@@ -180,6 +273,31 @@ impl KvClient {
     /// enabled).
     pub fn pending_ids(&self) -> Vec<u32> {
         self.pending.keys().copied().collect()
+    }
+
+    /// Retransmissions so far (counts even without telemetry attached).
+    pub fn retries_sent(&self) -> u64 {
+        self.counters.retries.get()
+    }
+
+    /// Requests concluded as timed out so far.
+    pub fn timeouts_seen(&self) -> u64 {
+        self.counters.timeouts.get()
+    }
+
+    /// `SHED` fast-rejects observed so far.
+    pub fn sheds_seen(&self) -> u64 {
+        self.counters.shed_replies.get()
+    }
+
+    /// Retries suppressed because the retry budget was exhausted.
+    pub fn budget_exhausted_count(&self) -> u64 {
+        self.counters.retry_budget_exhausted.get()
+    }
+
+    /// Sends the breaker rejected locally without touching the wire.
+    pub fn breaker_fast_fail_count(&self) -> u64 {
+        self.counters.breaker_fast_fails.get()
     }
 
     fn meta(&mut self, msg_type: u8) -> FrameMeta {
@@ -203,6 +321,20 @@ impl KvClient {
         vals: &[&[u8]],
     ) -> u32 {
         let meta = self.meta(mtype);
+        if let Some(prot) = &mut self.protection {
+            prot.budget.on_fresh_request();
+            let prev = prot.breaker.state();
+            let now = self.stack.sim().now();
+            let decision = prot.breaker.admit(now, meta.req_id);
+            self.counters.note_breaker(prev, prot.breaker.state());
+            if decision == BreakerDecision::Reject {
+                // Fast-fail locally: never touches the wire. The id is
+                // surfaced through poll_timers like a timeout.
+                self.counters.breaker_fast_fails.inc();
+                prot.fast_failed.push(meta.req_id);
+                return meta.req_id;
+            }
+        }
         if let Some(retry) = self.retry {
             self.pending.insert(
                 meta.req_id,
@@ -213,6 +345,7 @@ impl KvClient {
                     vals: vals.iter().map(|v| v.to_vec()).collect(),
                     deadline: self.stack.sim().now() + retry.timeout_ns,
                     retries: 0,
+                    last_backoff: retry.timeout_ns,
                 },
             );
         }
@@ -226,8 +359,14 @@ impl KvClient {
     /// backoff; requests out of retries are dropped and their ids returned
     /// (the typed timeout signal). No-op unless retries are enabled.
     pub fn poll_timers(&mut self) -> Vec<u32> {
+        let mut timed_out = Vec::new();
+        if let Some(prot) = &mut self.protection {
+            // Ids the breaker fast-failed at send time conclude here, so
+            // callers see them through the same channel as timeouts.
+            timed_out.append(&mut prot.fast_failed);
+        }
         let Some(retry) = self.retry else {
-            return Vec::new();
+            return timed_out;
         };
         let now = self.stack.sim().now();
         let due: Vec<u32> = self
@@ -236,19 +375,53 @@ impl KvClient {
             .filter(|(_, p)| p.deadline <= now)
             .map(|(&id, _)| id)
             .collect();
-        let mut timed_out = Vec::new();
         for id in due {
             let p = self.pending.get_mut(&id).expect("due id is pending");
             if p.retries >= retry.max_retries {
                 self.pending.remove(&id);
                 self.counters.timeouts.inc();
+                if let Some(prot) = &mut self.protection {
+                    let prev = prot.breaker.state();
+                    prot.breaker.on_failure(now, id);
+                    self.counters.note_breaker(prev, prot.breaker.state());
+                }
                 timed_out.push(id);
                 continue;
             }
+            if let Some(prot) = &mut self.protection {
+                if !prot.budget.try_spend() {
+                    // Budget exhausted: fail now rather than amplify the
+                    // overload with another retransmission.
+                    self.pending.remove(&id);
+                    self.counters.timeouts.inc();
+                    self.counters.retry_budget_exhausted.inc();
+                    let prev = prot.breaker.state();
+                    prot.breaker.on_failure(now, id);
+                    self.counters.note_breaker(prev, prot.breaker.state());
+                    timed_out.push(id);
+                    continue;
+                }
+            }
+            let p = self.pending.get_mut(&id).expect("due id is pending");
             p.retries += 1;
-            // Exponential backoff: double the deadline per attempt.
-            let backoff = retry.timeout_ns << p.retries.min(16);
-            p.deadline = now + backoff;
+            let cap = if retry.max_backoff_ns == 0 {
+                u64::MAX
+            } else {
+                retry.max_backoff_ns
+            };
+            let backoff = match &mut self.jitter_rng {
+                Some(rng) => {
+                    decorrelated_jitter(rng, retry.timeout_ns, p.last_backoff, retry.max_backoff_ns)
+                }
+                // Exponential backoff: double per attempt, saturating so
+                // deep retry counts can't overflow, bounded by the cap.
+                None => retry
+                    .timeout_ns
+                    .saturating_mul(1u64 << p.retries.min(16))
+                    .min(cap),
+            };
+            p.last_backoff = backoff;
+            p.deadline = now.saturating_add(backoff);
             let meta = FrameMeta {
                 msg_type: p.mtype,
                 flags: 0,
@@ -367,6 +540,30 @@ impl KvClient {
             }
             let payload_bytes = pkt.payload.len();
             let flags = pkt.hdr.meta.flags;
+            if flags & flags::SHED != 0 {
+                // Header-only fast reject: there is no payload to decode.
+                // The request was never served; a shed counts as a failure
+                // for the breaker (the server is telling us to back off).
+                self.counters.shed_replies.inc();
+                if let Some(prot) = &mut self.protection {
+                    let now = self.stack.sim().now();
+                    let prev = prot.breaker.state();
+                    prot.breaker.on_failure(now, pkt.hdr.meta.req_id);
+                    self.counters.note_breaker(prev, prot.breaker.state());
+                }
+                return Some(Response {
+                    id: Some(pkt.hdr.meta.req_id),
+                    flags,
+                    vals: Vec::new(),
+                    payload_bytes,
+                });
+            }
+            if let Some(prot) = &mut self.protection {
+                let now = self.stack.sim().now();
+                let prev = prot.breaker.state();
+                prot.breaker.on_success(now, pkt.hdr.meta.req_id);
+                self.counters.note_breaker(prev, prot.breaker.state());
+            }
             let sim = self.stack.sim().clone();
             let resp = match self.kind {
                 SerKind::Cornflakes => {

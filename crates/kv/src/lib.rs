@@ -23,6 +23,7 @@
 
 pub mod client;
 pub mod echo;
+pub mod overload;
 pub mod redis;
 pub mod server;
 pub mod sharded;
@@ -54,4 +55,9 @@ pub mod flags {
     /// operation as failed-but-acknowledged and may retry later; the
     /// request itself terminated cleanly.
     pub const DEGRADED: u8 = 0x01;
+    /// The server's admission layer rejected the request without serving
+    /// it (load shedding): a header-only fast-reject reply. Distinct from
+    /// [`DEGRADED`] — a shed request was never processed at all. The client
+    /// should back off; retrying immediately feeds the overload.
+    pub const SHED: u8 = 0x02;
 }

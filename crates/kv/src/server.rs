@@ -6,7 +6,7 @@ use std::collections::{HashSet, VecDeque};
 
 use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
 use cf_sim::cost::Category;
-use cf_telemetry::{Counter, Telemetry};
+use cf_telemetry::{Counter, Gauge, Telemetry};
 use cornflakes_core::{CFBytes, CornflakesObj};
 
 use cf_baselines::capnlite::{CapnGetM, CapnReader};
@@ -14,6 +14,7 @@ use cf_baselines::flatlite::{FlatGetM, FlatGetMView};
 use cf_baselines::protolite::PGetM;
 
 use crate::msgs::GetMsg;
+use crate::overload::AdmissionConfig;
 use crate::store::KvStore;
 use crate::{flags, msg_type};
 
@@ -74,7 +75,13 @@ struct KvCounters {
     dedup_hits: Counter,
     degraded_replies: Counter,
     reply_drops: Counter,
+    shed_drops: Counter,
+    backlog: Gauge,
 }
+
+/// Default [`DedupWindow`] capacity: far exceeds any plausible retry
+/// window. Configurable per server via [`KvServer::set_dedup_capacity`].
+pub const DEFAULT_DEDUP_CAPACITY: usize = 4096;
 
 /// A bounded window of recently applied put request-ids, giving retried
 /// puts exactly-once semantics under client retransmission. Eviction is
@@ -104,12 +111,39 @@ impl DedupWindow {
             return;
         }
         self.order.push_back(id);
+        self.trim();
+    }
+
+    /// Resizes the window, evicting oldest-first if shrinking below the
+    /// current occupancy.
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.trim();
+    }
+
+    fn trim(&mut self) {
         while self.order.len() > self.capacity {
             if let Some(old) = self.order.pop_front() {
                 self.seen.remove(&old);
             }
         }
     }
+}
+
+/// One request admitted into the pending backlog, stamped with its
+/// arrival time on the *arrival* clock (the caller's `now_ns`, which may
+/// run ahead of this shard's lagging service clock under overload).
+#[derive(Debug)]
+struct Admitted {
+    arrival_ns: u64,
+    pkt: Packet,
+}
+
+/// Admission-control state: the bounded pending-request backlog.
+#[derive(Debug)]
+struct AdmissionState {
+    cfg: AdmissionConfig,
+    backlog: VecDeque<Admitted>,
 }
 
 /// The key-value server: store + datapath + serialization strategy.
@@ -129,6 +163,7 @@ pub struct KvServer {
     pub raw_zero_copy: bool,
     counters: KvCounters,
     dedup: DedupWindow,
+    admission: Option<AdmissionState>,
 }
 
 impl KvServer {
@@ -142,8 +177,18 @@ impl KvServer {
             put_segment_size: 8192,
             raw_zero_copy: false,
             counters: KvCounters::default(),
-            dedup: DedupWindow::new(4096),
+            dedup: DedupWindow::new(DEFAULT_DEDUP_CAPACITY),
+            admission: None,
         }
+    }
+
+    /// Resizes the put-dedup window (default
+    /// [`DEFAULT_DEDUP_CAPACITY`]). A smaller window uses less memory but
+    /// forgets old request ids sooner: a put retried after more than
+    /// `capacity` intervening successful puts would be re-applied.
+    /// Shrinking evicts oldest-first immediately.
+    pub fn set_dedup_capacity(&mut self, capacity: usize) {
+        self.dedup.set_capacity(capacity);
     }
 
     /// Wires the server into a telemetry handle: the datapath/NIC/memory
@@ -168,6 +213,8 @@ impl KvServer {
             dedup_hits: tele.counter(&format!("kv.{k}.dedup_hits")),
             degraded_replies: tele.counter(&format!("kv.{k}.degraded_replies")),
             reply_drops: tele.counter(&format!("kv.{k}.reply_drops")),
+            shed_drops: tele.counter(&format!("kv.{k}.shed_drops")),
+            backlog: tele.gauge(&format!("kv.{k}.backlog")),
         };
     }
 
@@ -192,10 +239,49 @@ impl KvServer {
         self.counters.requests.get()
     }
 
+    /// Requests rejected by the admission layer with a `SHED` fast-reject.
+    pub fn shed_drops(&self) -> u64 {
+        self.counters.shed_drops.get()
+    }
+
+    /// Whether admission control is enabled.
+    pub fn admission_enabled(&self) -> bool {
+        self.admission.is_some()
+    }
+
+    /// Pending requests currently queued by the admission layer.
+    pub fn backlog_len(&self) -> usize {
+        self.admission.as_ref().map_or(0, |a| a.backlog.len())
+    }
+
+    /// Enables server-side admission control: a bounded pending-request
+    /// backlog with CoDel-style shedding (oldest-first drop once sojourn
+    /// exceeds the target, answered by a header-only `SHED` fast-reject)
+    /// and GET-over-PUT priority under pressure. Also bounds the socket's
+    /// NIC rx staging ring, so load beyond what the backlog absorbs is
+    /// tail-dropped for free before the host touches it.
+    ///
+    /// With admission on, [`KvServer::poll`] routes through
+    /// [`KvServer::poll_admitted`]; overload harnesses drive
+    /// [`KvServer::poll_admitted_until`] directly with an explicit arrival
+    /// clock and service horizon.
+    pub fn enable_admission(&mut self, cfg: AdmissionConfig) {
+        self.stack.set_rx_backlog_limit(cfg.rx_backlog_limit);
+        self.admission = Some(AdmissionState {
+            cfg,
+            backlog: VecDeque::with_capacity(cfg.backlog_capacity),
+        });
+    }
+
     /// Processes all pending requests; returns how many were handled. Any
     /// replies staged by transmit batching are flushed (one doorbell) at
-    /// the end of the poll.
+    /// the end of the poll. With admission control enabled this routes
+    /// through the admission layer at the current service clock.
     pub fn poll(&mut self) -> usize {
+        if self.admission.is_some() {
+            let now = self.stack.sim().now();
+            return self.poll_admitted(now);
+        }
         let mut n = 0;
         loop {
             let pkt = {
@@ -208,15 +294,198 @@ impl KvServer {
             self.handle(pkt);
             n += 1;
         }
-        // Batched replies post now; their bytes were not visible to the
-        // per-request delta in `handle`, so account them here.
+        self.flush_batched_replies();
+        n
+    }
+
+    /// Uncontrolled horizon-bounded poll: serves FIFO from an unbounded
+    /// queue until the service clock reaches `horizon_ns`. This is the
+    /// overload experiment's control-off arm — the behavior every system
+    /// has before it grows an admission layer. `now_ns` is the arrival
+    /// clock; an idle server's service clock is advanced to it first
+    /// (spare capacity cannot be banked across idle periods).
+    pub fn poll_until(&mut self, now_ns: u64, horizon_ns: u64) -> usize {
+        self.catch_up_if_idle(now_ns);
+        let mut n = 0;
+        while self.stack.sim().now() < horizon_ns {
+            let pkt = {
+                let _rx = self.stack.telemetry().span("rx");
+                self.stack.recv_packet()
+            };
+            let Some(pkt) = pkt else { break };
+            self.handle(pkt);
+            n += 1;
+        }
+        self.flush_batched_replies();
+        n
+    }
+
+    /// Drains the NIC into the bounded backlog, stamping arrivals with
+    /// `now_ns` (the arrival clock). Stops pulling once the backlog is
+    /// full — excess frames stay in the bounded NIC staging ring, whose
+    /// overflow tail-drops for free. Returns how many were admitted.
+    pub fn ingest(&mut self, now_ns: u64) -> usize {
+        let Some(adm) = &self.admission else { return 0 };
+        let capacity = adm.cfg.backlog_capacity;
+        // Enforce the NIC-side bound first: everything past the staging
+        // ring is shed NIC-side with zero CPU cost.
+        self.stack.pump_rx();
+        let mut admitted = 0;
+        while self.backlog_len() < capacity {
+            let pkt = {
+                let _rx = self.stack.telemetry().span("rx");
+                self.stack.recv_packet()
+            };
+            let Some(pkt) = pkt else { break };
+            self.admission
+                .as_mut()
+                .expect("admission enabled")
+                .backlog
+                .push_back(Admitted {
+                    arrival_ns: now_ns,
+                    pkt,
+                });
+            admitted += 1;
+        }
+        self.counters.backlog.set(self.backlog_len() as f64);
+        admitted
+    }
+
+    /// Admission-controlled poll with no service horizon: ingests at
+    /// `now_ns`, sheds expired entries, and serves the whole admitted
+    /// backlog.
+    pub fn poll_admitted(&mut self, now_ns: u64) -> usize {
+        self.poll_admitted_until(now_ns, u64::MAX)
+    }
+
+    /// Admission-controlled poll: ingests arrivals (stamped `now_ns` on
+    /// the arrival clock), sheds entries whose sojourn exceeded the
+    /// CoDel target (oldest first, `SHED` fast-rejects), and serves
+    /// admitted requests while this server's *service* clock is before
+    /// `horizon_ns`. Overload harnesses pass `horizon_ns = now_ns` so a
+    /// shard can fall behind the arrival clock — that lag is what makes
+    /// offered load above capacity mean something in virtual time.
+    /// Returns how many requests were served.
+    pub fn poll_admitted_until(&mut self, now_ns: u64, horizon_ns: u64) -> usize {
+        assert!(
+            self.admission.is_some(),
+            "poll_admitted_until requires enable_admission"
+        );
+        if self.backlog_len() == 0 {
+            self.catch_up_if_idle(now_ns);
+        }
+        self.ingest(now_ns);
+        let mut n = 0;
+        loop {
+            self.shed_expired(now_ns);
+            if self.stack.sim().now() >= horizon_ns {
+                break;
+            }
+            let Some(pkt) = self.next_admitted() else {
+                // Backlog empty: anything still staged NIC-side was held
+                // back by a full backlog earlier in this poll.
+                if self.ingest(now_ns) == 0 {
+                    break;
+                }
+                continue;
+            };
+            self.handle(pkt);
+            n += 1;
+            // Refill as we drain so the NIC ring sheds only true excess.
+            self.ingest(now_ns);
+        }
+        self.flush_batched_replies();
+        self.counters.backlog.set(self.backlog_len() as f64);
+        n
+    }
+
+    /// Advances an idle server's service clock to the arrival clock:
+    /// virtual time spent idle is gone, not banked as burst capacity.
+    fn catch_up_if_idle(&mut self, now_ns: u64) {
+        if !self.stack.has_pending_rx() {
+            let now = self.stack.sim().now();
+            if now < now_ns {
+                self.stack.sim().clock().advance(now_ns - now);
+            }
+        }
+    }
+
+    /// Sheds backlog entries (oldest first) whose sojourn on the arrival
+    /// clock exceeded the CoDel target, answering each with a `SHED`
+    /// fast-reject. Returns how many were shed.
+    fn shed_expired(&mut self, now_ns: u64) -> usize {
+        let mut shed = 0;
+        while let Some(adm) = &self.admission {
+            let target = adm.cfg.target_sojourn_ns;
+            let expired = adm
+                .backlog
+                .front()
+                .is_some_and(|a| now_ns.saturating_sub(a.arrival_ns) > target);
+            if !expired {
+                break;
+            }
+            let victim = self
+                .admission
+                .as_mut()
+                .expect("admission enabled")
+                .backlog
+                .pop_front()
+                .expect("checked nonempty");
+            self.shed_one(victim.pkt);
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Answers one request with a header-only `SHED` fast-reject: no
+    /// deserialization, no store access, a fraction of a reply's cost —
+    /// the cheap "go away" that keeps shedding from consuming the
+    /// capacity it is trying to protect.
+    fn shed_one(&mut self, pkt: Packet) {
+        let meta = FrameMeta {
+            msg_type: pkt.hdr.meta.msg_type | msg_type::RESPONSE,
+            flags: flags::SHED,
+            req_id: pkt.hdr.meta.req_id,
+        };
+        let hdr = pkt.hdr.reply(meta);
+        self.counters.shed_drops.inc();
+        if self.stack.send_fast_reject(hdr).is_err() {
+            self.counters.reply_drops.inc();
+        }
+    }
+
+    /// Picks the next admitted request to serve. Under pressure (backlog
+    /// above the watermark) GETs are served before PUTs: reads are cheap
+    /// and latency-sensitive; writes retry safely through the dedup
+    /// window. Relative order within each class is preserved, so arrival
+    /// stamps at the front stay oldest-first for the shedder.
+    fn next_admitted(&mut self) -> Option<Packet> {
+        let adm = self.admission.as_mut()?;
+        let pressure = adm.cfg.get_priority
+            && adm.backlog.len() as f64
+                >= adm.cfg.pressure_watermark * adm.cfg.backlog_capacity as f64;
+        if pressure {
+            if let Some(idx) = adm
+                .backlog
+                .iter()
+                .position(|a| a.pkt.hdr.meta.msg_type != msg_type::PUT)
+            {
+                return adm.backlog.remove(idx).map(|a| a.pkt);
+            }
+        }
+        adm.backlog.pop_front().map(|a| a.pkt)
+    }
+
+    /// Flushes replies staged by transmit batching; their bytes were not
+    /// visible to the per-request delta in `handle`, so account them
+    /// here.
+    fn flush_batched_replies(&mut self) {
         let tx_before = self.stack.nic_queue_stats().tx_bytes;
         if self.stack.flush_tx().unwrap_or(0) > 0 {
             self.counters
                 .bytes_out
                 .add(self.stack.nic_queue_stats().tx_bytes - tx_before);
         }
-        n
     }
 
     /// Handles one request packet.
@@ -534,5 +803,50 @@ trait CheckedIntoI32 {
 impl CheckedIntoI32 for u32 {
     fn checked_into_i32(self) -> Option<i32> {
         Some(self as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_window_evicts_oldest_first() {
+        let mut w = DedupWindow::new(3);
+        for id in 1..=5 {
+            w.record(id);
+        }
+        // The newest `capacity` ids are retained — a retry of any of them
+        // is deduped — and eviction is strictly insertion-order (FIFO):
+        // the oldest ids fell out first.
+        for id in 3..=5 {
+            assert!(w.contains(id), "id {id} inside the window");
+        }
+        for id in 1..=2 {
+            assert!(!w.contains(id), "id {id} evicted oldest-first");
+        }
+        // Re-recording an id already in the window does not double-insert
+        // (and thus cannot double-evict later).
+        w.record(4);
+        w.record(6);
+        assert!(w.contains(4) && w.contains(5) && w.contains(6));
+        assert!(!w.contains(3), "3 was the oldest remaining");
+    }
+
+    #[test]
+    fn dedup_window_shrink_evicts_oldest_first() {
+        let mut w = DedupWindow::new(8);
+        for id in 1..=8 {
+            w.record(id);
+        }
+        w.set_capacity(2);
+        assert!(w.contains(7) && w.contains(8), "newest survive a shrink");
+        for id in 1..=6 {
+            assert!(!w.contains(id));
+        }
+        // Growing again changes only future retention.
+        w.set_capacity(3);
+        w.record(9);
+        assert!(w.contains(7) && w.contains(8) && w.contains(9));
     }
 }

@@ -26,6 +26,7 @@ use cf_telemetry::Telemetry;
 use cornflakes_core::SerializationConfig;
 
 use crate::client::SERVER_PORT;
+use crate::overload::AdmissionConfig;
 use crate::server::{KvServer, SerKind};
 use crate::store;
 
@@ -157,6 +158,36 @@ impl ShardedKvServer {
         self.shards.iter_mut().map(|s| s.poll()).sum()
     }
 
+    /// Enables admission control on every shard (see
+    /// [`KvServer::enable_admission`]): each shard gets its own bounded
+    /// backlog, CoDel shedder, and bounded NIC rx staging ring.
+    pub fn enable_admission(&mut self, cfg: AdmissionConfig) {
+        for shard in &mut self.shards {
+            shard.enable_admission(cfg);
+        }
+    }
+
+    /// Admission-controlled poll across shards: each shard ingests at the
+    /// arrival clock `now_ns` and serves while its own service clock is
+    /// before `horizon_ns` (overload harnesses pass `horizon_ns =
+    /// now_ns`; closed-loop callers pass `u64::MAX`). Returns the total
+    /// requests served.
+    pub fn poll_admitted_until(&mut self, now_ns: u64, horizon_ns: u64) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.poll_admitted_until(now_ns, horizon_ns))
+            .sum()
+    }
+
+    /// Uncontrolled horizon-bounded poll across shards (the overload
+    /// experiment's control-off arm; see [`KvServer::poll_until`]).
+    pub fn poll_until(&mut self, now_ns: u64, horizon_ns: u64) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.poll_until(now_ns, horizon_ns))
+            .sum()
+    }
+
     /// Arms deterministic fault injection on the server's receive
     /// direction. Faults hit the shared wire before RSS steering, so every
     /// shard sees its proportional share of the chaos.
@@ -183,6 +214,21 @@ impl ShardedKvServer {
     /// Total degraded replies across shards.
     pub fn degraded_replies(&self) -> u64 {
         self.shards.iter().map(|s| s.degraded_replies()).sum()
+    }
+
+    /// Total requests shed by admission control across shards.
+    pub fn shed_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_drops()).sum()
+    }
+
+    /// Total pending requests queued by admission layers across shards.
+    pub fn backlog_len(&self) -> usize {
+        self.shards.iter().map(|s| s.backlog_len()).sum()
+    }
+
+    /// Total frames tail-dropped by the bounded NIC rx staging rings.
+    pub fn rx_backlog_drops(&self) -> u64 {
+        self.nic.borrow().stats().rx_backlog_drops
     }
 
     /// The furthest-ahead shard clock, in virtual nanoseconds: with one

@@ -312,6 +312,58 @@ fn resp_roundtrip_matches_canonical() {
     }
 }
 
+/// Sends one get through a client/server pair, optionally with admission
+/// control enabled, and returns the raw reply frame plus decoded values.
+fn reply_with_admission(kind: cf_kv::server::SerKind, admission: bool) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let (mut client, mut server) = cf_kv::client::client_server_pair(
+        sim(),
+        kind,
+        SerializationConfig::hybrid(),
+        PoolConfig::small_for_tests(),
+    );
+    if admission {
+        server.enable_admission(cf_kv::overload::AdmissionConfig::default());
+    }
+    server
+        .store
+        .preload(server.stack.ctx(), b"key-a", &[256])
+        .expect("preload");
+    client.send_get(&[b"key-a"]);
+    server.poll();
+    let client_tap = client.stack.nic().borrow().port().clone();
+    let server_tap = server.stack.nic().borrow().port().clone();
+    let frame = client_tap.recv().expect("reply frame on the wire");
+    let bytes = frame.data.clone();
+    server_tap.send(frame);
+    let resp = client.recv_response().expect("reply decodes");
+    (bytes, resp.vals)
+}
+
+/// The overload-control differential: a server with admission enabled but
+/// never pressured (one request, ample backlog) must be byte-identical on
+/// the wire to a server without any shed concept, for every serialization
+/// system. Admission is a scheduling layer; an admitted request's reply
+/// must not know it existed.
+#[test]
+fn admission_enabled_but_unpressured_is_wire_identical() {
+    use cf_kv::server::SerKind;
+    for kind in [
+        SerKind::Cornflakes,
+        SerKind::Protobuf,
+        SerKind::FlatBuffers,
+        SerKind::CapnProto,
+    ] {
+        let (plain_frame, plain_vals) = reply_with_admission(kind, false);
+        let (adm_frame, adm_vals) = reply_with_admission(kind, true);
+        assert_eq!(
+            plain_frame, adm_frame,
+            "{kind:?}: admission must be wire-invisible when unpressured"
+        );
+        assert_eq!(plain_vals, adm_vals, "{kind:?}: decoded values agree");
+        assert_eq!(adm_vals.len(), 1, "{kind:?}: one value for one key");
+    }
+}
+
 /// The cross-system differential: every system, fed the same canonical
 /// message, must round-trip to the same decoded (id, keys, vals) triple.
 /// Any single system drifting — encoder or decoder — breaks this here,

@@ -72,6 +72,7 @@ struct TcpCounters {
     retransmissions: Counter,
     rx_corrupt_drops: Counter,
     rx_pool_exhausted: Counter,
+    backlog_drops: Counter,
 }
 
 /// A TCP connection endpoint.
@@ -86,6 +87,8 @@ pub struct TcpStack {
     local_port: u16,
     remote_port: u16,
     state: State,
+    /// Bound on this endpoint's NIC rx staging ring (0 = unbounded).
+    rx_backlog_limit: usize,
     snd_nxt: u32,
     snd_una: u32,
     rcv_nxt: u32,
@@ -135,6 +138,7 @@ impl TcpStack {
             local_port,
             remote_port: 0,
             state: State::Closed,
+            rx_backlog_limit: 0,
             snd_nxt: 1,
             snd_una: 1,
             rcv_nxt: 1,
@@ -160,6 +164,7 @@ impl TcpStack {
             retransmissions: tele.counter("net.tcp.retransmissions"),
             rx_corrupt_drops: tele.counter("net.tcp.rx_corrupt_drops"),
             rx_pool_exhausted: tele.counter("net.tcp.rx_pool_exhausted"),
+            backlog_drops: tele.counter("net.tcp.backlog_drops"),
         };
     }
 
@@ -191,6 +196,24 @@ impl TcpStack {
     /// Overrides the retransmission timeout.
     pub fn set_rto(&mut self, rto_ns: u64) {
         self.rto_ns = rto_ns;
+    }
+
+    /// Bounds this endpoint's rx backlog (its NIC staging ring) to `limit`
+    /// segments; 0 restores the unbounded default. Segments past the bound
+    /// are tail-dropped NIC-side (no CPU charge) and counted in
+    /// `net.tcp.backlog_drops`; the peer's retransmission timer recovers
+    /// them, so a bounded backlog trades latency for bounded memory — it
+    /// never loses stream data.
+    pub fn set_rx_backlog_limit(&mut self, limit: usize) {
+        self.rx_backlog_limit = limit;
+        self.nic
+            .borrow_mut()
+            .set_rx_backlog_limit(self.queue, limit);
+    }
+
+    /// Current rx-backlog occupancy (segments staged, not yet processed).
+    pub fn rx_backlog_len(&self) -> usize {
+        self.nic.borrow().rx_staged_on(self.queue)
     }
 
     /// Arms deterministic fault injection on this endpoint's receive
@@ -362,6 +385,15 @@ impl TcpStack {
     pub fn poll(&mut self) -> Result<(), NetError> {
         if self.shared_nic {
             self.ctx.sim.set_active_queue(Some(self.queue));
+        }
+        if self.rx_backlog_limit > 0 {
+            // Enforce the bounded staging ring before processing: excess
+            // segments are tail-dropped NIC-side and counted; the peer's
+            // RTO retransmits them later.
+            let before = self.nic.borrow().queue_stats(self.queue).rx_backlog_drops;
+            self.nic.borrow_mut().pump();
+            let after = self.nic.borrow().queue_stats(self.queue).rx_backlog_drops;
+            self.counters.backlog_drops.add(after - before);
         }
         loop {
             let frame = self

@@ -8,7 +8,7 @@ use cf_mem::{AllocError, PoolConfig, RcBuf};
 use cf_nic::{Nic, NicError, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
-use cf_telemetry::{Counter, Telemetry};
+use cf_telemetry::{Counter, Gauge, Telemetry};
 use cornflakes_core::obj::write_full_header;
 use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
 
@@ -83,6 +83,8 @@ struct UdpCounters {
     rx_corrupt_drops: Counter,
     tx_packets: Counter,
     tx_copy_fallbacks: Counter,
+    backlog_drops: Counter,
+    rx_backlog: Gauge,
 }
 
 pub struct UdpStack {
@@ -179,6 +181,8 @@ impl UdpStack {
             rx_corrupt_drops: tele.counter("net.udp.rx_corrupt_drops"),
             tx_packets: tele.counter("net.udp.tx_packets"),
             tx_copy_fallbacks: tele.counter("net.udp.tx_copy_fallbacks"),
+            backlog_drops: tele.counter("net.udp.backlog_drops"),
+            rx_backlog: tele.gauge("net.udp.rx_backlog"),
         };
     }
 
@@ -271,6 +275,67 @@ impl UdpStack {
             return Ok(());
         }
         self.nic.borrow_mut().post_tx_on(self.queue, entries)?;
+        Ok(())
+    }
+
+    /// Bounds this socket's rx backlog (the NIC staging ring for the queue
+    /// this stack polls) to `limit` frames; 0 restores the unbounded
+    /// default. Frames beyond the bound are tail-dropped NIC-side — free of
+    /// CPU charge, counted in `net.udp.backlog_drops` when the drop is
+    /// observed by [`UdpStack::pump_rx`].
+    pub fn set_rx_backlog_limit(&mut self, limit: usize) {
+        self.nic
+            .borrow_mut()
+            .set_rx_backlog_limit(self.queue, limit);
+    }
+
+    /// Current rx-backlog occupancy for this socket (frames staged on its
+    /// NIC queue, not yet received). Admission control reads this to gauge
+    /// pressure before paying any per-packet CPU cost.
+    pub fn rx_backlog_len(&self) -> usize {
+        self.nic.borrow().rx_staged_on(self.queue)
+    }
+
+    /// Drains the wire into NIC staging, enforcing the rx backlog bound.
+    /// Returns the number of frames tail-dropped from *this* socket's queue
+    /// during the pump, mirrored into `net.udp.backlog_drops`; also updates
+    /// the `net.udp.rx_backlog` occupancy gauge.
+    pub fn pump_rx(&mut self) -> u64 {
+        let before = self.nic.borrow().queue_stats(self.queue).rx_backlog_drops;
+        self.nic.borrow_mut().pump();
+        let nic = self.nic.borrow();
+        let dropped = nic.queue_stats(self.queue).rx_backlog_drops - before;
+        self.counters.backlog_drops.add(dropped);
+        self.counters
+            .rx_backlog
+            .set(nic.rx_staged_on(self.queue) as f64);
+        dropped
+    }
+
+    /// Sends a header-only fast-reject frame (the `SHED` reply of the
+    /// admission layer). Deliberately cheap: no serialization, no payload,
+    /// just a header encode into a small pinned buffer — charged a fraction
+    /// of the per-packet base so shedding costs far less than serving (the
+    /// whole point of a fast reject).
+    pub fn send_fast_reject(&mut self, hdr: PacketHeader) -> Result<(), NetError> {
+        if self.shared_nic {
+            self.ctx.sim.set_active_queue(Some(self.queue));
+        }
+        let costs = self.ctx.sim.costs();
+        self.ctx
+            .sim
+            .charge(Category::Tx, costs.per_packet_base * 0.15);
+        self.counters.tx_packets.inc();
+        let mut h = hdr;
+        h.payload_len = 0;
+        self.scratch.resize(HEADER_BYTES, 0);
+        let mut pkt_hdr = std::mem::take(&mut self.scratch);
+        h.encode(&mut pkt_hdr);
+        let mut tx = self.ctx.pool.alloc(HEADER_BYTES)?;
+        tx.write_at(0, &pkt_hdr);
+        self.scratch = pkt_hdr;
+        self.post(vec![tx])?;
+        self.finish_tx();
         Ok(())
     }
 

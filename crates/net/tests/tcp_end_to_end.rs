@@ -205,3 +205,62 @@ fn random_loss_plan_is_recovered_by_retransmission() {
         "the plan actually perturbed the wire"
     );
 }
+
+#[test]
+fn bounded_rx_backlog_drops_are_recovered_by_rto() {
+    use cf_telemetry::{Telemetry, TelemetryConfig};
+
+    let (mut a, mut b, clock) = established_pair();
+    let tele = Telemetry::new(clock.clone(), TelemetryConfig::default());
+    b.set_telemetry(&tele);
+    b.set_rx_backlog_limit(1);
+
+    // Three messages, three data segments, all on the wire before the
+    // receiver polls: a burst the bounded ring cannot hold.
+    for i in 0..3u32 {
+        send_msg(&mut a, format!("bounded message {i}").as_bytes(), false);
+    }
+    b.poll().unwrap();
+    assert_eq!(
+        tele.counter_value("net.tcp.backlog_drops"),
+        2,
+        "ring of 1 keeps the oldest segment and tail-drops the rest"
+    );
+
+    // The in-order prefix that survived is delivered immediately; the
+    // dropped tail is NOT a protocol violation — it looks like loss, and
+    // the sender's retransmission timer recovers it.
+    let mut received = Vec::new();
+    while let Some(msg) = b.recv_msg().unwrap() {
+        received.push(msg);
+    }
+    assert_eq!(received.len(), 1);
+
+    let mut rounds = 0;
+    while received.len() < 3 {
+        rounds += 1;
+        assert!(rounds <= 10, "RTO recovery should converge");
+        clock.advance(300_000);
+        a.poll().unwrap(); // RTO fires; unacked segments retransmit
+        b.poll().unwrap(); // bounded ring admits at least one per round
+        while let Some(msg) = b.recv_msg().unwrap() {
+            received.push(msg);
+        }
+    }
+    assert!(
+        a.retransmissions() >= 1,
+        "recovery went through the RTO path"
+    );
+
+    // Everything arrived exactly once and in order despite the drops.
+    for (i, msg) in received.iter().enumerate() {
+        let d = Single::deserialize(b.ctx(), msg).unwrap();
+        assert_eq!(
+            d.val.unwrap().as_slice(),
+            format!("bounded message {i}").as_bytes()
+        );
+    }
+    // The sender's queue drains once the final ACK lands.
+    a.poll().unwrap();
+    assert_eq!(a.retransmit_queue_len(), 0);
+}

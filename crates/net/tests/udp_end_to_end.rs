@@ -317,6 +317,7 @@ fn kv_client_retries_lost_requests_and_dedups_retried_puts() {
     client.enable_retries(RetryConfig {
         timeout_ns: 100_000,
         max_retries: 3,
+        ..RetryConfig::default()
     });
 
     // Lose the first transmission of a put request.
@@ -386,4 +387,50 @@ fn frame_too_large_is_an_error() {
     let hdr = a.header_to(2000, meta(0));
     let err = a.send_object(hdr, &m).unwrap_err();
     assert!(matches!(err, cf_net::NetError::Nic(_)), "{err}");
+}
+
+#[test]
+fn bounded_rx_backlog_tail_drops_bursts_and_counts_them() {
+    use cf_telemetry::{Telemetry, TelemetryConfig};
+
+    let (mut a, mut b) = pair();
+    let tele = Telemetry::new(b.sim().clock(), TelemetryConfig::default());
+    b.set_telemetry(&tele);
+    b.set_rx_backlog_limit(3);
+
+    // A burst of 8 frames lands on the wire before the receiver drains any.
+    for i in 0..8u32 {
+        let payload = b"burst";
+        let mut tx = a.alloc_tx(payload.len()).unwrap();
+        tx.write_at(cf_net::HEADER_BYTES, payload);
+        a.send_built(a.header_to(2000, meta(i)), tx, payload.len())
+            .unwrap();
+    }
+
+    // Pumping the wire into the bounded staging ring keeps the 3 oldest
+    // frames and tail-drops the remaining 5, free of any rx CPU charge.
+    let dropped = b.pump_rx();
+    assert_eq!(dropped, 5);
+    assert_eq!(b.rx_backlog_len(), 3);
+    assert_eq!(tele.counter_value("net.udp.backlog_drops"), 5);
+
+    for i in 0..3u32 {
+        let pkt = b.recv_packet().expect("survivor delivered in order");
+        assert_eq!(pkt.hdr.meta.req_id, i);
+    }
+    assert!(b.recv_packet().is_none(), "dropped frames never surface");
+    assert_eq!(b.rx_backlog_len(), 0);
+
+    // Lifting the bound (limit 0) restores the unbounded default.
+    b.set_rx_backlog_limit(0);
+    for i in 8..16u32 {
+        let payload = b"burst";
+        let mut tx = a.alloc_tx(payload.len()).unwrap();
+        tx.write_at(cf_net::HEADER_BYTES, payload);
+        a.send_built(a.header_to(2000, meta(i)), tx, payload.len())
+            .unwrap();
+    }
+    assert_eq!(b.pump_rx(), 0, "unbounded ring drops nothing");
+    assert_eq!(b.rx_backlog_len(), 8);
+    assert_eq!(tele.counter_value("net.udp.backlog_drops"), 5);
 }

@@ -96,6 +96,10 @@ pub struct NicStats {
     /// Frames dropped on receive because no pool buffer was available
     /// (receive-descriptor starvation).
     pub rx_nobuf_drops: u64,
+    /// Frames dropped because the queue's bounded rx staging ring was full
+    /// (hardware-style tail drop under overload; see
+    /// [`Nic::set_rx_backlog_limit`]).
+    pub rx_backlog_drops: u64,
 }
 
 impl NicStats {
@@ -108,6 +112,7 @@ impl NicStats {
         self.rx_frames += o.rx_frames;
         self.rx_bytes += o.rx_bytes;
         self.rx_nobuf_drops += o.rx_nobuf_drops;
+        self.rx_backlog_drops += o.rx_backlog_drops;
     }
 }
 
@@ -123,6 +128,7 @@ struct NicCounters {
     rx_frames: Counter,
     rx_bytes: Counter,
     rx_nobuf_drops: Counter,
+    rx_backlog_drops: Counter,
     completions: Counter,
 }
 
@@ -136,6 +142,7 @@ impl NicCounters {
             rx_frames: tele.counter(&format!("{prefix}.rx_frames")),
             rx_bytes: tele.counter(&format!("{prefix}.rx_bytes")),
             rx_nobuf_drops: tele.counter(&format!("{prefix}.rx_nobuf_drops")),
+            rx_backlog_drops: tele.counter(&format!("{prefix}.rx_backlog_drops")),
             completions: tele.counter(&format!("{prefix}.completions")),
         };
         c.tx_frames.add(seed.tx_frames);
@@ -145,6 +152,7 @@ impl NicCounters {
         c.rx_frames.add(seed.rx_frames);
         c.rx_bytes.add(seed.rx_bytes);
         c.rx_nobuf_drops.add(seed.rx_nobuf_drops);
+        c.rx_backlog_drops.add(seed.rx_backlog_drops);
         c.completions.add(seed.completions);
         c
     }
@@ -159,6 +167,9 @@ struct Queue {
     completion_queue: VecDeque<Vec<RcBuf>>,
     /// Received frames steered here by RSS, awaiting `recv_into*`.
     rx_staging: VecDeque<Frame>,
+    /// Bound on `rx_staging` (0 = unbounded). When full, newly steered
+    /// frames are tail-dropped — the rx-ring overflow every real NIC has.
+    rx_limit: usize,
     stats: NicStats,
     counters: NicCounters,
     /// Charging context override for this queue (sharded servers bind the
@@ -412,8 +423,39 @@ impl Nic {
         self.queues[q].completion_queue.len()
     }
 
+    /// Bounds queue `q`'s rx staging ring to `limit` frames (0 restores the
+    /// unbounded default). Frames steered to a full queue are tail-dropped
+    /// and counted in [`NicStats::rx_backlog_drops`] — NIC-side work, no CPU
+    /// charge, exactly like an overflowing hardware rx ring. This is the
+    /// outermost layer of overload protection: excess load is shed before
+    /// the host ever touches it.
+    pub fn set_rx_backlog_limit(&mut self, q: usize, limit: usize) {
+        self.queues[q].rx_limit = limit;
+    }
+
+    /// Number of frames currently staged on queue `q` (rx-backlog
+    /// occupancy, surfaced to admission control).
+    pub fn rx_staged_on(&self, q: usize) -> usize {
+        self.queues[q].rx_staging.len()
+    }
+
+    /// Drains the wire into per-queue staging, honoring each queue's rx
+    /// backlog limit. Returns the number of frames tail-dropped during this
+    /// pump. Calling this is optional — `recv_into*` pull lazily — but an
+    /// explicit pump makes the bounded rings actually bound memory when the
+    /// receiver is slower than the wire.
+    pub fn pump(&mut self) -> u64 {
+        let before: u64 = self.queues.iter().map(|q| q.stats.rx_backlog_drops).sum();
+        while self.pull_one().is_some() {}
+        let after: u64 = self.queues.iter().map(|q| q.stats.rx_backlog_drops).sum();
+        after - before
+    }
+
     /// Pulls one frame off the wire and stages it on the queue RSS steers
     /// it to. Returns the queue index, or `None` when the wire is idle.
+    /// A frame steered to a queue whose bounded staging ring is full is
+    /// tail-dropped (counted, no CPU charge); the queue index is still
+    /// returned so pull loops keep draining the wire.
     fn pull_one(&mut self) -> Option<usize> {
         let frame = self.port.recv()?;
         let q = if self.queues.len() == 1 {
@@ -423,7 +465,14 @@ impl Nic {
                 .queue_for_frame(&frame.data)
                 .min(self.queues.len() - 1)
         };
-        self.queues[q].rx_staging.push_back(frame);
+        let queue = &mut self.queues[q];
+        if queue.rx_limit > 0 && queue.rx_staging.len() >= queue.rx_limit {
+            queue.stats.rx_backlog_drops += 1;
+            queue.counters.rx_backlog_drops.inc();
+            self.counters.rx_backlog_drops.inc();
+            return Some(q);
+        }
+        queue.rx_staging.push_back(frame);
         Some(q)
     }
 
@@ -867,6 +916,61 @@ mod tests {
                 queues: 1
             }
         );
+    }
+
+    #[test]
+    fn bounded_rx_staging_tail_drops_and_counts() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let mut tx = Nic::new(sim.clone(), pa);
+        let mut rx = Nic::new(sim.clone(), pb);
+        rx.set_rx_backlog_limit(0, 3);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        for i in 0..8u8 {
+            tx.post_tx(vec![buf(&pool, &[i; 64])]).unwrap();
+        }
+        let t0 = sim.now();
+        let dropped = rx.pump();
+        assert_eq!(dropped, 5, "everything past the bound is tail-dropped");
+        assert_eq!(rx.rx_staged_on(0), 3);
+        assert_eq!(rx.queue_stats(0).rx_backlog_drops, 5);
+        assert_eq!(sim.now(), t0, "tail drops are NIC-side work: no CPU charge");
+        // The staged frames are the three oldest — tail drop, not head drop.
+        let mut got = vec![];
+        while let Some(b) = rx.recv_into(&pool) {
+            got.push(b.as_slice()[0]);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        // Lifting the limit restores the unbounded default.
+        rx.set_rx_backlog_limit(0, 0);
+        for i in 0..8u8 {
+            tx.post_tx(vec![buf(&pool, &[i; 64])]).unwrap();
+        }
+        assert_eq!(rx.pump(), 0);
+        assert_eq!(rx.rx_staged_on(0), 8);
+    }
+
+    #[test]
+    fn per_queue_rx_limits_are_independent() {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let (pa, pb) = link();
+        let mut tx = Nic::new(sim.clone(), pa);
+        let mut rx = Nic::with_queues(sim, pb, 2);
+        rx.set_rx_backlog_limit(0, 1);
+        let pool = PinnedPool::new(Registry::new(), PoolConfig::small_for_tests());
+        let rss = rx.rss().clone();
+        let p0 = port_for_queue(&rss, 9000, 0);
+        let p1 = port_for_queue(&rss, 9000, 1);
+        for _ in 0..4 {
+            tx.post_tx(vec![flow_frame(&pool, p0, 9000)]).unwrap();
+            tx.post_tx(vec![flow_frame(&pool, p1, 9000)]).unwrap();
+        }
+        assert_eq!(rx.pump(), 3, "only the bounded queue drops");
+        assert_eq!(rx.rx_staged_on(0), 1);
+        assert_eq!(rx.rx_staged_on(1), 4);
+        assert_eq!(rx.queue_stats(0).rx_backlog_drops, 3);
+        assert_eq!(rx.queue_stats(1).rx_backlog_drops, 0);
+        assert_eq!(rx.stats().rx_backlog_drops, 3);
     }
 
     #[test]

@@ -24,6 +24,9 @@ cargo test -q -p cf-kv --test differential
 cargo test -q --test golden
 cargo test -q -p cf-nic --test rss_proptests
 
+echo "==> overload smoke: goodput holds past saturation with control on"
+cargo test -q -p cf-bench --lib experiments::overload
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full: cargo test --workspace -q"
     cargo test --workspace -q

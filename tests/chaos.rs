@@ -18,8 +18,9 @@
 
 use proptest::prelude::*;
 
-use cornflakes::kv::client::{KvClient, RetryConfig, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::client::{KvClient, ProtectionConfig, RetryConfig, CLIENT_PORT, SERVER_PORT};
 use cornflakes::kv::flags;
+use cornflakes::kv::overload::AdmissionConfig;
 use cornflakes::kv::server::{KvServer, SerKind};
 use cornflakes::kv::sharded::ShardedKvServer;
 use cornflakes::mem::PoolConfig;
@@ -114,7 +115,7 @@ proptest! {
         let tele = Telemetry::attach(&sim);
         server.set_telemetry(&tele);
         client.set_telemetry(&tele);
-        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3 });
+        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3, ..RetryConfig::default() });
 
         let mut ycsb = Ycsb::new(
             YcsbConfig {
@@ -303,7 +304,7 @@ proptest! {
         );
         let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
         client.enable_steering(&server.rss());
-        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3 });
+        client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3, ..RetryConfig::default() });
 
         let keys: Vec<Vec<u8>> = (0..NUM_KEYS)
             .map(|i| key_string(i).into_bytes())
@@ -440,4 +441,237 @@ proptest! {
             );
         }
     }
+
+    /// Overload phase: a burst of requests far beyond the admission
+    /// backlog is offered at once, the server is throttled to serve less
+    /// virtual time than passes between rounds (sustained load above
+    /// capacity), and fault plans drop/reorder frames on top. With
+    /// admission control and client protection on, every request must
+    /// still conclude exactly once — served, shed, or typed timeout —
+    /// puts stay exactly-once, and both pools drain to baseline.
+    #[test]
+    fn overload_burst_with_faults_concludes_every_request(
+        seed in any::<u64>(),
+        drop_bp in 0u32..1500,
+        reorder_bp in 0u32..1500,
+        // One bool per burst entry: true = put, false = get. The burst is
+        // several times the backlog + rx-ring budget below.
+        ops in proptest::collection::vec(any::<bool>(), 24..48),
+    ) {
+        let (mut client, mut server, sim) = chaos_pair();
+        server.enable_admission(AdmissionConfig {
+            backlog_capacity: 8,
+            rx_backlog_limit: 16,
+            target_sojourn_ns: 150_000,
+            ..AdmissionConfig::default()
+        });
+        client.enable_retries(RetryConfig {
+            timeout_ns: 100_000,
+            max_retries: 3,
+            jitter_seed: Some(seed),
+            ..RetryConfig::default()
+        });
+        client.enable_protection(ProtectionConfig::default());
+
+        let keys: Vec<Vec<u8>> = (0..NUM_KEYS)
+            .map(|i| key_string(i).into_bytes())
+            .collect();
+        let mut candidates: Vec<Vec<Vec<u8>>> = Vec::new();
+        for key in &keys {
+            server
+                .store
+                .preload(server.stack.ctx(), key, &[VALUE_BYTES])
+                .expect("preload fits the pool");
+            let fill = cornflakes::kv::store::KvStore::expected_fill(key, 0);
+            candidates.push(vec![vec![fill; VALUE_BYTES]]);
+        }
+        let client_baseline = client.stack.ctx().pool.live_slots();
+
+        let p = |bp: u32| f64::from(bp) / 10_000.0;
+        let _requests = server.stack.install_faults(
+            FaultPlan::seeded(seed)
+                .with_drop(p(drop_bp))
+                .with_reorder(p(reorder_bp)),
+        );
+        let _responses = client.stack.install_faults(
+            FaultPlan::seeded(seed ^ 0x9E37_79B9_7F4A_7C15)
+                .with_drop(p(drop_bp))
+                .with_reorder(p(reorder_bp)),
+        );
+
+        // Offer the whole burst before the server runs at all.
+        let mut ycsb = Ycsb::new(
+            YcsbConfig {
+                num_keys: NUM_KEYS,
+                theta: 0.9,
+                value_segments: 1,
+                segment_size: VALUE_BYTES,
+            },
+            seed,
+        );
+        let mut puts_sent = 0u64;
+        let mut ids = std::collections::HashSet::new();
+        for (op_idx, &is_put) in ops.iter().enumerate() {
+            let key_id = (ycsb.next_key() % NUM_KEYS) as usize;
+            let id = if is_put {
+                let val = vec![op_idx as u8 ^ 0xA5; VALUE_BYTES];
+                puts_sent += 1;
+                // Any offered put may land no matter how it concludes.
+                candidates[key_id].push(val.clone());
+                client.send_put(&keys[key_id], &val)
+            } else {
+                client.send_get(&[&keys[key_id]])
+            };
+            prop_assert!(ids.insert((id, key_id)), "request ids are unique");
+        }
+
+        // Drive everything to conclusion: each round the server may serve
+        // only ~half the virtual time that passes, so the backlog ages and
+        // the sojourn shedder gets real work.
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut timeouts = 0u64;
+        let mut concluded = std::collections::HashSet::new();
+        for _round in 0..400 {
+            let now = sim.now();
+            server.poll_admitted_until(now, now + 30_000);
+            while let Some(resp) = client.recv_response() {
+                let id = resp.id.expect("replies echo the request id");
+                prop_assert!(concluded.insert(id), "double conclusion for {}", id);
+                if resp.flags & flags::SHED != 0 {
+                    shed += 1;
+                } else {
+                    served += 1;
+                    if let Some(&(_, key_id)) =
+                        ids.iter().find(|&&(rid, _)| rid == id)
+                    {
+                        if !resp.vals.is_empty() {
+                            prop_assert!(
+                                candidates[key_id].contains(&resp.vals[0]),
+                                "read bytes must match some legitimate write"
+                            );
+                        }
+                    }
+                }
+            }
+            sim.clock().advance(60_000);
+            for id in client.poll_timers() {
+                prop_assert!(concluded.insert(id), "double conclusion for {}", id);
+                timeouts += 1;
+            }
+            if concluded.len() == ops.len() {
+                break;
+            }
+        }
+
+        // Every request concluded exactly once, one way or another.
+        prop_assert_eq!(
+            served + shed + timeouts,
+            ops.len() as u64,
+            "served {} + shed {} + timeouts {} != offered {}",
+            served, shed, timeouts, ops.len()
+        );
+        prop_assert!(client.pending_ids().is_empty());
+        // Exactly-once puts: never more applies than puts offered.
+        prop_assert!(
+            server.puts_applied() <= puts_sent,
+            "applied {} > puts sent {}: a retry was re-applied",
+            server.puts_applied(), puts_sent
+        );
+        // Retries stayed within the budget's hard bound.
+        let budget = ProtectionConfig::default().budget;
+        let bound = budget.capacity + budget.per_request * ops.len() as f64;
+        prop_assert!(
+            client.retries_sent() as f64 <= bound,
+            "retries {} exceed budget bound {}",
+            client.retries_sent(), bound
+        );
+
+        // Quiescence: stragglers land, pools drain to baseline.
+        for _ in 0..6 {
+            sim.clock().advance(500_000);
+            server.poll();
+            prop_assert!(client.recv_response().is_none(), "no untracked responses");
+        }
+        client.stack.poll_completions();
+        server.stack.poll_completions();
+        prop_assert_eq!(
+            client.stack.ctx().pool.live_slots(),
+            client_baseline,
+            "client side leaked buffers"
+        );
+        let mut store_slots = 0usize;
+        for key in &keys {
+            let value = server.store.get(key).expect("keys never disappear");
+            store_slots += value.segments.len();
+            for seg in &value.segments {
+                prop_assert_eq!(seg.refcount(), 1, "store holds the only reference");
+            }
+        }
+        prop_assert_eq!(
+            server.stack.ctx().pool.live_slots(),
+            store_slots,
+            "server pool occupancy != store contents: leak or early free"
+        );
+    }
+}
+
+/// A server that answers nothing (100% request drop) must not provoke a
+/// retry storm: the client's retry budget bounds total retransmissions to
+/// `capacity + per_request × fresh`, every request concludes as a typed
+/// timeout, and the breaker ends up open.
+#[test]
+fn retry_storm_is_bounded_by_the_budget() {
+    let (mut client, mut server, sim) = chaos_pair();
+    client.enable_retries(RetryConfig {
+        timeout_ns: 100_000,
+        max_retries: 10,
+        jitter_seed: Some(7),
+        ..RetryConfig::default()
+    });
+    let protection = ProtectionConfig::default();
+    client.enable_protection(protection);
+    let _requests = server
+        .stack
+        .install_faults(FaultPlan::seeded(1).with_drop(1.0));
+
+    const FRESH: u64 = 40;
+    for i in 0..FRESH {
+        let key = key_string(i % NUM_KEYS).into_bytes();
+        client.send_get(&[&key]);
+    }
+    let mut timeouts = 0u64;
+    for _round in 0..4_000 {
+        server.poll();
+        assert!(client.recv_response().is_none(), "nothing can be answered");
+        sim.clock().advance(60_000);
+        timeouts += client.poll_timers().len() as u64;
+        if timeouts == FRESH {
+            break;
+        }
+    }
+    assert_eq!(
+        timeouts, FRESH,
+        "every request concludes as a typed timeout"
+    );
+    assert!(client.pending_ids().is_empty());
+
+    // The hard bound: the initial bank plus per-request earnings. Without
+    // the budget this run would have sent FRESH × max_retries = 400.
+    let bound = protection.budget.capacity + protection.budget.per_request * FRESH as f64;
+    assert!(
+        client.retries_sent() as f64 <= bound,
+        "retry storm: {} retransmissions exceed budget bound {}",
+        client.retries_sent(),
+        bound
+    );
+    assert!(
+        client.budget_exhausted_count() > 0,
+        "the budget actually intervened"
+    );
+    assert_eq!(
+        client.breaker_state(),
+        Some(cornflakes::kv::overload::BreakerState::Open),
+        "a fully dead server trips the breaker"
+    );
 }

@@ -214,6 +214,39 @@ fn degraded_put_reply_matches_fixture() {
 }
 
 #[test]
+fn shed_fast_reject_matches_fixture() {
+    let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
+    server
+        .store
+        .preload(server.stack.ctx(), b"key-a", &[256])
+        .unwrap();
+    server.enable_admission(cornflakes::kv::overload::AdmissionConfig {
+        target_sojourn_ns: 100_000,
+        ..Default::default()
+    });
+    client.send_get(&[b"key-a"]);
+    // Ingest only — the horizon is already reached, so nothing is served
+    // and the request sits in the admission backlog.
+    let now = server.stack.sim().now();
+    server.poll_admitted_until(now, now);
+    assert_eq!(server.backlog_len(), 1, "request admitted but unserved");
+    // The shard stalls past the sojourn target; the next poll sheds the
+    // aged entry with a header-only SHED fast-reject.
+    server.stack.sim().clock().advance(200_000);
+    server.poll();
+    assert_eq!(server.shed_drops(), 1);
+    let bytes = capture("udp_shed_reply.bin", &cp_tap, &sp_tap);
+    assert_eq!(
+        bytes[OFF_FLAGS] & flags::SHED,
+        flags::SHED,
+        "SHED flag is on the wire"
+    );
+    let resp = client.recv_response().expect("shed reply decodes");
+    assert_eq!(resp.flags, flags::SHED);
+    assert!(resp.vals.is_empty(), "fast reject carries no payload");
+}
+
+#[test]
 fn tcp_segments_match_fixtures() {
     let sim = Sim::new(MachineProfile::tiny_for_tests());
     let (pa, pb) = link();
