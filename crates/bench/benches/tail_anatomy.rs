@@ -1,0 +1,14 @@
+//! Tail-latency anatomy: run YCSB at 2× measured capacity with wire
+//! faults and a flight recorder end to end; decompose p50/p99/p99.9 into
+//! retry/queueing/sojourn/service/wire phases. Emits `tail_anatomy.json`.
+
+use cf_bench::experiments::tail_anatomy;
+
+fn main() {
+    let params = if std::env::var("CF_QUICK").is_ok() {
+        tail_anatomy::TailAnatomyParams::quick()
+    } else {
+        tail_anatomy::TailAnatomyParams::full()
+    };
+    tail_anatomy::run(&params);
+}

@@ -15,3 +15,4 @@ pub mod overload;
 pub mod scaling;
 pub mod table2;
 pub mod table5;
+pub mod tail_anatomy;

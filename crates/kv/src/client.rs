@@ -18,7 +18,7 @@ use cf_net::{FrameMeta, NetError, UdpStack, HEADER_BYTES};
 use cf_nic::link;
 use cf_sim::rng::SplitMix64;
 use cf_sim::{MachineProfile, Sim};
-use cf_telemetry::{Counter, Telemetry};
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Telemetry};
 use cornflakes_core::{CornflakesObj, SerializationConfig};
 
 use cf_baselines::capnlite::{CapnGetM, CapnReader};
@@ -160,6 +160,7 @@ pub struct KvClient {
     /// [`SERVER_PORT`] RSS-steers to queue `q`. Empty = steering disabled.
     steer_ports: Vec<u16>,
     counters: ClientCounters,
+    flight: FlightRecorder,
 }
 
 /// Creates a connected (client, server) pair: the client on its own
@@ -193,6 +194,7 @@ impl KvClient {
             pending: HashMap::new(),
             steer_ports: Vec::new(),
             counters: ClientCounters::default(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -251,15 +253,15 @@ impl KvClient {
         self.protection.as_ref().map(|p| p.budget.tokens())
     }
 
-    /// Registers the client's reliability counters (`net.udp.retries`,
-    /// `net.udp.timeouts`, `net.udp.stale_responses`) and the underlying
-    /// stack's metrics with `tele`.
+    /// Registers the client's reliability counters (`kv.client.retries`,
+    /// `kv.client.timeouts`, `kv.client.stale_responses`) and the
+    /// underlying stack's metrics with `tele`.
     pub fn set_telemetry(&mut self, tele: &Telemetry) {
         self.stack.set_telemetry(tele);
         self.counters = ClientCounters {
-            retries: tele.counter("net.udp.retries"),
-            timeouts: tele.counter("net.udp.timeouts"),
-            stale_responses: tele.counter("net.udp.stale_responses"),
+            retries: tele.counter("kv.client.retries"),
+            timeouts: tele.counter("kv.client.timeouts"),
+            stale_responses: tele.counter("kv.client.stale_responses"),
             shed_replies: tele.counter("kv.client.shed_replies"),
             retry_budget_exhausted: tele.counter("kv.client.retry_budget_exhausted"),
             breaker_fast_fails: tele.counter("kv.client.breaker_fast_fails"),
@@ -267,6 +269,16 @@ impl KvClient {
             breaker_half_open: tele.counter("kv.client.breaker_half_open"),
             breaker_close: tele.counter("kv.client.breaker_close"),
         };
+    }
+
+    /// Installs a request-scoped flight recorder on the client and its
+    /// stack (and so the client-side NIC). Client lifecycle events — sends,
+    /// retries, breaker fast-fails, timeouts, stale/shed replies, receives
+    /// — are stamped with the *client's* virtual clock, keyed by the same
+    /// request id the server sees on the wire.
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
+        self.stack.set_flight_recorder(fr);
     }
 
     /// Request ids still awaiting a response (empty unless retries are
@@ -331,6 +343,8 @@ impl KvClient {
                 // Fast-fail locally: never touches the wire. The id is
                 // surfaced through poll_timers like a timeout.
                 self.counters.breaker_fast_fails.inc();
+                self.flight
+                    .record(meta.req_id, now, FlightEvent::BreakerFastFail);
                 prot.fast_failed.push(meta.req_id);
                 return meta.req_id;
             }
@@ -349,6 +363,8 @@ impl KvClient {
                 },
             );
         }
+        self.flight
+            .record(meta.req_id, self.stack.sim().now(), FlightEvent::ClientSend);
         self.transmit(meta, index, keys, vals)
             .expect("request send");
         meta.req_id
@@ -380,6 +396,7 @@ impl KvClient {
             if p.retries >= retry.max_retries {
                 self.pending.remove(&id);
                 self.counters.timeouts.inc();
+                self.flight.record(id, now, FlightEvent::ClientTimeout);
                 if let Some(prot) = &mut self.protection {
                     let prev = prot.breaker.state();
                     prot.breaker.on_failure(now, id);
@@ -395,6 +412,8 @@ impl KvClient {
                     self.pending.remove(&id);
                     self.counters.timeouts.inc();
                     self.counters.retry_budget_exhausted.inc();
+                    self.flight
+                        .record(id, now, FlightEvent::RetryBudgetExhausted);
                     let prev = prot.breaker.state();
                     prot.breaker.on_failure(now, id);
                     self.counters.note_breaker(prev, prot.breaker.state());
@@ -422,6 +441,7 @@ impl KvClient {
             };
             p.last_backoff = backoff;
             p.deadline = now.saturating_add(backoff);
+            let retries_now = p.retries;
             let meta = FrameMeta {
                 msg_type: p.mtype,
                 flags: 0,
@@ -433,6 +453,14 @@ impl KvClient {
             let key_refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
             let val_refs: Vec<&[u8]> = vals.iter().map(Vec::as_slice).collect();
             self.counters.retries.inc();
+            self.flight.record(
+                id,
+                now,
+                FlightEvent::ClientRetry {
+                    attempt: retries_now.min(u8::MAX as u32) as u8,
+                    backoff_ns: backoff,
+                },
+            );
             // A failed retransmission (e.g. transient tx-pool pressure) is
             // not fatal: the deadline fires again and we try once more.
             let _ = self.transmit(meta, index, &key_refs, &val_refs);
@@ -530,12 +558,17 @@ impl KvClient {
     /// Receives and decodes the next response, if any. With retries
     /// enabled, responses whose id is no longer pending — late duplicates
     /// of an already-answered or timed-out request — are dropped and
-    /// counted as `net.udp.stale_responses`.
+    /// counted as `kv.client.stale_responses`.
     pub fn recv_response(&mut self) -> Option<Response> {
         loop {
             let pkt = self.stack.recv_packet()?;
             if self.retry.is_some() && self.pending.remove(&pkt.hdr.meta.req_id).is_none() {
                 self.counters.stale_responses.inc();
+                self.flight.record(
+                    pkt.hdr.meta.req_id,
+                    self.stack.sim().now(),
+                    FlightEvent::StaleReply,
+                );
                 continue;
             }
             let payload_bytes = pkt.payload.len();
@@ -545,6 +578,11 @@ impl KvClient {
                 // The request was never served; a shed counts as a failure
                 // for the breaker (the server is telling us to back off).
                 self.counters.shed_replies.inc();
+                self.flight.record(
+                    pkt.hdr.meta.req_id,
+                    self.stack.sim().now(),
+                    FlightEvent::ShedReply,
+                );
                 if let Some(prot) = &mut self.protection {
                     let now = self.stack.sim().now();
                     let prev = prot.breaker.state();
@@ -564,6 +602,11 @@ impl KvClient {
                 prot.breaker.on_success(now, pkt.hdr.meta.req_id);
                 self.counters.note_breaker(prev, prot.breaker.state());
             }
+            self.flight.record(
+                pkt.hdr.meta.req_id,
+                self.stack.sim().now(),
+                FlightEvent::ClientRecv { flags },
+            );
             let sim = self.stack.sim().clone();
             let resp = match self.kind {
                 SerKind::Cornflakes => {

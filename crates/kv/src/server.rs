@@ -6,7 +6,7 @@ use std::collections::{HashSet, VecDeque};
 
 use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
 use cf_sim::cost::Category;
-use cf_telemetry::{Counter, Gauge, Telemetry};
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Telemetry};
 use cornflakes_core::{CFBytes, CornflakesObj};
 
 use cf_baselines::capnlite::{CapnGetM, CapnReader};
@@ -164,6 +164,7 @@ pub struct KvServer {
     counters: KvCounters,
     dedup: DedupWindow,
     admission: Option<AdmissionState>,
+    flight: FlightRecorder,
 }
 
 impl KvServer {
@@ -179,6 +180,7 @@ impl KvServer {
             counters: KvCounters::default(),
             dedup: DedupWindow::new(DEFAULT_DEDUP_CAPACITY),
             admission: None,
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -216,6 +218,17 @@ impl KvServer {
             shed_drops: tele.counter(&format!("kv.{k}.shed_drops")),
             backlog: tele.gauge(&format!("kv.{k}.backlog")),
         };
+    }
+
+    /// Installs a request-scoped flight recorder on the server and its
+    /// stack (and, when this server owns its NIC, the NIC's per-queue
+    /// events). Server events — admission, shedding (with sojourn), shard
+    /// dispatch, dedup hits, replies — are keyed by the wire request id
+    /// and stamped with this server's clocks (arrival clock for admission
+    /// and shedding, service clock for dispatch and reply).
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
+        self.stack.set_flight_recorder(fr);
     }
 
     /// Puts applied exactly once (excludes dedup hits and degraded
@@ -337,6 +350,7 @@ impl KvServer {
                 self.stack.recv_packet()
             };
             let Some(pkt) = pkt else { break };
+            let req_id = pkt.hdr.meta.req_id;
             self.admission
                 .as_mut()
                 .expect("admission enabled")
@@ -345,6 +359,13 @@ impl KvServer {
                     arrival_ns: now_ns,
                     pkt,
                 });
+            self.flight.record(
+                req_id,
+                now_ns,
+                FlightEvent::BacklogAdmit {
+                    backlog: self.backlog_len().min(u16::MAX as usize) as u16,
+                },
+            );
             admitted += 1;
         }
         self.counters.backlog.set(self.backlog_len() as f64);
@@ -431,6 +452,13 @@ impl KvServer {
                 .backlog
                 .pop_front()
                 .expect("checked nonempty");
+            self.flight.record(
+                victim.pkt.hdr.meta.req_id,
+                now_ns,
+                FlightEvent::BacklogShed {
+                    sojourn_ns: now_ns.saturating_sub(victim.arrival_ns),
+                },
+            );
             self.shed_one(victim.pkt);
             shed += 1;
         }
@@ -494,6 +522,13 @@ impl KvServer {
         let _req = tele.request_span("request", u64::from(pkt.hdr.meta.req_id));
         self.counters.requests.inc();
         self.counters.bytes_in.add(pkt.frame.len() as u64);
+        self.flight.record(
+            pkt.hdr.meta.req_id,
+            self.stack.sim().now(),
+            FlightEvent::ShardDispatch {
+                shard: self.stack.queue().min(u8::MAX as usize) as u8,
+            },
+        );
         // Per-queue stats, not aggregate: on a shared multi-queue NIC the
         // other shards' traffic must never leak into this server's
         // accounting.
@@ -507,6 +542,18 @@ impl KvServer {
         self.counters
             .bytes_out
             .add(self.stack.nic_queue_stats().tx_bytes - tx_before);
+    }
+
+    /// Records the reply lifecycle event (service clock) with the flags
+    /// the reply header carries (e.g. [`flags::DEGRADED`]).
+    fn record_reply(&self, hdr: &cf_net::PacketHeader) {
+        self.flight.record(
+            hdr.meta.req_id,
+            self.stack.sim().now(),
+            FlightEvent::Reply {
+                flags: hdr.meta.flags,
+            },
+        );
     }
 
     fn reply_meta(pkt: &Packet) -> FrameMeta {
@@ -526,6 +573,8 @@ impl KvServer {
     fn apply_put(&mut self, req_id: u32, key: &[u8], val: &[u8]) -> u8 {
         if self.dedup.contains(req_id) {
             self.counters.dedup_hits.inc();
+            self.flight
+                .record(req_id, self.stack.sim().now(), FlightEvent::DedupHit);
             return 0;
         }
         match self
@@ -607,6 +656,7 @@ impl KvServer {
         self.counters
             .zero_copy_entries
             .add(resp.zero_copy_entries() as u64);
+        self.record_reply(&hdr);
         let _tx = tele.span("tx");
         let sent = if self.stack.ctx().config.serialize_and_send {
             self.stack.send_object(hdr, &resp)
@@ -657,6 +707,7 @@ impl KvServer {
             }
         }
         // Protobuf encodes from its structs directly into DMA-safe memory.
+        self.record_reply(&hdr);
         let Ok(mut tx) = self.stack.alloc_tx(resp.encoded_len()) else {
             self.counters.reply_drops.inc();
             return;
@@ -709,6 +760,7 @@ impl KvServer {
         }
         // Builder copies fields into its heap buffer (cold), then the
         // contiguous buffer is staged into DMA memory (warm).
+        self.record_reply(&hdr);
         let built = FlatGetM::encode(&sim, Some(pkt.hdr.meta.req_id), &[], &vals);
         let Ok(mut tx) = self.stack.alloc_tx(built.len()) else {
             self.counters.reply_drops.inc();
@@ -768,6 +820,7 @@ impl KvServer {
         }
         // The library yields a non-contiguous segment list; the stack
         // stages each heap segment into the DMA buffer (warm copies).
+        self.record_reply(&hdr);
         let segments = resp.finish(&sim);
         let framed = CapnGetM::frame(&segments);
         let Ok(mut tx) = self.stack.alloc_tx(framed.len()) else {

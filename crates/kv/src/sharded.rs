@@ -22,7 +22,7 @@ use cf_mem::PoolConfig;
 use cf_net::UdpStack;
 use cf_nic::{FaultInjector, FaultPlan, Nic, Port, RssConfig};
 use cf_sim::Sim;
-use cf_telemetry::Telemetry;
+use cf_telemetry::{FlightRecorder, Telemetry};
 use cornflakes_core::SerializationConfig;
 
 use crate::client::SERVER_PORT;
@@ -128,6 +128,18 @@ impl ShardedKvServer {
         self.nic.borrow_mut().set_telemetry(tele);
         for (i, shard) in self.shards.iter_mut().enumerate() {
             shard.set_telemetry_scoped(tele, &format!("shard{i}"));
+        }
+    }
+
+    /// Installs a request-scoped flight recorder across the whole server:
+    /// once on the shared NIC (per-queue tx/rx/tail-drop events) and on
+    /// every shard (admission, shedding, dispatch, reply — each stamped
+    /// with that shard's own clocks). The shards share the NIC, so their
+    /// stacks record only stack-level events; the NIC records its own.
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.nic.borrow_mut().set_flight_recorder(fr);
+        for shard in &mut self.shards {
+            shard.set_flight_recorder(fr);
         }
     }
 

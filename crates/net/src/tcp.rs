@@ -22,7 +22,7 @@ use cf_mem::{PoolConfig, RcBuf};
 use cf_nic::{FaultInjector, FaultPlan, Nic, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
-use cf_telemetry::{Counter, Telemetry};
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Telemetry};
 use cornflakes_core::obj::write_full_header;
 use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
 
@@ -98,6 +98,7 @@ pub struct TcpStack {
     scratch: Vec<u8>,
     retransmissions: u64,
     counters: TcpCounters,
+    flight: FlightRecorder,
 }
 
 impl TcpStack {
@@ -148,6 +149,7 @@ impl TcpStack {
             scratch: Vec::with_capacity(4096),
             retransmissions: 0,
             counters: TcpCounters::default(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -166,6 +168,18 @@ impl TcpStack {
             rx_pool_exhausted: tele.counter("net.tcp.rx_pool_exhausted"),
             backlog_drops: tele.counter("net.tcp.backlog_drops"),
         };
+    }
+
+    /// Installs a request-scoped flight recorder. TCP has no per-request
+    /// wire ids, so stream events are keyed by the message's starting
+    /// sequence number (the sender's `snd_nxt` at send time), which both
+    /// ends can compute without touching the wire format. Forwarded to the
+    /// NIC only when this endpoint owns it (mirroring `set_telemetry`).
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
+        if !self.shared_nic {
+            self.nic.borrow_mut().set_flight_recorder(fr);
+        }
     }
 
     /// The serialization context.
@@ -336,6 +350,11 @@ impl TcpStack {
             entries,
             sent_at: self.ctx.sim.now(),
         });
+        self.flight.record(
+            self.snd_nxt,
+            self.ctx.sim.now(),
+            FlightEvent::TcpMsgSend { bytes: stream_len },
+        );
         self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
         self.ctx.end_request();
         self.counters.msgs_sent.inc();
@@ -375,6 +394,11 @@ impl TcpStack {
             entries,
             sent_at: self.ctx.sim.now(),
         });
+        self.flight.record(
+            self.snd_nxt,
+            self.ctx.sim.now(),
+            FlightEvent::TcpMsgSend { bytes: stream_len },
+        );
         self.snd_nxt = self.snd_nxt.wrapping_add(stream_len);
         self.counters.msgs_sent.inc();
         Ok(())
@@ -551,8 +575,19 @@ impl TcpStack {
             buf.write_at(0, &self.reasm[4..4 + len]);
         }
         buf.truncate(len);
+        // The seq of the front of the reassembly buffer is `rcv_nxt` minus
+        // what is buffered — i.e. the sender's `snd_nxt` when it sent this
+        // message, so deliver correlates with the peer's send event.
+        let msg_seq = self.rcv_nxt.wrapping_sub(self.reasm.len() as u32);
         self.reasm.drain(..4 + len);
         self.counters.msgs_received.inc();
+        self.flight.record(
+            msg_seq,
+            self.ctx.sim.now(),
+            FlightEvent::TcpMsgDeliver {
+                bytes: 4 + len as u32,
+            },
+        );
         Ok(Some(buf))
     }
 }

@@ -8,7 +8,7 @@ use cf_mem::{AllocError, PoolConfig, RcBuf};
 use cf_nic::{Nic, NicError, Port};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
-use cf_telemetry::{Counter, Gauge, Telemetry};
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Telemetry};
 use cornflakes_core::obj::write_full_header;
 use cornflakes_core::{CornflakesObj, SerCtx, SerializationConfig};
 
@@ -105,6 +105,8 @@ pub struct UdpStack {
     /// Flush threshold for `tx_batch`; 0 disables batching.
     tx_batch_limit: usize,
     counters: UdpCounters,
+    /// Request-scoped lifecycle events (disabled by default).
+    flight: FlightRecorder,
 }
 
 impl UdpStack {
@@ -135,6 +137,7 @@ impl UdpStack {
             tx_batch: Vec::new(),
             tx_batch_limit: 0,
             counters: UdpCounters::default(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -163,6 +166,7 @@ impl UdpStack {
             tx_batch: Vec::new(),
             tx_batch_limit: 0,
             counters: UdpCounters::default(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -184,6 +188,23 @@ impl UdpStack {
             backlog_drops: tele.counter("net.udp.backlog_drops"),
             rx_backlog: tele.gauge("net.udp.rx_backlog"),
         };
+    }
+
+    /// Installs a flight recorder on this stack and (for an unshared NIC)
+    /// its NIC, so serializer and per-queue NIC events join the shared
+    /// per-request timeline. Shared-NIC stacks record only their own
+    /// events; the NIC's owner installs the recorder on the NIC once.
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
+        if !self.shared_nic {
+            self.nic.borrow_mut().set_flight_recorder(fr);
+        }
+    }
+
+    /// The flight recorder installed via
+    /// [`UdpStack::set_flight_recorder`] (disabled by default).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The telemetry handle installed via [`UdpStack::set_telemetry`]
@@ -508,6 +529,13 @@ impl UdpStack {
         let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
         entries.push(first);
         self.collect_zc_entries(obj, &mut entries);
+        self.flight.record(
+            hdr.meta.req_id,
+            self.ctx.sim.now(),
+            FlightEvent::Serialize {
+                entries: entries.len().min(u8::MAX as usize) as u8,
+            },
+        );
         self.post(entries)?;
         self.finish_tx();
         Ok(())
@@ -523,6 +551,11 @@ impl UdpStack {
         obj: &impl CornflakesObj,
     ) -> Result<(), NetError> {
         self.counters.tx_copy_fallbacks.inc();
+        self.flight.record(
+            hdr.meta.req_id,
+            self.ctx.sim.now(),
+            FlightEvent::CopyFallback,
+        );
         let zcb = obj.zero_copy_bytes();
         let mut tx = self.build_first_entry(&hdr, obj, true, zcb)?;
         let mut cursor = HEADER_BYTES + obj.header_bytes() + obj.copy_bytes();
@@ -585,6 +618,13 @@ impl UdpStack {
         entries.push(hdr_buf);
         entries.push(obj_buf);
         self.collect_zc_entries(obj, &mut entries);
+        self.flight.record(
+            hdr.meta.req_id,
+            self.ctx.sim.now(),
+            FlightEvent::Serialize {
+                entries: entries.len().min(u8::MAX as usize) as u8,
+            },
+        );
         self.post(entries)?;
         self.finish_tx();
         Ok(())

@@ -330,7 +330,7 @@ fn kv_client_retries_lost_requests_and_dedups_retried_puts() {
     // The virtual-time deadline fires; the client retransmits the same id.
     client_sim.clock().advance(150_000);
     assert!(client.poll_timers().is_empty(), "retry, not timeout");
-    assert_eq!(client_tele.counter_value("net.udp.retries"), 1);
+    assert_eq!(client_tele.counter_value("kv.client.retries"), 1);
     server.poll();
     let resp = client.recv_response().expect("retried put answered");
     assert_eq!(resp.id, Some(id));
@@ -367,7 +367,7 @@ fn kv_client_retries_lost_requests_and_dedups_retried_puts() {
         let timed_out = client.poll_timers();
         server.poll();
         if timed_out.contains(&doomed) {
-            assert_eq!(client_tele.counter_value("net.udp.timeouts"), 1);
+            assert_eq!(client_tele.counter_value("kv.client.timeouts"), 1);
             assert!(client.pending_ids().is_empty());
             assert!(dead_faults.stats().dropped > 0);
             return;

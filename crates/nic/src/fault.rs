@@ -17,7 +17,7 @@
 //! - The returned [`FaultInjector`] offers surgical single-frame operations
 //!   ([`FaultInjector::drop_pending`] and friends) for tests that need one
 //!   precisely placed fault rather than a probabilistic storm, plus
-//!   [`FaultStats`] and optional `wire.*` telemetry counters.
+//!   [`FaultStats`] and optional `fault.*` telemetry counters.
 //!
 //! Fault application charges **no virtual time**: the wire misbehaving is
 //! not CPU work, and an all-zero plan leaves delivery byte-identical to an
@@ -143,7 +143,7 @@ pub struct FaultStats {
     pub delayed: u64,
 }
 
-/// Cached `wire.*` telemetry handles; defaults are unregistered no-ops.
+/// Cached `fault.*` telemetry handles; defaults are unregistered no-ops.
 #[derive(Debug, Default)]
 struct FaultCounters {
     dropped: Counter,
@@ -378,16 +378,16 @@ impl FaultInjector {
         })
     }
 
-    /// Registers this channel's fault counters as `wire.<prefix>.*` in
+    /// Registers this channel's fault counters as `fault.<prefix>.*` in
     /// `tele`, seeding them with the totals so far.
     pub fn install_telemetry(&self, tele: &Telemetry, prefix: &str) {
         self.with_state(|s, _| {
             s.counters = FaultCounters {
-                dropped: tele.counter(&format!("wire.{prefix}.dropped")),
-                reordered: tele.counter(&format!("wire.{prefix}.reordered")),
-                duplicated: tele.counter(&format!("wire.{prefix}.duplicated")),
-                corrupted: tele.counter(&format!("wire.{prefix}.corrupted")),
-                delayed: tele.counter(&format!("wire.{prefix}.delayed")),
+                dropped: tele.counter(&format!("fault.{prefix}.drops")),
+                reordered: tele.counter(&format!("fault.{prefix}.reorders")),
+                duplicated: tele.counter(&format!("fault.{prefix}.duplicates")),
+                corrupted: tele.counter(&format!("fault.{prefix}.corruptions")),
+                delayed: tele.counter(&format!("fault.{prefix}.delays")),
             };
             s.counters.dropped.add(s.stats.dropped);
             s.counters.reordered.add(s.stats.reordered);
@@ -542,7 +542,7 @@ mod tests {
         let tele = Telemetry::new(Clock::new(), TelemetryConfig::default());
         inj.install_telemetry(&tele, "b_rx");
         assert!(inj.drop_pending());
-        assert_eq!(tele.counter_value("wire.b_rx.dropped"), 1);
+        assert_eq!(tele.counter_value("fault.b_rx.drops"), 1);
         assert_eq!(drain(&b).len(), 1);
     }
 }

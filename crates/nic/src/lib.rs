@@ -41,7 +41,7 @@ pub mod rss;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use frame::{fcs_ok, frame_fcs, link, Frame, Port, FCS_OFFSET};
-pub use nic::{Nic, NicError, NicStats};
+pub use nic::{frame_req_id, Nic, NicError, NicStats};
 pub use rss::{toeplitz_hash, RssConfig, DEFAULT_RSS_KEY, RSS_KEY_LEN, RSS_TABLE_SIZE};
 
 /// Maximum simulated frame size: a jumbo frame (paper §2.1).

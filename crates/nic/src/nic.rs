@@ -17,11 +17,33 @@ use std::fmt;
 use cf_mem::{PinnedPool, RcBuf};
 use cf_sim::cost::Category;
 use cf_sim::Sim;
-use cf_telemetry::{Counter, Telemetry};
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Telemetry};
 
 use crate::frame::{Frame, Port};
 use crate::rss::RssConfig;
 use crate::MAX_FRAME;
+
+/// Fixed byte range of the request id in the net-layer packet header.
+/// Like the RSS unit's flow-key parse (ports at bytes 34/36), this is the
+/// NIC reading a fixed header offset — cf-net's `PacketHeader` layout is
+/// the source of truth, and a cross-layer test there pins these offsets.
+const REQ_ID_RANGE: std::ops::Range<usize> = 44..48;
+
+/// Minimum frame length that can carry a full packet header.
+const MIN_HEADER_FRAME: usize = 48;
+
+/// Extracts the request id a well-formed KV frame carries, or `None` for
+/// frames too short to hold a packet header (runts, control traffic).
+/// This is how flight-recorder events stay wire-invisible: the id is
+/// already in every frame, so the NIC can attribute tx/rx enqueues to a
+/// request without the stack telling it anything.
+pub fn frame_req_id(data: &[u8]) -> Option<u32> {
+    if data.len() < MIN_HEADER_FRAME {
+        return None;
+    }
+    let bytes: [u8; 4] = data[REQ_ID_RANGE].try_into().expect("4-byte id");
+    Some(u32::from_le_bytes(bytes))
+}
 
 /// Errors surfaced by the transmit path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,6 +209,8 @@ pub struct Nic {
     counters: NicCounters,
     /// Round-robin start for aggregate receive draining.
     rx_rotor: usize,
+    /// Request-scoped lifecycle events (disabled by default).
+    flight: FlightRecorder,
 }
 
 impl Nic {
@@ -207,6 +231,7 @@ impl Nic {
             queues: (0..num_queues).map(|_| Queue::default()).collect(),
             counters: NicCounters::default(),
             rx_rotor: 0,
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -252,6 +277,13 @@ impl Nic {
         for (i, q) in self.queues.iter_mut().enumerate() {
             q.counters = NicCounters::attach(tele, &format!("nic.q{i}"), &q.stats);
         }
+    }
+
+    /// Installs a flight recorder: per-queue tx/rx enqueues and tail drops
+    /// are recorded against the request id each frame already carries, on
+    /// the clock of the core that owns the queue.
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
     }
 
     /// Maximum scatter-gather entries per descriptor for this NIC (a
@@ -305,6 +337,13 @@ impl Nic {
         let mut data = Vec::with_capacity(size);
         for e in &entries {
             data.extend_from_slice(e.as_slice());
+        }
+        if self.flight.is_enabled() {
+            if let Some(id) = frame_req_id(&data) {
+                let now = self.queue_sim(q).now();
+                self.flight
+                    .record(id, now, FlightEvent::NicTxEnqueue { queue: q as u8 });
+            }
         }
         let queue = &mut self.queues[q];
         queue.stats.tx_frames += 1;
@@ -465,8 +504,23 @@ impl Nic {
                 .queue_for_frame(&frame.data)
                 .min(self.queues.len() - 1)
         };
+        let full = {
+            let queue = &self.queues[q];
+            queue.rx_limit > 0 && queue.rx_staging.len() >= queue.rx_limit
+        };
+        if self.flight.is_enabled() {
+            if let Some(id) = frame_req_id(&frame.data) {
+                let now = self.queue_sim(q).now();
+                let event = if full {
+                    FlightEvent::NicTailDrop { queue: q as u8 }
+                } else {
+                    FlightEvent::NicRxEnqueue { queue: q as u8 }
+                };
+                self.flight.record(id, now, event);
+            }
+        }
         let queue = &mut self.queues[q];
-        if queue.rx_limit > 0 && queue.rx_staging.len() >= queue.rx_limit {
+        if full {
             queue.stats.rx_backlog_drops += 1;
             queue.counters.rx_backlog_drops.inc();
             self.counters.rx_backlog_drops.inc();

@@ -1,0 +1,465 @@
+//! Request-scoped flight recorder: a fixed-capacity ring of typed
+//! lifecycle events, correlated by the existing KV request id.
+//!
+//! Aggregate counters answer "how many requests were shed?"; the flight
+//! recorder answers "what happened to *this* request?". Every layer of the
+//! datapath — client retry logic, UDP/TCP stacks, per-queue NIC, backlog
+//! admission, shard dispatch, the serializer — records a [`FlightEvent`]
+//! stamped with its *own* machine's virtual clock, keyed by the request id
+//! that is already on the wire. Nothing is added to the wire format: the
+//! NIC reads the id straight out of the frame header, so golden fixtures
+//! stay byte-exact whether or not a recorder is installed.
+//!
+//! The handle follows the same discipline as [`crate::Telemetry`]:
+//!
+//! - **Disabled** (the default): `record()` is a single `Option` branch —
+//!   no allocation, no formatting, no clock read. The zero-alloc hot-path
+//!   test (`tests/flight_zero_alloc.rs`) asserts this literally, with a
+//!   counting global allocator.
+//! - **Enabled**: events land in a ring buffer preallocated at
+//!   construction. Recording is a copy into a fixed slot; when the ring is
+//!   full the oldest record is overwritten (and counted in
+//!   [`FlightRecorder::dropped`]). Still no allocation.
+//!
+//! Cloning a `FlightRecorder` clones the handle, not the ring: install the
+//! same recorder on a client and a server and their events interleave into
+//! one timeline. Extraction ([`drain`](FlightRecorder::drain),
+//! [`events_for`](FlightRecorder::events_for)) allocates, but only on the
+//! reporting path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::json;
+
+/// One typed lifecycle event. `Copy`, fixed-size, and allocation-free by
+/// construction — variants carry only small scalars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// Client transmitted the first attempt of a request.
+    ClientSend,
+    /// Client retransmitted after a timeout; `attempt` counts from 1,
+    /// `backoff_ns` is the backoff that preceded this attempt.
+    ClientRetry { attempt: u8, backoff_ns: u64 },
+    /// Circuit breaker rejected the request without touching the wire.
+    BreakerFastFail,
+    /// Retry budget refused a retransmission; the request will time out.
+    RetryBudgetExhausted,
+    /// Client gave up on the request (retries exhausted or budget-denied).
+    ClientTimeout,
+    /// A response arrived for an id the client had already abandoned.
+    StaleReply,
+    /// Client received a `SHED` fast-reject from the server.
+    ShedReply,
+    /// Client received a response; `flags` are the reply's header flags.
+    ClientRecv { flags: u8 },
+    /// NIC accepted a frame for transmission on `queue`.
+    NicTxEnqueue { queue: u8 },
+    /// NIC steered a received frame into `queue`'s rx staging ring.
+    NicRxEnqueue { queue: u8 },
+    /// NIC dropped a received frame because `queue`'s staging ring was full.
+    NicTailDrop { queue: u8 },
+    /// Server admitted the request into the backlog (`backlog` = new depth).
+    BacklogAdmit { backlog: u16 },
+    /// CoDel shed the request after sitting `sojourn_ns` in the backlog.
+    BacklogShed { sojourn_ns: u64 },
+    /// A shard's service loop picked the request up for processing.
+    ShardDispatch { shard: u8 },
+    /// Serializer built the reply with `entries` scatter-gather entries.
+    Serialize { entries: u8 },
+    /// Scatter-gather reply fell back to the copy path (SG limit).
+    CopyFallback,
+    /// Dedup window suppressed a retried put (exactly-once replay).
+    DedupHit,
+    /// Server finished the request and posted the reply; `flags` as sent.
+    Reply { flags: u8 },
+    /// TCP stack sent a message (`req_id` is the message's start seq).
+    TcpMsgSend { bytes: u32 },
+    /// TCP stack delivered a reassembled message to the application.
+    TcpMsgDeliver { bytes: u32 },
+}
+
+impl FlightEvent {
+    /// Stable short label, used by the JSON export and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightEvent::ClientSend => "client_send",
+            FlightEvent::ClientRetry { .. } => "client_retry",
+            FlightEvent::BreakerFastFail => "breaker_fast_fail",
+            FlightEvent::RetryBudgetExhausted => "retry_budget_exhausted",
+            FlightEvent::ClientTimeout => "client_timeout",
+            FlightEvent::StaleReply => "stale_reply",
+            FlightEvent::ShedReply => "shed_reply",
+            FlightEvent::ClientRecv { .. } => "client_recv",
+            FlightEvent::NicTxEnqueue { .. } => "nic_tx_enqueue",
+            FlightEvent::NicRxEnqueue { .. } => "nic_rx_enqueue",
+            FlightEvent::NicTailDrop { .. } => "nic_tail_drop",
+            FlightEvent::BacklogAdmit { .. } => "backlog_admit",
+            FlightEvent::BacklogShed { .. } => "backlog_shed",
+            FlightEvent::ShardDispatch { .. } => "shard_dispatch",
+            FlightEvent::Serialize { .. } => "serialize",
+            FlightEvent::CopyFallback => "copy_fallback",
+            FlightEvent::DedupHit => "dedup_hit",
+            FlightEvent::Reply { .. } => "reply",
+            FlightEvent::TcpMsgSend { .. } => "tcp_msg_send",
+            FlightEvent::TcpMsgDeliver { .. } => "tcp_msg_deliver",
+        }
+    }
+
+    /// The event's scalar detail (queue, shard, sojourn…), if it has one,
+    /// as a `(key, value)` pair for exports.
+    pub fn detail(&self) -> Option<(&'static str, u64)> {
+        match *self {
+            FlightEvent::ClientRetry { attempt, .. } => Some(("attempt", u64::from(attempt))),
+            FlightEvent::ClientRecv { flags } | FlightEvent::Reply { flags } => {
+                Some(("flags", u64::from(flags)))
+            }
+            FlightEvent::NicTxEnqueue { queue }
+            | FlightEvent::NicRxEnqueue { queue }
+            | FlightEvent::NicTailDrop { queue } => Some(("queue", u64::from(queue))),
+            FlightEvent::BacklogAdmit { backlog } => Some(("backlog", u64::from(backlog))),
+            FlightEvent::BacklogShed { sojourn_ns } => Some(("sojourn_ns", sojourn_ns)),
+            FlightEvent::ShardDispatch { shard } => Some(("shard", u64::from(shard))),
+            FlightEvent::Serialize { entries } => Some(("entries", u64::from(entries))),
+            FlightEvent::TcpMsgSend { bytes } | FlightEvent::TcpMsgDeliver { bytes } => {
+                Some(("bytes", u64::from(bytes)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: which request, when (virtual ns on the recording
+/// machine's clock), and what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Correlation id — the KV request id already carried in the wire
+    /// header (TCP events use the message's start sequence number).
+    pub req_id: u32,
+    /// Virtual-time stamp from the clock of the machine that recorded it.
+    pub ts_ns: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+struct Ring {
+    records: Vec<FlightRecord>,
+    capacity: usize,
+    head: usize, // index of the oldest record when full
+    len: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            records: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rec: FlightRecord) {
+        self.recorded += 1;
+        if self.len < self.capacity {
+            self.records.push(rec);
+            self.len += 1;
+        } else {
+            // Overwrite the oldest slot; no allocation past warm-up.
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records in chronological (insertion) order.
+    fn chronological(&self) -> impl Iterator<Item = &FlightRecord> {
+        let (tail, head) = self.records.split_at(self.head.min(self.records.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Cheaply clonable handle to a shared flight-recorder ring.
+///
+/// `FlightRecorder::default()` is disabled; see the module docs for the
+/// enabled/disabled contract.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Rc<RefCell<Ring>>>,
+}
+
+impl FlightRecorder {
+    /// A disabled recorder: every `record` is one branch and nothing else.
+    pub fn disabled() -> Self {
+        FlightRecorder { inner: None }
+    }
+
+    /// An enabled recorder with room for `capacity` records (≥ 1). The
+    /// ring is preallocated here; recording never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Some(Rc::new(RefCell::new(Ring::new(capacity.max(1))))),
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event. The hot-path entry point: a no-op branch when
+    /// disabled, a fixed-slot copy when enabled.
+    #[inline]
+    pub fn record(&self, req_id: u32, ts_ns: u64, event: FlightEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push(FlightRecord {
+                req_id,
+                ts_ns,
+                event,
+            });
+        }
+    }
+
+    /// Number of records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().len)
+    }
+
+    /// True when no records are held (or the recorder is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().capacity)
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().recorded)
+    }
+
+    /// Events lost to ring overwrite since creation (or last `drain`).
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
+    }
+
+    /// Removes and returns all held records in chronological order.
+    /// Harnesses call this once per time slice to keep the ring from
+    /// overwriting; allocation happens here, on the reporting path.
+    pub fn drain(&self) -> Vec<FlightRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut ring = inner.borrow_mut();
+                let out: Vec<FlightRecord> = ring.chronological().copied().collect();
+                ring.clear();
+                out
+            }
+        }
+    }
+
+    /// All currently held records for `req_id`, in chronological order.
+    pub fn events_for(&self, req_id: u32) -> Vec<FlightRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .borrow()
+                .chronological()
+                .filter(|r| r.req_id == req_id)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// All currently held records, oldest first, without clearing.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.borrow().chronological().copied().collect(),
+        }
+    }
+
+    /// Drops all held records (capacity and drop counters are kept).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().clear();
+        }
+    }
+
+    /// Renders one request's timeline as a JSON array of event objects
+    /// (`{"ts_ns": …, "event": "…", "detail_key": detail_value}`).
+    pub fn timeline_json(&self, req_id: u32) -> String {
+        let mut out = String::from("[");
+        for (i, rec) in self.events_for(req_id).iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"ts_ns\": {}, \"event\": \"{}\"",
+                rec.ts_ns,
+                json::escape(rec.event.label())
+            ));
+            if let Some((k, v)) = rec.event.detail() {
+                out.push_str(&format!(", \"{}\": {v}", json::escape(k)));
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let fr = FlightRecorder::disabled();
+        fr.record(1, 10, FlightEvent::ClientSend);
+        assert!(!fr.is_enabled());
+        assert!(fr.is_empty());
+        assert_eq!(fr.capacity(), 0);
+        assert_eq!(fr.recorded(), 0);
+        assert!(fr.drain().is_empty());
+        assert!(fr.events_for(1).is_empty());
+        assert_eq!(fr.timeline_json(1), "[]");
+    }
+
+    #[test]
+    fn records_and_correlates_by_request_id() {
+        let fr = FlightRecorder::with_capacity(16);
+        fr.record(7, 100, FlightEvent::ClientSend);
+        fr.record(8, 110, FlightEvent::ClientSend);
+        fr.record(7, 150, FlightEvent::BacklogAdmit { backlog: 3 });
+        fr.record(7, 200, FlightEvent::Reply { flags: 0 });
+        let seven = fr.events_for(7);
+        assert_eq!(seven.len(), 3);
+        assert_eq!(seven[0].event, FlightEvent::ClientSend);
+        assert_eq!(seven[1].event, FlightEvent::BacklogAdmit { backlog: 3 });
+        assert_eq!(seven[2].ts_ns, 200);
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.recorded(), 4);
+    }
+
+    #[test]
+    fn shared_handle_interleaves_machines() {
+        let server_side = FlightRecorder::with_capacity(8);
+        let client_side = server_side.clone();
+        client_side.record(1, 50, FlightEvent::ClientSend);
+        server_side.record(1, 80, FlightEvent::ShardDispatch { shard: 2 });
+        client_side.record(1, 120, FlightEvent::ClientRecv { flags: 0 });
+        let tl = server_side.events_for(1);
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[1].event, FlightEvent::ShardDispatch { shard: 2 });
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let fr = FlightRecorder::with_capacity(4);
+        for i in 0..6u32 {
+            fr.record(i, u64::from(i) * 10, FlightEvent::ClientSend);
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.recorded(), 6);
+        let snap = fr.snapshot();
+        let ids: Vec<u32> = snap.iter().map(|r| r.req_id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5], "oldest two were overwritten");
+        assert!(snap.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn drain_empties_and_preserves_order() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..5u32 {
+            fr.record(i, u64::from(i), FlightEvent::ClientSend);
+        }
+        let drained = fr.drain();
+        assert_eq!(drained.len(), 3);
+        let ids: Vec<u32> = drained.iter().map(|r| r.req_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert!(fr.is_empty());
+        // The ring is reusable after a drain.
+        fr.record(9, 99, FlightEvent::DedupHit);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.snapshot()[0].req_id, 9);
+    }
+
+    #[test]
+    fn timeline_json_is_valid_and_carries_details() {
+        let fr = FlightRecorder::with_capacity(8);
+        fr.record(3, 10, FlightEvent::ClientSend);
+        fr.record(
+            3,
+            20,
+            FlightEvent::ClientRetry {
+                attempt: 1,
+                backoff_ns: 500,
+            },
+        );
+        fr.record(3, 30, FlightEvent::BacklogShed { sojourn_ns: 1234 });
+        let tl = fr.timeline_json(3);
+        json::validate(&tl).expect("timeline is valid JSON");
+        assert!(tl.contains("\"event\": \"client_retry\""));
+        assert!(tl.contains("\"attempt\": 1"));
+        assert!(tl.contains("\"sojourn_ns\": 1234"));
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let events = [
+            FlightEvent::ClientSend,
+            FlightEvent::ClientRetry {
+                attempt: 1,
+                backoff_ns: 0,
+            },
+            FlightEvent::BreakerFastFail,
+            FlightEvent::RetryBudgetExhausted,
+            FlightEvent::ClientTimeout,
+            FlightEvent::StaleReply,
+            FlightEvent::ShedReply,
+            FlightEvent::ClientRecv { flags: 0 },
+            FlightEvent::NicTxEnqueue { queue: 0 },
+            FlightEvent::NicRxEnqueue { queue: 0 },
+            FlightEvent::NicTailDrop { queue: 0 },
+            FlightEvent::BacklogAdmit { backlog: 0 },
+            FlightEvent::BacklogShed { sojourn_ns: 0 },
+            FlightEvent::ShardDispatch { shard: 0 },
+            FlightEvent::Serialize { entries: 0 },
+            FlightEvent::CopyFallback,
+            FlightEvent::DedupHit,
+            FlightEvent::Reply { flags: 0 },
+            FlightEvent::TcpMsgSend { bytes: 0 },
+            FlightEvent::TcpMsgDeliver { bytes: 0 },
+        ];
+        let mut labels: Vec<&str> = events.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate event label");
+    }
+}

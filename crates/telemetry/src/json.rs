@@ -37,18 +37,86 @@ pub fn num(v: f64) -> String {
     }
 }
 
-/// Validates that `s` is one complete JSON value. Returns the byte offset
-/// and message of the first error.
-pub fn validate(s: &str) -> Result<(), String> {
+/// A parsed JSON value, for tests and report tooling that need to inspect
+/// exported documents (object member order is preserved).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64 (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.trunc() == *n => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as one complete JSON value. Returns the byte offset and
+/// message of the first error.
+pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
     let mut p = Parser { b, pos: 0 };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != b.len() {
         return Err(format!("trailing garbage at byte {}", p.pos));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Validates that `s` is one complete JSON value. Returns the byte offset
+/// and message of the first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -80,15 +148,15 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Value::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => self.err("expected a JSON value"),
         }
@@ -103,83 +171,117 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
-            self.value()?;
+            let val = self.value()?;
+            members.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(members));
                 }
                 _ => return self.err("expected ',' or '}'"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
         while let Some(c) = self.peek() {
             self.pos += 1;
             match c {
-                b'"' => return Ok(()),
+                b'"' => return Ok(out),
                 b'\\' => {
                     match self.peek() {
                         Some(b'u') => {
                             self.pos += 1;
+                            let mut code = 0u32;
                             for _ in 0..4 {
                                 match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    Some(h) if h.is_ascii_hexdigit() => {
+                                        code = code * 16 + (h as char).to_digit(16).unwrap();
+                                        self.pos += 1;
+                                    }
                                     _ => return self.err("bad \\u escape"),
                                 }
                             }
+                            // Surrogate halves decode to U+FFFD; exporters
+                            // here never emit them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
-                            self.pos += 1
+                        Some(e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                            out.push(match e {
+                                b'b' => '\u{8}',
+                                b'f' => '\u{c}',
+                                b'n' => '\n',
+                                b'r' => '\r',
+                                b't' => '\t',
+                                other => other as char,
+                            });
+                            self.pos += 1;
                         }
                         _ => return self.err("bad escape"),
                     };
                 }
                 c if c < 0x20 => return self.err("raw control char in string"),
-                _ => {}
+                _ => {
+                    // Re-assemble multi-byte UTF-8 sequences from raw bytes.
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos = (start + width).min(self.b.len());
+                    match std::str::from_utf8(&self.b[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8 in string"),
+                    }
+                }
             }
         }
         self.err("unterminated string")
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -206,7 +308,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.b[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
     }
 }
 
@@ -254,5 +359,35 @@ mod tests {
         assert_eq!(num(3.0), "3");
         assert_eq!(num(0.5), "0.5");
         assert_eq!(num(f64::NAN), "0");
+    }
+
+    #[test]
+    fn parse_builds_values_with_member_order() {
+        let v = parse(r#"{"b": [1, -2.5, "x\ny"], "a": {"n": null, "t": true}}"#).unwrap();
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+        assert_eq!(v.get("a").unwrap().get("n"), Some(&Value::Null));
+        assert_eq!(v.get("a").unwrap().get("t"), Some(&Value::Bool(true)));
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["b", "a"], "member order preserved");
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_escapes_and_unicode() {
+        let original = "tab\t quote\" back\\ nl\n é π \u{1}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+        // \uXXXX escapes decode too.
+        let v = parse("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
     }
 }

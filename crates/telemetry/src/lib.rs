@@ -13,6 +13,12 @@
 //!    construction records size, threshold, copy-vs-zero-copy choice, and
 //!    `recover_ptr` hit/miss.
 //!
+//! A fourth instrument, the request-scoped **flight recorder** ([`flight`]),
+//! is a standalone handle rather than part of [`Telemetry`]: one recorder is
+//! shared across *machines* (client and server install the same clone), so
+//! a request's events interleave into a single cross-layer timeline keyed
+//! by the wire's request id.
+//!
 //! A disabled handle ([`Telemetry::disabled`]) is a `None` inside an
 //! `Option<Rc<_>>`: every hot-path operation short-circuits on one branch
 //! and no memory is allocated, so instrumented code needs no cfg gates.
@@ -31,11 +37,13 @@ use cf_sim::cost::{Category, ChargeObserver, NUM_CATEGORIES};
 use cf_sim::{Clock, Sim};
 
 pub mod decisions;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
 pub use decisions::FieldDecision;
+pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
 pub use metrics::{Counter, Gauge, MetricsRegistry, VtHistogram};
 pub use trace::{SpanRecord, Tracer};
 
@@ -410,6 +418,6 @@ mod tests {
             assert!(snap.contains(needle), "snapshot missing {needle}: {snap}");
         }
         let prom = t.prometheus_text();
-        assert!(prom.contains("nic_tx_frames 3"));
+        assert!(prom.contains("nic_tx_frames_total 3"));
     }
 }

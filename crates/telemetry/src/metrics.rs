@@ -65,21 +65,103 @@ impl Gauge {
     }
 }
 
+/// One magnitude group per power of two of the recorded value: group 0
+/// holds value 0, group k holds values in `[2^(k-1), 2^k)`. Fixed-size so
+/// exemplar tracking never allocates on the record path.
+const EXEMPLAR_GROUPS: usize = 65;
+
+/// A concrete request id retained for the largest value seen in one
+/// magnitude group — the link from a histogram bucket back to a recorded
+/// flight-recorder trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The bucket-max value (e.g. worst latency in this magnitude group).
+    pub value: u64,
+    /// Request id that produced it.
+    pub req_id: u64,
+}
+
+struct HistState {
+    hist: Histogram,
+    exemplars: [Option<Exemplar>; EXEMPLAR_GROUPS],
+}
+
+impl Default for HistState {
+    fn default() -> Self {
+        HistState {
+            hist: Histogram::default(),
+            exemplars: [None; EXEMPLAR_GROUPS],
+        }
+    }
+}
+
+impl std::fmt::Debug for HistState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistState")
+            .field("count", &self.hist.count())
+            .finish()
+    }
+}
+
+#[inline]
+fn exemplar_group(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
 /// Histogram handle recording virtual-time durations (or any `u64` values),
-/// backed by [`cf_sim::Histogram`].
+/// backed by [`cf_sim::Histogram`], with optional per-bucket exemplars.
 #[derive(Clone, Debug, Default)]
-pub struct VtHistogram(Rc<RefCell<Histogram>>);
+pub struct VtHistogram(Rc<RefCell<HistState>>);
 
 impl VtHistogram {
     /// Records one value.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.0.borrow_mut().record(v);
+        self.0.borrow_mut().hist.record(v);
+    }
+
+    /// Records one value and retains `req_id` as the exemplar for `v`'s
+    /// magnitude group if `v` is the largest value that group has seen.
+    /// A tail bucket thus always points at a concrete outlier request.
+    /// No allocation: the exemplar table is a fixed array.
+    #[inline]
+    pub fn record_exemplar(&self, v: u64, req_id: u64) {
+        let mut st = self.0.borrow_mut();
+        st.hist.record(v);
+        let g = exemplar_group(v);
+        if st.exemplars[g].is_none_or(|e| v >= e.value) {
+            st.exemplars[g] = Some(Exemplar { value: v, req_id });
+        }
+    }
+
+    /// The exemplar whose value best represents values `>= v`: the first
+    /// non-empty magnitude group at or above `v`'s, falling back to the
+    /// largest exemplar below. Use with a quantile: `h.with(|h|
+    /// h.quantile(0.999))` then `exemplar_for(q)` names a request actually
+    /// living in that tail.
+    pub fn exemplar_for(&self, v: u64) -> Option<Exemplar> {
+        let st = self.0.borrow();
+        let g = exemplar_group(v);
+        if let Some(e) = st.exemplars[g..].iter().flatten().next() {
+            return Some(*e);
+        }
+        st.exemplars[..g].iter().rev().flatten().next().copied()
+    }
+
+    /// All retained exemplars, ascending by value.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.0
+            .borrow()
+            .exemplars
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
     }
 
     /// Runs `f` against the underlying histogram.
     pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.borrow().hist)
     }
 }
 
@@ -201,57 +283,116 @@ impl MetricsRegistry {
                 out.push_str(", ");
             }
             first = false;
-            h.with(|h| {
+            h.with(|h2| {
                 out.push_str(&format!(
-                    "\"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                    "\"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"exemplars\": [",
                     json::escape(name),
-                    h.count(),
-                    h.min(),
-                    h.max(),
-                    json::num(h.mean()),
-                    h.p50(),
-                    h.p99(),
+                    h2.count(),
+                    h2.min(),
+                    h2.max(),
+                    json::num(h2.mean()),
+                    h2.p50(),
+                    h2.p99(),
                 ));
             });
+            for (i, e) in h.exemplars().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"value\": {}, \"req_id\": {}}}",
+                    e.value, e.req_id
+                ));
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out
     }
 
-    /// Renders the registry in Prometheus text exposition format. Metric
-    /// names are sanitized (`.` and `-` become `_`).
+    /// Renders the registry in Prometheus text exposition format.
+    ///
+    /// - Metric names are sanitized (`.` and `-` become `_`); counters get
+    ///   the conventional `_total` suffix.
+    /// - Every family carries `# HELP` (escaped: `\` and newline) and
+    ///   `# TYPE` lines; label values are escaped (`\`, `"`, newline).
+    /// - Families are emitted in stable sorted order by exposition name,
+    ///   regardless of metric kind, so scrapes diff cleanly.
     pub fn prometheus_text(&self) -> String {
         fn sanitize(name: &str) -> String {
-            name.chars()
+            let mut out: String = name
+                .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect()
+                .collect();
+            if out.starts_with(|c: char| c.is_ascii_digit()) {
+                out.insert(0, '_');
+            }
+            out
+        }
+        fn escape_help(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('\n', "\\n")
+        }
+        fn escape_label(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
         }
         let inner = self.inner.borrow();
-        let mut out = String::new();
+        // (exposition family name, rendered block) — sorted before joining.
+        let mut families: Vec<(String, String)> = Vec::new();
         for (name, c) in &inner.counters {
-            let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+            let n = format!("{}_total", sanitize(name));
+            let block = format!(
+                "# HELP {n} counter `{}`\n# TYPE {n} counter\n{n} {}\n",
+                escape_help(name),
+                c.get()
+            );
+            families.push((n, block));
         }
         for (name, e) in &inner.externals {
             let n = sanitize(name);
-            out.push_str(&format!(
-                "# TYPE {n} gauge\n{n} {}\n",
+            let block = format!(
+                "# HELP {n} gauge `{}`\n# TYPE {n} gauge\n{n} {}\n",
+                escape_help(name),
                 e.load(Ordering::Relaxed)
-            ));
+            );
+            families.push((n, block));
         }
         for (name, g) in &inner.gauges {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+            let block = format!(
+                "# HELP {n} gauge `{}`\n# TYPE {n} gauge\n{n} {}\n",
+                escape_help(name),
+                g.get()
+            );
+            families.push((n, block));
         }
         for (name, h) in &inner.histograms {
             let n = sanitize(name);
-            h.with(|h| {
-                out.push_str(&format!("# TYPE {n} summary\n"));
+            let block = h.with(|h| {
+                let mut b = format!(
+                    "# HELP {n} summary `{}`\n# TYPE {n} summary\n",
+                    escape_help(name)
+                );
                 for (q, v) in [(0.5, h.p50()), (0.99, h.p99())] {
-                    out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+                    b.push_str(&format!(
+                        "{n}{{quantile=\"{}\"}} {v}\n",
+                        escape_label(&q.to_string())
+                    ));
                 }
-                out.push_str(&format!("{n}_count {}\n", h.count()));
+                b.push_str(&format!(
+                    "{n}_sum {}\n",
+                    json::num(h.mean() * h.count() as f64)
+                ));
+                b.push_str(&format!("{n}_count {}\n", h.count()));
+                b
             });
+            families.push((n, block));
+        }
+        families.sort(); // stable output order by exposition name
+        let mut out = String::new();
+        for (_, block) in families {
+            out.push_str(&block);
         }
         out
     }
@@ -307,9 +448,106 @@ mod tests {
         r.counter("nic.tx-frames").add(2);
         r.histogram("lat").record(5);
         let text = r.prometheus_text();
-        assert!(text.contains("# TYPE nic_tx_frames counter"));
-        assert!(text.contains("nic_tx_frames 2"));
+        assert!(text.contains("# TYPE nic_tx_frames_total counter"));
+        assert!(text.contains("# HELP nic_tx_frames_total"));
+        assert!(text.contains("nic_tx_frames_total 2"));
         assert!(text.contains("lat{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_sum"));
         assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn prometheus_output_is_stable_sorted_and_escaped() {
+        let r = MetricsRegistry::default();
+        r.counter("zzz.last").inc();
+        r.gauge("aaa.first").set(1.0);
+        r.histogram("mmm.mid").record(3);
+        r.register_external("bbb.ext", Arc::new(AtomicU64::new(9)));
+        // A hostile name: sanitized for the sample, escaped in HELP.
+        r.counter("weird\\name\nwith \"stuff\"").inc();
+        let text = r.prometheus_text();
+        // Families appear in sorted exposition-name order.
+        let fams: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let mut sorted = fams.clone();
+        sorted.sort_unstable();
+        assert_eq!(fams, sorted, "families must be emitted sorted");
+        // Deterministic: two renders are byte-identical.
+        assert_eq!(text, r.prometheus_text());
+        // HELP carries the raw name with backslash/newline escaped; no raw
+        // newline from the name leaks into the exposition.
+        assert!(text.contains("weird\\\\name\\nwith \"stuff\""));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "sample line must be `name value`: {line:?}"
+            );
+        }
+    }
+
+    /// Round-trip: parse the exposition text back into (name, value) samples
+    /// and check every registry value survives the trip.
+    #[test]
+    fn prometheus_scrape_round_trips() {
+        let r = MetricsRegistry::default();
+        r.counter("kv.client.retries").add(17);
+        r.counter("nic.q0.tx_frames").add(3);
+        r.gauge("kv.shard0.backlog").set(4.0);
+        r.register_external("mem.pool.allocs", Arc::new(AtomicU64::new(12)));
+        let h = r.histogram("kv.client.e2e_latency_ns");
+        for v in [100, 200, 300, 400] {
+            h.record(v);
+        }
+        let text = r.prometheus_text();
+        let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("name value");
+            samples.insert(name_part.to_string(), value.parse().expect("numeric"));
+        }
+        assert_eq!(samples["kv_client_retries_total"], 17.0);
+        assert_eq!(samples["nic_q0_tx_frames_total"], 3.0);
+        assert_eq!(samples["kv_shard0_backlog"], 4.0);
+        assert_eq!(samples["mem_pool_allocs"], 12.0);
+        assert_eq!(samples["kv_client_e2e_latency_ns_count"], 4.0);
+        let sum = samples["kv_client_e2e_latency_ns_sum"];
+        let mean = h.with(|h| h.mean());
+        assert!((sum - mean * 4.0).abs() < 1e-6);
+        let p50 = samples["kv_client_e2e_latency_ns{quantile=\"0.5\"}"];
+        assert_eq!(p50, h.with(|h| h.p50()) as f64);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_request_ids() {
+        let r = MetricsRegistry::default();
+        let h = r.histogram("lat");
+        // A crowd of fast requests and two distinct slow outliers.
+        for i in 0..100u64 {
+            h.record_exemplar(1_000 + i, i);
+        }
+        h.record_exemplar(1_000_000, 777);
+        h.record_exemplar(900_000, 778); // same group, smaller: not retained
+        h.record_exemplar(40_000, 555);
+        // The p99.9 bucket points at the concrete worst request.
+        let p999 = h.with(|h| h.quantile(0.999));
+        let e = h.exemplar_for(p999).expect("tail exemplar");
+        assert_eq!(e.req_id, 777);
+        assert_eq!(e.value, 1_000_000);
+        // A mid-range lookup finds the mid-range outlier.
+        let e = h.exemplar_for(33_000).expect("mid exemplar");
+        assert_eq!(e.req_id, 555);
+        // Lookups above every recorded value fall back to the largest.
+        let e = h.exemplar_for(u64::MAX).expect("fallback");
+        assert_eq!(e.req_id, 777);
+        // Exemplars list is ascending by value and bounded by group count.
+        let all = h.exemplars();
+        assert!(all.windows(2).all(|w| w[0].value <= w[1].value));
+        assert!(all.len() <= super::EXEMPLAR_GROUPS);
+        // Snapshot JSON carries them.
+        let json_doc = format!("{{{}}}", r.snapshot_json_members());
+        json::validate(&json_doc).expect("valid");
+        assert!(json_doc.contains("\"req_id\": 777"));
     }
 }

@@ -290,6 +290,133 @@ mod tests {
         assert!(trace.contains("\"get_ns\": 50"));
     }
 
+    /// Parses the Chrome export and validates every event against the Trace
+    /// Event Format schema slice we emit: complete (`ph:"X"`) events with
+    /// string `name`/`cat`, numeric `ts`/`dur`/`pid`/`tid`, and an `args`
+    /// object carrying a numeric `req_id`.
+    fn check_chrome_schema(trace: &str) -> Vec<crate::json::Value> {
+        let doc = crate::json::parse(trace).expect("trace parses");
+        let events = doc.as_arr().expect("top level is an array").to_vec();
+        for ev in &events {
+            assert!(ev.get("name").unwrap().as_str().is_some());
+            assert_eq!(ev.get("cat").unwrap().as_str(), Some("vt"));
+            assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+            assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(ev.get("pid").unwrap().as_u64(), Some(0));
+            assert!(ev.get("tid").unwrap().as_u64().is_some());
+            assert!(ev
+                .get("args")
+                .unwrap()
+                .get("req_id")
+                .unwrap()
+                .as_u64()
+                .is_some());
+        }
+        events
+    }
+
+    #[test]
+    fn chrome_export_schema_validates() {
+        let mut t = Tracer::new(16);
+        t.open("request", Some(42), 1_000);
+        t.open("deserialize", None, 1_100);
+        t.close(1_400);
+        t.open("app", None, 1_400);
+        t.on_charge(Category::AppGet, 25.0);
+        t.close(1_600);
+        t.close(2_200);
+        let events = check_chrome_schema(&t.chrome_trace_json());
+        assert_eq!(events.len(), 3);
+        // All three spans belong to request 42 (children inherit the id).
+        for ev in &events {
+            assert_eq!(
+                ev.get("args").unwrap().get("req_id").unwrap().as_u64(),
+                Some(42)
+            );
+        }
+    }
+
+    #[test]
+    fn nested_spans_export_with_depth_as_tid_and_contained_intervals() {
+        let mut t = Tracer::new(16);
+        t.open("request", Some(1), 0);
+        t.open("inner", None, 2_000);
+        t.open("innermost", None, 3_000);
+        t.close(4_000);
+        t.close(6_000);
+        t.close(10_000);
+        let events = check_chrome_schema(&t.chrome_trace_json());
+        // Chronological by close: innermost, inner, request.
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["innermost", "inner", "request"]);
+        let tids: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids, [2, 1, 0], "tid encodes nesting depth");
+        // Each child interval is contained in its parent's.
+        let iv = |e: &crate::json::Value| {
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            (ts, ts + e.get("dur").unwrap().as_f64().unwrap())
+        };
+        let (inner_s, inner_e) = iv(&events[1]);
+        let (root_s, root_e) = iv(&events[2]);
+        let (leaf_s, leaf_e) = iv(&events[0]);
+        assert!(root_s <= inner_s && inner_e <= root_e);
+        assert!(inner_s <= leaf_s && leaf_e <= inner_e);
+    }
+
+    #[test]
+    fn overlapping_sibling_spans_do_not_bleed_attribution() {
+        let mut t = Tracer::new(16);
+        // Two requests interleave at the same depth: request 1's span closes
+        // while request 2's is already open (e.g. pipelined handling).
+        t.open("request", Some(1), 0);
+        t.on_charge(Category::Rx, 10.0);
+        t.close(100);
+        t.open("request", Some(2), 50);
+        t.on_charge(Category::Rx, 20.0);
+        t.close(200);
+        let events = check_chrome_schema(&t.chrome_trace_json());
+        assert_eq!(events.len(), 2);
+        let by_req = |id: u64| {
+            events
+                .iter()
+                .find(|e| e.get("args").unwrap().get("req_id").unwrap().as_u64() == Some(id))
+                .unwrap()
+        };
+        let rx = |e: &&crate::json::Value| {
+            e.get("args")
+                .unwrap()
+                .get("rx_ns")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        assert_eq!(rx(&by_req(1)), 10.0);
+        assert_eq!(rx(&by_req(2)), 20.0);
+    }
+
+    #[test]
+    fn zero_duration_spans_export_cleanly() {
+        let mut t = Tracer::new(8);
+        t.open("instant", Some(3), 500);
+        t.close(500); // same virtual instant
+        let events = check_chrome_schema(&t.chrome_trace_json());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(0.0));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(0.5));
+        // And an end time recorded before the start never underflows.
+        let mut t = Tracer::new(8);
+        t.open("clock-skew", Some(4), 900);
+        t.close(800);
+        let events = check_chrome_schema(&t.chrome_trace_json());
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(0.0));
+    }
+
     #[test]
     fn reset_clears_everything() {
         let mut t = Tracer::new(4);

@@ -1,8 +1,9 @@
 //! Observability tour: trace a request through the whole datapath.
 //!
-//! Attaches a [`cornflakes::telemetry::Telemetry`] handle to a simulated
-//! KV server, serves a handful of GET requests, and writes two artifacts
-//! next to the current directory:
+//! Attaches a [`cornflakes::telemetry::Telemetry`] handle and a
+//! request-scoped [`cornflakes::telemetry::FlightRecorder`] to a simulated
+//! KV client/server pair, serves a handful of GET requests, and writes two
+//! artifacts next to the current directory:
 //!
 //! - `trace.json` — Chrome Trace Event JSON of every request's span tree
 //!   (`rx` → `request` → `deserialize`/`app`/`tx`), stamped in **virtual**
@@ -11,23 +12,80 @@
 //!   counters, memory-pool occupancy, per-system KV counters, and the
 //!   hybrid serializer's copy-vs-zero-copy decision summary.
 //!
+//! It then walks the "diagnose a slow request" workflow from DESIGN.md:
+//! the `kv.client.e2e_latency_ns` histogram's exemplars name the slowest
+//! request id, the flight recorder replays that request's full event
+//! timeline, and consecutive anchors decompose its latency into
+//! retry-wait / queueing / sojourn / service / wire phases.
+//!
 //! Run with: `cargo run --example trace_request`
 
 use cornflakes::core::SerializationConfig;
-use cornflakes::kv::client::client_server_pair;
-use cornflakes::kv::server::SerKind;
+use cornflakes::kv::client::{KvClient, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::server::{KvServer, SerKind};
 use cornflakes::mem::PoolConfig;
+use cornflakes::net::UdpStack;
+use cornflakes::nic::link;
 use cornflakes::sim::{MachineProfile, Sim};
-use cornflakes::telemetry::{json, Telemetry};
+use cornflakes::telemetry::{json, FlightEvent, FlightRecord, FlightRecorder, Telemetry};
+
+/// Folds one request's flight timeline into `(e2e, [five phase spans])`
+/// with a running-maximum clamp, so a missing anchor contributes a
+/// zero-length phase and the spans always telescope to the end-to-end
+/// latency. (The `tail_anatomy` bench runs the same fold at 2× overload.)
+fn decompose(events: &[FlightRecord]) -> Option<(u64, [(&'static str, u64); 5])> {
+    let (mut send, mut attempt, mut admit) = (None, None, None);
+    let (mut dispatch, mut reply, mut recv) = (None, None, None);
+    let keep = |slot: &mut Option<u64>, ts: u64| *slot = Some(slot.map_or(ts, |t: u64| t.max(ts)));
+    for r in events {
+        match r.event {
+            FlightEvent::ClientSend => {
+                send.get_or_insert(r.ts_ns);
+                keep(&mut attempt, r.ts_ns);
+            }
+            FlightEvent::ClientRetry { .. } => keep(&mut attempt, r.ts_ns),
+            FlightEvent::BacklogAdmit { .. } => keep(&mut admit, r.ts_ns),
+            FlightEvent::ShardDispatch { .. } => keep(&mut dispatch, r.ts_ns),
+            FlightEvent::Reply { .. } => keep(&mut reply, r.ts_ns),
+            FlightEvent::ClientRecv { .. } => keep(&mut recv, r.ts_ns),
+            _ => {}
+        }
+    }
+    let (send, recv) = (send?, recv?);
+    let mut cursor = send;
+    let mut step = |anchor: Option<u64>| {
+        let next = cursor.max(anchor.unwrap_or(cursor));
+        let delta = next - cursor;
+        cursor = next;
+        delta
+    };
+    Some((
+        recv.saturating_sub(send),
+        [
+            ("retry wait", step(attempt)),
+            ("queueing", step(admit)),
+            ("sojourn", step(dispatch)),
+            ("service", step(reply)),
+            ("wire", step(Some(recv))),
+        ],
+    ))
+}
 
 fn main() {
-    let server_sim = Sim::new(MachineProfile::cloudlab_c6525());
-    let (mut client, mut server) = client_server_pair(
-        server_sim.clone(),
-        SerKind::Cornflakes,
+    // Client and server share one Sim: every flight stamp reads the same
+    // virtual clock, so the printed timeline is totally ordered.
+    let sim = Sim::new(MachineProfile::cloudlab_c6525());
+    let (cp, sp) = link();
+    let client_stack = UdpStack::new(sim.clone(), cp, CLIENT_PORT, SerializationConfig::hybrid());
+    let server_stack = UdpStack::with_pool_config(
+        sim.clone(),
+        sp,
+        SERVER_PORT,
         SerializationConfig::hybrid(),
         PoolConfig::default(),
     );
+    let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
+    let mut server = KvServer::new(server_stack, SerKind::Cornflakes);
 
     // One small (copied) and one large (zero-copy) value, so the decision
     // log shows both sides of the hybrid threshold.
@@ -40,17 +98,28 @@ fn main() {
         .preload(server.stack.ctx(), b"img:full", &[8192])
         .expect("preload");
 
-    // Attach telemetry: installs the charge observer on the server's
-    // machine and wires NIC, memory, and per-SerKind counters into the
-    // metrics registry.
-    let tele = Telemetry::attach(&server_sim);
+    // Attach telemetry: installs the charge observer on the machine and
+    // wires NIC, memory, and per-SerKind counters into the registry. The
+    // flight recorder is one shared ring; client and server interleave
+    // their lifecycle events into a single per-request timeline.
+    let tele = Telemetry::attach(&sim);
     server.set_telemetry(&tele);
+    let flight = FlightRecorder::with_capacity(4096);
+    client.set_flight_recorder(&flight);
+    server.set_flight_recorder(&flight);
 
+    let e2e_hist = tele.histogram("kv.client.e2e_latency_ns");
     for _ in 0..5 {
         for key in [&b"cfg:motd"[..], &b"img:full"[..]] {
-            client.send_get(&[key]);
+            let t0 = sim.now();
+            let id = client.send_get(&[key]);
             server.poll();
             client.recv_response().expect("response");
+            let e2e = sim.now() - t0;
+            // Records the value and, per magnitude bucket, remembers the
+            // worst request id — linking the histogram tail back to a
+            // concrete timeline.
+            e2e_hist.record_exemplar(e2e, u64::from(id));
         }
     }
 
@@ -85,5 +154,32 @@ fn main() {
     println!("Prometheus exposition preview:");
     for line in tele.prometheus_text().lines().take(6) {
         println!("  {line}");
+    }
+
+    // The diagnose-a-slow-request workflow: worst exemplar → timeline →
+    // phase anatomy.
+    let worst = e2e_hist
+        .exemplars()
+        .into_iter()
+        .max_by_key(|e| e.value)
+        .expect("exemplars recorded");
+    let slow_id = worst.req_id as u32;
+    println!();
+    println!(
+        "slowest request: id {} at {} ns end-to-end (from histogram exemplars)",
+        slow_id, worst.value
+    );
+    let events = flight.events_for(slow_id);
+    println!("flight timeline ({} events):", events.len());
+    for r in &events {
+        match r.event.detail() {
+            Some((k, v)) => println!("  {:>9} ns  {} ({k}={v})", r.ts_ns, r.event.label()),
+            None => println!("  {:>9} ns  {}", r.ts_ns, r.event.label()),
+        }
+    }
+    let (e2e, phases) = decompose(&events).expect("completed request");
+    println!("tail anatomy (phases sum to the {e2e} ns end-to-end latency):");
+    for (label, ns) in phases {
+        println!("  {label:<12} {ns:>9} ns");
     }
 }

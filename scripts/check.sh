@@ -27,6 +27,11 @@ cargo test -q -p cf-nic --test rss_proptests
 echo "==> overload smoke: goodput holds past saturation with control on"
 cargo test -q -p cf-bench --lib experiments::overload
 
+echo "==> observability gates: zero-alloc flight recorder, metric namespace, tail anatomy"
+cargo test -q --test flight_zero_alloc
+cargo test -q --test metric_namespace
+cargo test -q -p cf-bench --lib experiments::tail_anatomy
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full: cargo test --workspace -q"
     cargo test --workspace -q

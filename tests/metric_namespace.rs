@@ -1,0 +1,207 @@
+//! Metric-namespace conformance: the DESIGN.md table is the registry.
+//!
+//! Drives the full stack — steered client, sharded server, plain server,
+//! fault layer, memory stats — with telemetry attached, then asserts that
+//! every metric name actually registered (a) follows the naming
+//! conventions (lowercase dotted path under a known layer prefix) and
+//! (b) normalizes to a row of the "Metric namespace" table in DESIGN.md.
+//! A metric added to the code without a documented row fails this test.
+
+use std::collections::BTreeSet;
+use std::fs;
+
+use cornflakes::core::SerializationConfig;
+use cornflakes::kv::client::{KvClient, RetryConfig, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::server::{KvServer, SerKind};
+use cornflakes::kv::sharded::ShardedKvServer;
+use cornflakes::mem::PoolConfig;
+use cornflakes::net::UdpStack;
+use cornflakes::nic::{link, FaultPlan};
+use cornflakes::sim::{MachineProfile, Sim};
+use cornflakes::telemetry::{json, Telemetry};
+use cornflakes::workloads::key_string;
+
+/// Registers as much of the stack as possible into one registry and
+/// returns every metric name present in the snapshot.
+fn registered_metric_names() -> BTreeSet<String> {
+    // Sharded server (kv.shardN.*, nic.*, nic.qN.*) + steered client
+    // (kv.client.*, net.udp.*, mem.*).
+    let queues = 2;
+    let sims: Vec<Sim> = (0..queues)
+        .map(|_| Sim::new(MachineProfile::tiny_for_tests()))
+        .collect();
+    let (cp, sp) = link();
+    let mut server = ShardedKvServer::on_sims(
+        sims,
+        sp,
+        SerKind::Cornflakes,
+        SerializationConfig::hybrid(),
+        PoolConfig::small_for_tests(),
+    );
+    let client_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let client_stack = UdpStack::new(
+        client_sim.clone(),
+        cp,
+        CLIENT_PORT,
+        SerializationConfig::hybrid(),
+    );
+    let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
+    client.enable_steering(&server.rss());
+
+    let tele = Telemetry::attach(&client_sim);
+    server.set_telemetry(&tele);
+    client.set_telemetry(&tele);
+    client.enable_retries(RetryConfig::default());
+    let faults = server.install_faults(FaultPlan::seeded(7).with_drop(0.01));
+    faults.install_telemetry(&tele, "srv_rx");
+    // The e2e latency histogram the tail-anatomy harness and the
+    // trace_request example register.
+    tele.histogram("kv.client.e2e_latency_ns").record(1);
+
+    // A plain single-SerKind server contributes the kv.cornflakes.* scope.
+    let plain_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (_c2, s2) = link();
+    let plain_stack = UdpStack::new(plain_sim, s2, SERVER_PORT, SerializationConfig::hybrid());
+    let mut plain = KvServer::new(plain_stack, SerKind::Cornflakes);
+    plain.set_telemetry(&tele);
+
+    // Light traffic so dynamic registrations (if any) fire too.
+    server
+        .preload(key_string(1).as_bytes(), &[64])
+        .expect("preload");
+    for _ in 0..4 {
+        let key = key_string(1);
+        client.send_get(&[key.as_bytes()]);
+        server.poll();
+        while client.recv_response().is_some() {}
+    }
+
+    let snapshot = tele.snapshot_json();
+    let doc = json::parse(&snapshot).expect("snapshot is valid JSON");
+    let mut names = BTreeSet::new();
+    for section in ["counters", "gauges", "histograms"] {
+        let obj = doc
+            .get(section)
+            .unwrap_or_else(|| panic!("snapshot has {section}"))
+            .as_obj()
+            .expect("section is an object");
+        for (name, _) in obj {
+            names.insert(name.clone());
+        }
+    }
+    names
+}
+
+/// The metric names documented in DESIGN.md's "Metric namespace" table:
+/// every backticked token in the first column of its rows.
+fn documented_names() -> BTreeSet<String> {
+    let design = fs::read_to_string("DESIGN.md").expect("DESIGN.md readable");
+    let section = design
+        .split("### Metric namespace")
+        .nth(1)
+        .expect("DESIGN.md has a '### Metric namespace' section");
+    let section = section.split("\n### ").next().unwrap();
+    let mut names = BTreeSet::new();
+    for line in section.lines() {
+        if !line.starts_with("| `") {
+            continue;
+        }
+        let first_cell = line.trim_start_matches('|').split('|').next().unwrap();
+        // Backtick-delimited tokens sit at the odd positions of the split.
+        for (i, token) in first_cell.split('`').enumerate() {
+            if i % 2 == 1 {
+                names.insert(token.to_string());
+            }
+        }
+    }
+    assert!(
+        names.len() > 40,
+        "table parse found only {} names — format drift?",
+        names.len()
+    );
+    names
+}
+
+/// Maps a concrete registered name onto the table's placeholder spelling.
+fn normalize(name: &str) -> String {
+    let segs: Vec<&str> = name.split('.').collect();
+    let mut out: Vec<String> = Vec::new();
+    for (i, seg) in segs.iter().enumerate() {
+        let is_queue = seg
+            .strip_prefix('q')
+            .is_some_and(|r| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit()));
+        let is_shard = seg
+            .strip_prefix("shard")
+            .is_some_and(|r| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit()));
+        if segs[0] == "nic" && i == 1 && is_queue {
+            continue; // nic.qN.x rows are documented via their nic.x form
+        }
+        if segs[0] == "kv"
+            && i == 1
+            && (is_shard
+                || matches!(
+                    *seg,
+                    "cornflakes" | "protobuf" | "flatbuffers" | "capnproto"
+                ))
+        {
+            out.push("<server>".to_string());
+            continue;
+        }
+        if segs[0] == "fault" && i == 1 {
+            out.push("<dir>".to_string());
+            continue;
+        }
+        out.push((*seg).to_string());
+    }
+    out.join(".")
+}
+
+#[test]
+fn every_registered_metric_is_documented_and_well_formed() {
+    let registered = registered_metric_names();
+    assert!(
+        registered.len() > 30,
+        "expected a full-stack registry, got {} metrics",
+        registered.len()
+    );
+    let documented = documented_names();
+
+    let layers = ["nic", "net", "kv", "mem", "fault"];
+    let mut missing = Vec::new();
+    for name in &registered {
+        assert!(
+            name.bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_'),
+            "{name}: metric names are lowercase [a-z0-9_.]"
+        );
+        assert!(
+            !name.starts_with('.') && !name.ends_with('.') && !name.contains(".."),
+            "{name}: malformed dotted path"
+        );
+        let layer = name.split('.').next().unwrap();
+        assert!(
+            layers.contains(&layer),
+            "{name}: unknown layer prefix {layer} (expected one of {layers:?})"
+        );
+        let norm = normalize(name);
+        if !documented.contains(&norm) {
+            missing.push(format!("{name} (normalized: {norm})"));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "metrics registered but absent from DESIGN.md's metric-namespace table:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn normalization_maps_scopes_onto_table_placeholders() {
+    assert_eq!(normalize("nic.q3.tx_frames"), "nic.tx_frames");
+    assert_eq!(normalize("nic.tx_frames"), "nic.tx_frames");
+    assert_eq!(normalize("kv.shard0.requests"), "kv.<server>.requests");
+    assert_eq!(normalize("kv.cornflakes.backlog"), "kv.<server>.backlog");
+    assert_eq!(normalize("kv.client.retries"), "kv.client.retries");
+    assert_eq!(normalize("fault.b_rx.drops"), "fault.<dir>.drops");
+    assert_eq!(normalize("mem.pool.occupancy"), "mem.pool.occupancy");
+}
