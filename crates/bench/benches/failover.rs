@@ -1,0 +1,15 @@
+//! Fault-driven failover: kill a replica mid-workload in a 3-node R=3
+//! cluster; measure the availability dip, detection time, and time for
+//! goodput to recover to ≥90% of the pre-kill baseline. Emits
+//! `failover.json`.
+
+use cf_bench::experiments::failover;
+
+fn main() {
+    let params = if std::env::var("CF_QUICK").is_ok() {
+        failover::FailoverParams::quick()
+    } else {
+        failover::FailoverParams::full()
+    };
+    failover::run(&params);
+}

@@ -1,0 +1,447 @@
+//! Fault-driven failover: closed-loop KV traffic against a replicated
+//! cluster, kill a node mid-run, and measure the availability dip and
+//! the time for goodput to recover.
+//!
+//! The fixture is the `cf-cluster` stack end to end: N simulated hosts
+//! behind a [`cf_nic::SimSwitch`], consistent-hash placement with R-way
+//! replication, probe-based failure detection, and a client that fails
+//! over through per-node circuit breakers. One closed-loop client runs
+//! a YCSB-keyed PUT/GET mix; completions are bucketed into fixed
+//! virtual-time windows. At [`FailoverParams::kill_window`] the victim
+//! node is killed; at [`FailoverParams::revive_window`] it rejoins and
+//! catch-up replay brings it back in sync.
+//!
+//! Reported:
+//! - **baseline** goodput (mean completions/window before the kill),
+//! - the **dip** (worst post-kill window),
+//! - **detection time** (kill → every survivor marks the victim down),
+//! - **recovery time** (kill → first window back at
+//!   [`FailoverParams::recovery_frac`] of baseline).
+//!
+//! Emits `failover.json` with the full window series.
+
+use std::fmt::Write as _;
+
+use cf_cluster::{Cluster, ClusterConfig};
+use cf_kv::client::RetryConfig;
+use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::Telemetry;
+use cf_workloads::{key_string, Ycsb, YcsbConfig};
+
+use crate::artifacts::{write_json_artifact, write_metrics_artifact};
+use crate::tables::{f1, print_table};
+
+/// Experiment knobs; [`FailoverParams::quick`] is the CI-sized preset.
+#[derive(Clone, Debug)]
+pub struct FailoverParams {
+    /// Cluster size (hosts behind the switch).
+    pub nodes: usize,
+    /// Replication factor R (PUTs ack after R live replicas apply).
+    pub replication: usize,
+    /// Distinct keys, preloaded on every replica.
+    pub num_keys: u64,
+    /// Value size per key.
+    pub value_bytes: usize,
+    /// Goodput bucket width in virtual nanoseconds.
+    pub window_ns: u64,
+    /// Windows discarded from the front before computing the baseline.
+    pub warmup_windows: usize,
+    /// Window index at whose start the victim is killed.
+    pub kill_window: usize,
+    /// Window index at whose start the victim rejoins.
+    pub revive_window: usize,
+    /// Total measured windows.
+    pub total_windows: usize,
+    /// Which node dies.
+    pub victim: u8,
+    /// Recovery threshold as a fraction of baseline goodput.
+    pub recovery_frac: f64,
+    /// PUT probability in percent (the rest are GETs).
+    pub put_pct: u32,
+    /// Workload / retry-jitter seed.
+    pub seed: u64,
+}
+
+impl FailoverParams {
+    /// Full run: 3 nodes, R=3, 60 windows of 250 µs (15 ms virtual).
+    pub fn full() -> Self {
+        FailoverParams {
+            nodes: 3,
+            replication: 3,
+            num_keys: 16,
+            value_bytes: 256,
+            window_ns: 250_000,
+            warmup_windows: 2,
+            kill_window: 15,
+            revive_window: 35,
+            total_windows: 60,
+            victim: 1,
+            recovery_frac: 0.9,
+            put_pct: 30,
+            seed: 0xF417_0E75,
+        }
+    }
+
+    /// CI smoke preset: the same shape, a third of the timeline.
+    pub fn quick() -> Self {
+        FailoverParams {
+            num_keys: 8,
+            value_bytes: 128,
+            kill_window: 6,
+            revive_window: 18,
+            total_windows: 26,
+            ..FailoverParams::full()
+        }
+    }
+}
+
+/// One goodput bucket.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Window start, relative to measurement start.
+    pub start_ns: u64,
+    /// Responses decoded inside the window.
+    pub served: u64,
+    /// Request timeouts expiring inside the window.
+    pub timeouts: u64,
+}
+
+/// Everything the run measured.
+#[derive(Clone, Debug)]
+pub struct FailoverResult {
+    pub windows: Vec<Window>,
+    /// Mean served/window over the pre-kill (post-warmup) windows.
+    pub baseline: f64,
+    /// Worst served/window at or after the kill.
+    pub dip: u64,
+    /// Virtual ns from the kill until the last survivor marked the
+    /// victim down.
+    pub detection_ns: Option<u64>,
+    /// Virtual ns from the kill until the end of the first window whose
+    /// goodput is back at `recovery_frac * baseline`.
+    pub recovered_within_ns: Option<u64>,
+    pub answered: u64,
+    pub timeouts: u64,
+    pub failovers: u64,
+    pub catchup_replays: u64,
+    pub puts_applied: u64,
+}
+
+fn retry_cfg() -> RetryConfig {
+    RetryConfig {
+        timeout_ns: 120_000,
+        max_retries: 6,
+        max_backoff_ns: 500_000,
+        jitter_seed: None, // seeded per-client below
+    }
+}
+
+/// Drives the closed-loop workload and measures the window series.
+pub fn run_failover(params: &FailoverParams, tele: &Telemetry) -> FailoverResult {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut cluster = Cluster::new(
+        sim,
+        ClusterConfig {
+            nodes: params.nodes,
+            replication: params.replication,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.set_telemetry(tele);
+    let mut client = cluster.client();
+    client.set_telemetry(tele);
+    client.enable_retries_seeded(params.seed, retry_cfg());
+
+    let keys: Vec<Vec<u8>> = (0..params.num_keys)
+        .map(|i| key_string(i).into_bytes())
+        .collect();
+    for key in &keys {
+        cluster.preload(key, &[params.value_bytes]);
+    }
+    // Let probes establish a steady state before measuring.
+    for _ in 0..6 {
+        cluster.poll();
+        cluster.sim().clock().advance(60_000);
+    }
+
+    let mut ycsb = Ycsb::new(
+        YcsbConfig {
+            num_keys: params.num_keys,
+            theta: 0.9,
+            value_segments: 1,
+            segment_size: params.value_bytes,
+        },
+        params.seed,
+    );
+    let mut op_rng = cf_sim::rng::SplitMix64::new(params.seed ^ 0xA5A5);
+
+    let t0 = cluster.sim().now();
+    let end = t0 + params.window_ns * params.total_windows as u64;
+    let kill_at = t0 + params.window_ns * params.kill_window as u64;
+    let revive_at = t0 + params.window_ns * params.revive_window as u64;
+    let mut windows: Vec<Window> = (0..params.total_windows)
+        .map(|i| Window {
+            start_ns: params.window_ns * i as u64,
+            served: 0,
+            timeouts: 0,
+        })
+        .collect();
+
+    let mut outstanding: Option<u32> = None;
+    let mut answered = 0u64;
+    let mut timeouts = 0u64;
+    let mut killed = false;
+    let mut revived = false;
+    let mut kill_ts = 0u64;
+    let mut detection_ns = None;
+    let step = 10_000u64;
+
+    while cluster.sim().now() < end {
+        let now = cluster.sim().now();
+        if !killed && now >= kill_at {
+            cluster.kill(params.victim);
+            killed = true;
+            kill_ts = now;
+        }
+        if killed && !revived && now >= revive_at {
+            cluster.revive(params.victim);
+            revived = true;
+        }
+        if outstanding.is_none() {
+            let key = &keys[(ycsb.next_key() % params.num_keys) as usize];
+            let id = if op_rng.next_u64() % 100 < u64::from(params.put_pct) {
+                let fill = (answered + timeouts) as u8 ^ 0x5A;
+                client.send_put(key, &vec![fill; params.value_bytes])
+            } else {
+                client.send_get(key)
+            };
+            outstanding = Some(id);
+        }
+        cluster.poll();
+        if killed && detection_ns.is_none() {
+            let all_down = cluster
+                .nodes
+                .iter()
+                .filter(|n| n.id != params.victim)
+                .all(|n| !n.peer_alive(params.victim));
+            if all_down {
+                detection_ns = Some(cluster.sim().now() - kill_ts);
+            }
+        }
+        let bucket =
+            |ts: u64| (((ts - t0) / params.window_ns) as usize).min(params.total_windows - 1);
+        if client.recv_response().is_some() {
+            outstanding = None;
+            answered += 1;
+            windows[bucket(cluster.sim().now())].served += 1;
+        }
+        cluster.sim().clock().advance(step);
+        if let Some(id) = outstanding {
+            if client.poll_timers().contains(&id) {
+                outstanding = None;
+                timeouts += 1;
+                windows[bucket(cluster.sim().now())].timeouts += 1;
+            }
+        }
+    }
+    // Conclude the in-flight request so nothing is left pending.
+    if let Some(id) = outstanding {
+        for _ in 0..400 {
+            cluster.poll();
+            if client.recv_response().is_some() {
+                answered += 1;
+                break;
+            }
+            cluster.sim().clock().advance(step);
+            if client.poll_timers().contains(&id) {
+                timeouts += 1;
+                break;
+            }
+        }
+    }
+
+    let pre: &[Window] = &windows[params.warmup_windows..params.kill_window];
+    let baseline = pre.iter().map(|w| w.served).sum::<u64>() as f64 / pre.len().max(1) as f64;
+    let post = &windows[params.kill_window..];
+    let dip = post.iter().map(|w| w.served).min().unwrap_or(0);
+    let threshold = params.recovery_frac * baseline;
+    let recovered_within_ns = post
+        .iter()
+        .position(|w| w.served as f64 >= threshold)
+        .map(|i| (i as u64 + 1) * params.window_ns);
+
+    FailoverResult {
+        windows,
+        baseline,
+        dip,
+        detection_ns,
+        recovered_within_ns,
+        answered,
+        timeouts,
+        failovers: client.failovers(),
+        catchup_replays: cluster.nodes.iter().map(|n| n.catchup_replays()).sum(),
+        puts_applied: cluster.total_puts_applied(),
+    }
+}
+
+/// Hand-built JSON artifact body (`failover.json`).
+pub fn to_json(params: &FailoverParams, r: &FailoverResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"failover\",");
+    let _ = writeln!(out, "  \"nodes\": {},", params.nodes);
+    let _ = writeln!(out, "  \"replication\": {},", params.replication);
+    let _ = writeln!(out, "  \"victim\": {},", params.victim);
+    let _ = writeln!(out, "  \"window_ns\": {},", params.window_ns);
+    let _ = writeln!(out, "  \"kill_window\": {},", params.kill_window);
+    let _ = writeln!(out, "  \"revive_window\": {},", params.revive_window);
+    let _ = writeln!(out, "  \"recovery_frac\": {:.2},", params.recovery_frac);
+    let _ = writeln!(out, "  \"baseline_goodput_per_window\": {:.2},", r.baseline);
+    let _ = writeln!(out, "  \"dip_goodput_per_window\": {},", r.dip);
+    let _ = writeln!(
+        out,
+        "  \"detection_ns\": {},",
+        r.detection_ns.map_or("null".into(), |v| v.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "  \"recovered_within_ns\": {},",
+        r.recovered_within_ns
+            .map_or("null".into(), |v| v.to_string())
+    );
+    let _ = writeln!(out, "  \"answered\": {},", r.answered);
+    let _ = writeln!(out, "  \"timeouts\": {},", r.timeouts);
+    let _ = writeln!(out, "  \"failovers\": {},", r.failovers);
+    let _ = writeln!(out, "  \"catchup_replays\": {},", r.catchup_replays);
+    let _ = writeln!(out, "  \"puts_applied\": {},", r.puts_applied);
+    out.push_str("  \"windows\": [\n");
+    for (i, w) in r.windows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"idx\": {}, \"start_ns\": {}, \"served\": {}, \"timeouts\": {}}}",
+            i, w.start_ns, w.served, w.timeouts
+        );
+        out.push_str(if i + 1 < r.windows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the experiment, prints the window series, writes artifacts.
+pub fn run(params: &FailoverParams) {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let tele = Telemetry::attach(&sim);
+    let r = run_failover(params, &tele);
+
+    let phase = |i: usize| {
+        if i < params.kill_window {
+            "up"
+        } else if i < params.revive_window {
+            "victim down"
+        } else {
+            "rejoined"
+        }
+    };
+    let rows: Vec<Vec<String>> = r
+        .windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            vec![
+                i.to_string(),
+                phase(i).to_string(),
+                w.served.to_string(),
+                w.timeouts.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Failover: {} nodes, R={}, kill node {} at window {}",
+            params.nodes, params.replication, params.victim, params.kill_window
+        ),
+        &["window", "phase", "served", "timeouts"],
+        &rows,
+    );
+    println!("  baseline goodput/window : {}", f1(r.baseline));
+    println!("  worst post-kill window  : {}", r.dip);
+    println!(
+        "  detection (all survivors): {}",
+        r.detection_ns
+            .map_or("never".into(), |v| format!("{} ns", v))
+    );
+    println!(
+        "  recovered to >= {:.0}%    : {}",
+        params.recovery_frac * 100.0,
+        r.recovered_within_ns
+            .map_or("never".into(), |v| format!("within {} ns of the kill", v))
+    );
+    println!(
+        "  answered/timeouts {} / {}, failovers {}, catch-up replays {}",
+        r.answered, r.timeouts, r.failovers, r.catchup_replays
+    );
+
+    match write_json_artifact("failover", &to_json(params, &r)) {
+        Ok(path) => println!("  artifact: {}", path.display()),
+        Err(e) => eprintln!("  artifact write failed: {e}"),
+    }
+    if let Err(e) = write_metrics_artifact("failover", &tele) {
+        eprintln!("  metrics artifact write failed: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_recovers_after_node_kill() {
+        let params = FailoverParams::quick();
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let tele = Telemetry::attach(&sim);
+        let r = run_failover(&params, &tele);
+        assert!(r.baseline > 0.0, "pre-kill traffic flows");
+        assert!(r.answered > 0);
+        assert!(
+            r.detection_ns.is_some(),
+            "survivors detect the dead node via probe timeouts"
+        );
+        let rec = r
+            .recovered_within_ns
+            .expect("goodput recovers to >=90% of pre-kill baseline");
+        assert!(
+            rec <= (params.revive_window - params.kill_window) as u64 * params.window_ns,
+            "recovery comes from failover (while the victim is still dead), \
+             not from the revive: {rec} ns"
+        );
+        assert!(r.failovers >= 1, "the client failed over off the victim");
+    }
+
+    #[test]
+    fn artifact_json_is_valid_and_complete() {
+        let params = FailoverParams::quick();
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let tele = Telemetry::attach(&sim);
+        let r = run_failover(&params, &tele);
+        let json = to_json(&params, &r);
+        let doc = cf_telemetry::json::parse(&json).expect("artifact parses");
+        for field in [
+            "experiment",
+            "replication",
+            "baseline_goodput_per_window",
+            "dip_goodput_per_window",
+            "detection_ns",
+            "recovered_within_ns",
+            "failovers",
+            "windows",
+        ] {
+            assert!(doc.get(field).is_some(), "missing field {field}");
+        }
+        let windows = doc.get("windows").unwrap().as_arr().expect("window series");
+        assert_eq!(windows.len(), params.total_windows);
+        let served: u64 = windows
+            .iter()
+            .map(|w| w.get("served").unwrap().as_u64().unwrap())
+            .sum();
+        assert!(served > 0, "the series records completions");
+    }
+}

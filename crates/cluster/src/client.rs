@@ -1,0 +1,240 @@
+//! Cluster-aware KV client: replica routing, per-node circuit breakers,
+//! and fault-driven failover.
+//!
+//! A [`ClusterClient`] wraps one ordinary [`KvClient`] attached to its
+//! own switch host and layers cluster routing on top:
+//!
+//! - **Routing.** Each request computes the key's replica set from the
+//!   shared [`ClusterMap`] and targets the first replica whose breaker
+//!   admits traffic (primary-first), by pointing the stack's
+//!   `peer_host` at that node before the send.
+//! - **Failover.** The inner client's retransmit machinery is the
+//!   failure signal: when a retransmit fires for the outstanding
+//!   request, the current node's breaker records a failure and the
+//!   route rotates to the next replica — the retransmit (same request
+//!   id) then travels to the new node, where cluster-wide dedup keeps
+//!   the put exactly-once.
+//! - **Breakers.** One [`CircuitBreaker`] per node, driven from
+//!   response outcomes (`SHED` and timeouts count as failures), so a
+//!   dead or melting node is skipped at routing time rather than
+//!   rediscovered by every request.
+//!
+//! The client is deliberately closed-loop: one outstanding request at a
+//! time, matching the chaos-test driving pattern.
+
+use cf_kv::client::{KvClient, Response, RetryConfig};
+use cf_kv::flags;
+use cf_kv::overload::{BreakerConfig, BreakerDecision, CircuitBreaker};
+use cf_sim::Sim;
+use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Telemetry};
+
+use crate::map::ClusterMap;
+
+/// The in-flight request's routing state.
+#[derive(Debug)]
+struct Route {
+    id: u32,
+    /// Replica set for the request's key, primary first.
+    replicas: Vec<u8>,
+    /// Index into `replicas` of the node currently targeted.
+    idx: usize,
+}
+
+/// One closed-loop client with cluster routing and failover. See the
+/// module docs.
+pub struct ClusterClient {
+    /// The wrapped single-node client (stack, retries, decoding).
+    pub kv: KvClient,
+    /// This client's host id on the switch.
+    pub host: u8,
+    sim: Sim,
+    map: ClusterMap,
+    r: usize,
+    breakers: Vec<CircuitBreaker>,
+    route: Option<Route>,
+    failovers: u64,
+    failover_counter: Counter,
+    flight: FlightRecorder,
+}
+
+impl ClusterClient {
+    /// Breaker tuning for *failover* rather than overload. The default
+    /// [`BreakerConfig`] waits for 16 samples at a 90 % failure rate —
+    /// right for a server that sheds under load while still answering,
+    /// but far too patient for a dead node: this breaker only ever sees
+    /// one failure per request that had to rotate away (successes credit
+    /// the replica that actually served), so a dead node would stay in
+    /// every route for milliseconds. Two consecutive failed requests to
+    /// the same node trip it; a long open window keeps half-open probes
+    /// (each of which costs a full retransmit timeout) rare.
+    fn failover_breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            sample_window_ns: 1_500_000,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            open_ns: 3_000_000,
+        })
+    }
+
+    /// Wraps `kv` (already attached to the switch as `host`) with
+    /// cluster routing over `map` at replication factor `r`.
+    pub fn new(kv: KvClient, host: u8, sim: Sim, map: ClusterMap, r: usize) -> Self {
+        let breakers = (0..map.nodes()).map(|_| Self::failover_breaker()).collect();
+        ClusterClient {
+            kv,
+            host,
+            sim,
+            map,
+            r,
+            breakers,
+            route: None,
+            failovers: 0,
+            failover_counter: Counter::default(),
+            flight: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Enables retransmits with decorrelated jitter seeded per-client
+    /// from `(base_seed, host id)`, so a fleet of clients sharing one
+    /// scenario seed still jitters independently.
+    pub fn enable_retries_seeded(&mut self, base_seed: u64, cfg: RetryConfig) {
+        self.kv
+            .enable_retries(cfg.for_client(base_seed, u64::from(self.host)));
+    }
+
+    /// Registers `cluster.client.failovers` (and nothing else — the
+    /// inner client's `kv.client.*` metrics register via
+    /// [`KvClient::set_telemetry`] separately if wanted).
+    pub fn set_telemetry(&mut self, tele: &Telemetry) {
+        self.failover_counter = tele.counter("cluster.client.failovers");
+    }
+
+    /// Installs a flight recorder on failover events.
+    pub fn set_flight_recorder(&mut self, fr: &FlightRecorder) {
+        self.flight = fr.clone();
+    }
+
+    /// Replica rotations performed due to suspected node failure.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The node the outstanding request is currently targeting.
+    pub fn current_node(&self) -> Option<u8> {
+        self.route
+            .as_ref()
+            .map(|r| r.replicas[r.idx % r.replicas.len()])
+    }
+
+    /// This client's breaker view of `node`.
+    pub fn breaker_state(&self, node: u8) -> cf_kv::overload::BreakerState {
+        self.breakers[node as usize].state()
+    }
+
+    /// Sends a replicated put for `key`. Routed to the first
+    /// breaker-admissible replica; the returned id is stable across
+    /// failover rotations.
+    pub fn send_put(&mut self, key: &[u8], val: &[u8]) -> u32 {
+        let replicas = self.map.replicas_for(key, self.r);
+        let node = self.admit_route(&replicas);
+        self.kv.stack.set_peer_host(node);
+        let id = self.kv.send_put(key, val);
+        self.note_sent(id, replicas, node);
+        id
+    }
+
+    /// Sends a get for `key`, served by any live replica (routed like
+    /// puts: first admissible, primary preferred).
+    pub fn send_get(&mut self, key: &[u8]) -> u32 {
+        let replicas = self.map.replicas_for(key, self.r);
+        let node = self.admit_route(&replicas);
+        self.kv.stack.set_peer_host(node);
+        let id = self.kv.send_get(&[key]);
+        self.note_sent(id, replicas, node);
+        id
+    }
+
+    fn note_sent(&mut self, id: u32, replicas: Vec<u8>, node: u8) {
+        debug_assert!(self.route.is_none(), "closed-loop: one outstanding request");
+        let idx = replicas.iter().position(|&n| n == node).unwrap_or(0);
+        self.route = Some(Route { id, replicas, idx });
+    }
+
+    /// First replica whose breaker admits the upcoming request id;
+    /// falls back to the primary when every breaker rejects (so the
+    /// request still resolves — possibly by timeout — rather than
+    /// silently dying).
+    fn admit_route(&mut self, replicas: &[u8]) -> u8 {
+        let now = self.sim.now();
+        let id = self.kv.next_req_id();
+        for &n in replicas {
+            match self.breakers[n as usize].admit(now, id) {
+                BreakerDecision::Send | BreakerDecision::SendProbe => return n,
+                BreakerDecision::Reject => {}
+            }
+        }
+        replicas[0]
+    }
+
+    /// Drives the inner retransmit timers and translates their signals
+    /// into cluster actions: a retransmit for the outstanding request
+    /// rotates it to the next replica (failover); a final timeout
+    /// records a breaker failure and clears the route. Returns the ids
+    /// the inner client reported as timed out.
+    pub fn poll_timers(&mut self) -> Vec<u32> {
+        let before = self.kv.retries_sent();
+        let timed_out = self.kv.poll_timers();
+        let Some(mut route) = self.route.take() else {
+            return timed_out;
+        };
+        let now = self.sim.now();
+        let cur = route.replicas[route.idx % route.replicas.len()];
+        if timed_out.contains(&route.id) {
+            self.breakers[cur as usize].on_failure(now, route.id);
+        } else {
+            if self.kv.retries_sent() > before {
+                self.breakers[cur as usize].on_failure(now, route.id);
+                route.idx += 1;
+                let next = route.replicas[route.idx % route.replicas.len()];
+                self.kv.stack.set_peer_host(next);
+                self.failovers += 1;
+                self.failover_counter.inc();
+                self.flight
+                    .record(route.id, now, FlightEvent::Failover { node: next });
+            }
+            self.route = Some(route);
+        }
+        timed_out
+    }
+
+    /// Receives the outstanding response (if arrived), feeding the
+    /// outcome to the serving node's breaker.
+    pub fn recv_response(&mut self) -> Option<Response> {
+        let resp = self.kv.recv_response()?;
+        let now = self.sim.now();
+        if let Some(route) = self.route.take() {
+            if resp.id == Some(route.id) {
+                let cur = route.replicas[route.idx % route.replicas.len()];
+                if resp.flags & flags::SHED != 0 {
+                    self.breakers[cur as usize].on_failure(now, route.id);
+                } else {
+                    self.breakers[cur as usize].on_success(now, route.id);
+                }
+            } else {
+                // Response for some other (already-resolved) id; keep
+                // the outstanding route untouched.
+                self.route = Some(route);
+            }
+        }
+        Some(resp)
+    }
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("host", &self.host)
+            .field("failovers", &self.failovers)
+            .finish()
+    }
+}

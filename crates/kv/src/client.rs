@@ -29,8 +29,8 @@ use crate::flags;
 use crate::msg_type;
 use crate::msgs::GetMsg;
 use crate::overload::{
-    decorrelated_jitter, BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, RetryBudget,
-    RetryBudgetConfig,
+    decorrelated_jitter, jitter_seed_for, BreakerConfig, BreakerDecision, BreakerState,
+    CircuitBreaker, RetryBudget, RetryBudgetConfig,
 };
 use crate::server::{KvServer, SerKind};
 use crate::sharded::shard_of_key;
@@ -81,6 +81,19 @@ impl Default for RetryConfig {
             max_backoff_ns: 8_000_000,
             jitter_seed: None,
         }
+    }
+}
+
+impl RetryConfig {
+    /// The same policy with the jitter seed derived from
+    /// `(base_seed, client_id)` via
+    /// [`crate::overload::jitter_seed_for`]. Multi-client harnesses MUST
+    /// seed through this (not a shared literal) or every client replays
+    /// the same "decorrelated" backoff sequence and their retries
+    /// re-collide as one synchronized storm.
+    pub fn for_client(mut self, base_seed: u64, client_id: u64) -> Self {
+        self.jitter_seed = Some(jitter_seed_for(base_seed, client_id));
+        self
     }
 }
 
@@ -285,6 +298,13 @@ impl KvClient {
     /// enabled).
     pub fn pending_ids(&self) -> Vec<u32> {
         self.pending.keys().copied().collect()
+    }
+
+    /// The request id the next send will use. Lets routing layers make
+    /// per-request admission decisions (e.g. breaker probes) before the
+    /// id is actually allocated by the send.
+    pub fn next_req_id(&self) -> u32 {
+        self.next_id
     }
 
     /// Retransmissions so far (counts even without telemetry attached).

@@ -44,6 +44,15 @@ pub mod msg_type {
     pub const GET_SEGMENT: u8 = 3;
     /// Echo request.
     pub const ECHO: u8 = 4;
+    /// Replicated put: a coordinator forwarding a client put (same payload,
+    /// same request id) to a backup replica. Cluster-internal.
+    pub const REPL_PUT: u8 = 5;
+    /// Backup's header-only acknowledgement of a [`REPL_PUT`].
+    /// Cluster-internal.
+    pub const REPL_ACK: u8 = 6;
+    /// Header-only liveness probe between cluster nodes; answered with
+    /// `PROBE | RESPONSE`. Cluster-internal.
+    pub const PROBE: u8 = 7;
     /// Response marker.
     pub const RESPONSE: u8 = 0x80;
 }

@@ -317,6 +317,21 @@ pub fn decorrelated_jitter(rng: &mut SplitMix64, base: u64, prev: u64, cap: u64)
     lo + rng.next_bounded((hi - lo).saturating_add(1))
 }
 
+/// Derives a per-client jitter seed from a base seed and the client's id.
+///
+/// Multi-client runs that hand every client the same literal seed give
+/// every client the *same* backoff sequence — their "decorrelated" retries
+/// land on identical virtual-time offsets and re-collide as a synchronized
+/// retry storm, exactly what jitter exists to prevent. Mixing the client
+/// id through an extra SplitMix64 round (its increment is already a
+/// bijective mixer) keeps runs reproducible from one base seed while
+/// giving every client an independent stream.
+pub fn jitter_seed_for(base_seed: u64, client_id: u64) -> u64 {
+    let mut rng = SplitMix64::new(base_seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // One extra draw decouples adjacent client ids that differ in one bit.
+    rng.next_u64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +427,63 @@ mod tests {
         // The open window restarts from the failed probe.
         assert_eq!(br.admit(1_100, 4), BreakerDecision::Reject);
         assert_eq!(br.admit(1_200, 4), BreakerDecision::SendProbe);
+    }
+
+    #[test]
+    fn shed_probe_reopens_half_open_breaker() {
+        // The half-open probe's reply can itself be a `SHED` fast-reject:
+        // the server is up but still refusing work. The client feeds that
+        // to `on_failure` with the probe's req_id, which must send the
+        // breaker straight back to Open (not merely push a sample) and
+        // restart the open window from the shed's timestamp.
+        let cfg = BreakerConfig {
+            sample_window_ns: 10_000,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            open_ns: 1_000,
+        };
+        let mut br = CircuitBreaker::new(cfg);
+        br.on_failure(0, 1);
+        assert!(br.on_failure(10, 2));
+        assert_eq!(br.admit(1_010, 3), BreakerDecision::SendProbe);
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+        // SHED reply for the probe arrives promptly (no timeout needed).
+        assert!(br.on_failure(1_020, 3), "shed probe re-trips to Open");
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.probe(), None, "probe slot cleared");
+        // Open window restarts at the shed, not the original trip.
+        assert_eq!(br.admit(1_500, 4), BreakerDecision::Reject);
+        assert_eq!(br.admit(2_020, 4), BreakerDecision::SendProbe);
+        // A SHED for a *stale* id while half-open must not re-trip.
+        assert!(
+            !br.on_failure(2_030, 99),
+            "non-probe failure ignored in HalfOpen"
+        );
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn jitter_seed_for_decorrelates_clients() {
+        // Same base seed, different client ids → different backoff
+        // sequences; same (base, id) → reproducible.
+        let base = 42;
+        let mut a = SplitMix64::new(jitter_seed_for(base, 0));
+        let mut b = SplitMix64::new(jitter_seed_for(base, 1));
+        let mut a2 = SplitMix64::new(jitter_seed_for(base, 0));
+        let (cfg_base, cap) = (1_000u64, 64_000u64);
+        let (mut pa, mut pb, mut pa2) = (cfg_base, cfg_base, cfg_base);
+        let mut diverged = false;
+        for _ in 0..16 {
+            pa = decorrelated_jitter(&mut a, cfg_base, pa, cap);
+            pb = decorrelated_jitter(&mut b, cfg_base, pb, cap);
+            pa2 = decorrelated_jitter(&mut a2, cfg_base, pa2, cap);
+            assert_eq!(pa, pa2, "same (base, id) replays identically");
+            diverged |= pa != pb;
+        }
+        assert!(
+            diverged,
+            "distinct client ids must not share a backoff sequence"
+        );
     }
 
     #[test]

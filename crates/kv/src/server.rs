@@ -593,6 +593,57 @@ impl KvServer {
         }
     }
 
+    // ---- Cluster replication hooks --------------------------------------
+
+    /// Decodes the key and value of a put-style payload according to this
+    /// server's serialization kind, without touching the store. The cluster
+    /// layer uses this to route a client put to its replica set and to
+    /// apply forwarded `REPL_PUT`s (whose payload is the client's put
+    /// payload, byte-for-byte). Returns `None` on malformed payloads.
+    pub fn decode_put(&mut self, payload: &cf_mem::RcBuf) -> Option<(Vec<u8>, Vec<u8>)> {
+        match self.kind {
+            SerKind::Cornflakes => {
+                let req = GetMsg::deserialize(self.stack.ctx(), payload).ok()?;
+                let key = req.keys.get(0)?.as_slice().to_vec();
+                let val = req.vals.get(0)?.as_slice().to_vec();
+                Some((key, val))
+            }
+            SerKind::Protobuf => {
+                let sim = self.stack.sim().clone();
+                let req = PGetM::decode(&sim, payload).ok()?;
+                Some((req.keys.first()?.to_vec(), req.vals.first()?.to_vec()))
+            }
+            SerKind::FlatBuffers => {
+                let sim = self.stack.sim().clone();
+                let req = FlatGetMView::parse(&sim, payload).ok()?;
+                let key = req.key(0).ok()?.to_vec();
+                let val = req.val(0).ok()?.to_vec();
+                Some((key, val))
+            }
+            SerKind::CapnProto => {
+                let sim = self.stack.sim().clone();
+                let req = CapnReader::parse(&sim, payload).ok()?;
+                let key = req.keys(&sim).ok()?.first()?.to_vec();
+                let val = req.vals(&sim).ok()?.first()?.to_vec();
+                Some((key, val))
+            }
+        }
+    }
+
+    /// Applies a put on behalf of the replication layer, under the same
+    /// request-id dedup window as client puts — the forwarded `REPL_PUT`
+    /// keeps the client's request id, so a retried or replayed put applies
+    /// at most once per replica no matter which path delivered it. Returns
+    /// the apply flags ([`flags::DEGRADED`] on memory pressure, else 0).
+    pub fn apply_replicated_put(&mut self, req_id: u32, key: &[u8], val: &[u8]) -> u8 {
+        self.apply_put(req_id, key, val)
+    }
+
+    /// Whether `req_id` is in the put-dedup window (already applied).
+    pub fn dedup_contains(&self, req_id: u32) -> bool {
+        self.dedup.contains(req_id)
+    }
+
     // ---- Cornflakes ----------------------------------------------------
 
     fn handle_cornflakes(&mut self, pkt: Packet) {
@@ -901,5 +952,48 @@ mod tests {
         w.set_capacity(3);
         w.record(9);
         assert!(w.contains(7) && w.contains(8) && w.contains(9));
+    }
+
+    #[test]
+    fn dedup_window_survives_req_id_wraparound() {
+        // A long-lived client's u32 request counter wraps; the window must
+        // treat post-wrap ids as ordinary values — FIFO on insertion order,
+        // no arithmetic assumptions about id magnitude.
+        let mut w = DedupWindow::new(4);
+        for id in [u32::MAX - 2, u32::MAX - 1, u32::MAX, 0, 1] {
+            w.record(id);
+        }
+        assert!(
+            !w.contains(u32::MAX - 2),
+            "oldest evicted despite being numerically largest-era"
+        );
+        for id in [u32::MAX - 1, u32::MAX, 0, 1] {
+            assert!(w.contains(id), "id {id} retained across the wrap");
+        }
+        // A retry of a pre-wrap id still inside the window dedups.
+        w.record(u32::MAX);
+        assert!(w.contains(u32::MAX));
+        assert!(
+            w.contains(u32::MAX - 1),
+            "re-record of a present id evicts nothing"
+        );
+    }
+
+    #[test]
+    fn dedup_window_wraparound_collision_is_exact_match_only() {
+        // After 2^32 requests the same id value legitimately returns. The
+        // window's guarantee is bounded: only an id *currently inside the
+        // window* dedups; once evicted, the reused id applies fresh.
+        let mut w = DedupWindow::new(2);
+        w.record(7);
+        w.record(8);
+        w.record(9); // evicts 7
+        assert!(
+            !w.contains(7),
+            "evicted id no longer dedups — a wrapped reuse applies"
+        );
+        w.record(7); // the wrapped generation re-enters cleanly
+        assert!(w.contains(7) && w.contains(9));
+        assert!(!w.contains(8), "FIFO continued across the reuse");
     }
 }

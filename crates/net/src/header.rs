@@ -6,6 +6,12 @@
 //! 6-byte application header (message type, flags, request id) like the one
 //! the paper's key-value applications prepend.
 //!
+//! Multi-host topologies (the `cf-cluster` switch) address hosts through
+//! the last byte of each stand-in MAC: byte 5 is the destination host id,
+//! byte 11 the source host id. Both default to zero, so single-host
+//! traffic — and every golden fixture — is byte-identical to before the
+//! cluster layer existed.
+//!
 //! Within the otherwise-zero L2/L3 stub, bytes [`FCS_OFFSET`]`..+4` carry a
 //! CRC32 frame check sequence over the whole frame. The NIC writes it at
 //! transmit time (checksum offload, [`cf_nic::Frame::seal`]); the receive
@@ -19,6 +25,12 @@ use crate::udp::NetError;
 /// Total frame header size in bytes (L2 + L3 + L4 + app).
 pub const HEADER_BYTES: usize = 48;
 
+/// Byte offset of the destination host id (last byte of the stand-in
+/// destination MAC). Zero addresses "the peer" on a point-to-point link.
+const OFF_DST_HOST: usize = 5;
+/// Byte offset of the source host id (last byte of the stand-in source
+/// MAC).
+const OFF_SRC_HOST: usize = 11;
 /// Byte offset of the UDP source port within the header.
 const OFF_SRC_PORT: usize = 34;
 /// Byte offset of the UDP destination port.
@@ -46,6 +58,10 @@ pub struct FrameMeta {
 /// A parsed frame header.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PacketHeader {
+    /// Source host id (0 on point-to-point links).
+    pub src_host: u8,
+    /// Destination host id; a [`cf_nic`]-style switch forwards on this.
+    pub dst_host: u8,
     /// UDP source port.
     pub src_port: u16,
     /// UDP destination port.
@@ -65,6 +81,8 @@ impl PacketHeader {
     pub fn encode(&self, out: &mut [u8]) {
         assert!(out.len() >= HEADER_BYTES);
         out[..HEADER_BYTES].fill(0);
+        out[OFF_DST_HOST] = self.dst_host;
+        out[OFF_SRC_HOST] = self.src_host;
         out[OFF_SRC_PORT..OFF_SRC_PORT + 2].copy_from_slice(&self.src_port.to_be_bytes());
         out[OFF_DST_PORT..OFF_DST_PORT + 2].copy_from_slice(&self.dst_port.to_be_bytes());
         let udp_len = (self.payload_len + 8 + 6) as u16;
@@ -91,6 +109,8 @@ impl PacketHeader {
             ),
         };
         Ok(PacketHeader {
+            src_host: frame[OFF_SRC_HOST],
+            dst_host: frame[OFF_DST_HOST],
             src_port,
             dst_port,
             meta,
@@ -98,9 +118,24 @@ impl PacketHeader {
         })
     }
 
-    /// A header with source and destination ports swapped (for replies).
+    /// The destination host id of a raw frame, without a full decode — what
+    /// a switch reads to pick the output port. Frames too short to carry
+    /// one forward to host 0.
+    pub fn frame_dst_host(frame: &[u8]) -> u8 {
+        frame.get(OFF_DST_HOST).copied().unwrap_or(0)
+    }
+
+    /// The source host id of a raw frame (0 when too short).
+    pub fn frame_src_host(frame: &[u8]) -> u8 {
+        frame.get(OFF_SRC_HOST).copied().unwrap_or(0)
+    }
+
+    /// A header with source and destination (hosts and ports) swapped, for
+    /// replies.
     pub fn reply(&self, meta: FrameMeta) -> PacketHeader {
         PacketHeader {
+            src_host: self.dst_host,
+            dst_host: self.src_host,
             src_port: self.dst_port,
             dst_port: self.src_port,
             meta,
@@ -116,6 +151,8 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let h = PacketHeader {
+            src_host: 3,
+            dst_host: 7,
             src_port: 4791,
             dst_port: 53,
             meta: FrameMeta {
@@ -130,8 +167,32 @@ mod tests {
         let d = PacketHeader::decode(&frame).unwrap();
         assert_eq!(d.src_port, 4791);
         assert_eq!(d.dst_port, 53);
+        assert_eq!((d.src_host, d.dst_host), (3, 7));
         assert_eq!(d.meta, h.meta);
         assert_eq!(d.payload_len, 100);
+        assert_eq!(PacketHeader::frame_dst_host(&frame), 7);
+        assert_eq!(PacketHeader::frame_src_host(&frame), 3);
+    }
+
+    #[test]
+    fn zero_hosts_leave_header_bytes_untouched() {
+        // Host ids default to zero, so a host-less header encodes exactly
+        // the bytes it always did — the golden fixtures' guarantee.
+        let h = PacketHeader {
+            src_port: 4000,
+            dst_port: 9000,
+            meta: FrameMeta {
+                msg_type: 1,
+                flags: 0,
+                req_id: 42,
+            },
+            payload_len: 0,
+            ..PacketHeader::default()
+        };
+        let mut frame = vec![0u8; HEADER_BYTES];
+        h.encode(&mut frame);
+        assert!(frame[..34].iter().all(|&b| b == 0), "L2/L3 stub stays zero");
+        assert_eq!(PacketHeader::frame_dst_host(&frame), 0);
     }
 
     #[test]
@@ -145,6 +206,7 @@ mod tests {
                 req_id: 99,
             },
             payload_len: 0,
+            ..PacketHeader::default()
         };
         let mut frame = vec![0u8; HEADER_BYTES + 32];
         h.encode(&mut frame);
@@ -163,8 +225,10 @@ mod tests {
     }
 
     #[test]
-    fn reply_swaps_ports() {
+    fn reply_swaps_ports_and_hosts() {
         let h = PacketHeader {
+            src_host: 4,
+            dst_host: 9,
             src_port: 1111,
             dst_port: 2222,
             meta: FrameMeta::default(),
@@ -177,6 +241,7 @@ mod tests {
         });
         assert_eq!(r.src_port, 2222);
         assert_eq!(r.dst_port, 1111);
+        assert_eq!((r.src_host, r.dst_host), (9, 4));
         assert_eq!(r.meta.req_id, 42);
     }
 }

@@ -97,6 +97,11 @@ pub struct UdpStack {
     /// not by each stack.
     shared_nic: bool,
     local_port: u16,
+    /// This stack's host id in a multi-host topology (0 on point-to-point
+    /// links; see [`crate::header`] for the addressing scheme).
+    local_host: u8,
+    /// Default destination host id for outbound headers.
+    peer_host: u8,
     scratch: Vec<u8>,
     auto_complete: bool,
     /// Staged descriptors awaiting a batched doorbell; empty unless
@@ -132,6 +137,8 @@ impl UdpStack {
             queue: 0,
             shared_nic: false,
             local_port,
+            local_host: 0,
+            peer_host: 0,
             scratch: Vec::with_capacity(4096),
             auto_complete: true,
             tx_batch: Vec::new(),
@@ -161,6 +168,8 @@ impl UdpStack {
             queue,
             shared_nic: true,
             local_port,
+            local_host: 0,
+            peer_host: 0,
             scratch: Vec::with_capacity(4096),
             auto_complete: true,
             tx_batch: Vec::new(),
@@ -226,6 +235,28 @@ impl UdpStack {
     /// This stack's UDP port.
     pub fn local_port(&self) -> u16 {
         self.local_port
+    }
+
+    /// This stack's host id (0 unless set for a multi-host topology).
+    pub fn local_host(&self) -> u8 {
+        self.local_host
+    }
+
+    /// Sets this stack's host id; [`UdpStack::header_to`] stamps it as the
+    /// source host on every outbound header.
+    pub fn set_local_host(&mut self, host: u8) {
+        self.local_host = host;
+    }
+
+    /// Sets the default destination host for outbound headers. A cluster
+    /// client re-points this when it fails over to another replica.
+    pub fn set_peer_host(&mut self, host: u8) {
+        self.peer_host = host;
+    }
+
+    /// The current default destination host.
+    pub fn peer_host(&self) -> u8 {
+        self.peer_host
     }
 
     /// Allocates a pinned, DMA-safe buffer (paper Listing 2's `alloc`).
@@ -739,6 +770,8 @@ impl UdpStack {
     /// A default packet header originating from this stack.
     pub fn header_to(&self, dst_port: u16, meta: FrameMeta) -> PacketHeader {
         PacketHeader {
+            src_host: self.local_host,
+            dst_host: self.peer_host,
             src_port: self.local_port,
             dst_port,
             meta,

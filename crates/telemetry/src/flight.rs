@@ -77,6 +77,16 @@ pub enum FlightEvent {
     TcpMsgSend { bytes: u32 },
     /// TCP stack delivered a reassembled message to the application.
     TcpMsgDeliver { bytes: u32 },
+    /// Coordinator forwarded a client put to backup replica `node`.
+    ReplicaPut { node: u8 },
+    /// Coordinator received backup `node`'s replication acknowledgement.
+    ReplicaAck { node: u8 },
+    /// Cluster client re-routed the request to replica `node` after its
+    /// current route stopped answering.
+    Failover { node: u8 },
+    /// A rejoined replica received this put via catch-up log replay from
+    /// `node`.
+    CatchupReplay { node: u8 },
 }
 
 impl FlightEvent {
@@ -103,6 +113,10 @@ impl FlightEvent {
             FlightEvent::Reply { .. } => "reply",
             FlightEvent::TcpMsgSend { .. } => "tcp_msg_send",
             FlightEvent::TcpMsgDeliver { .. } => "tcp_msg_deliver",
+            FlightEvent::ReplicaPut { .. } => "replica_put",
+            FlightEvent::ReplicaAck { .. } => "replica_ack",
+            FlightEvent::Failover { .. } => "failover",
+            FlightEvent::CatchupReplay { .. } => "catchup_replay",
         }
     }
 
@@ -124,6 +138,10 @@ impl FlightEvent {
             FlightEvent::TcpMsgSend { bytes } | FlightEvent::TcpMsgDeliver { bytes } => {
                 Some(("bytes", u64::from(bytes)))
             }
+            FlightEvent::ReplicaPut { node }
+            | FlightEvent::ReplicaAck { node }
+            | FlightEvent::Failover { node }
+            | FlightEvent::CatchupReplay { node } => Some(("node", u64::from(node))),
             _ => None,
         }
     }
@@ -455,6 +473,10 @@ mod tests {
             FlightEvent::Reply { flags: 0 },
             FlightEvent::TcpMsgSend { bytes: 0 },
             FlightEvent::TcpMsgDeliver { bytes: 0 },
+            FlightEvent::ReplicaPut { node: 0 },
+            FlightEvent::ReplicaAck { node: 0 },
+            FlightEvent::Failover { node: 0 },
+            FlightEvent::CatchupReplay { node: 0 },
         ];
         let mut labels: Vec<&str> = events.iter().map(|e| e.label()).collect();
         labels.sort_unstable();

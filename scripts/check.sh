@@ -32,9 +32,14 @@ cargo test -q --test flight_zero_alloc
 cargo test -q --test metric_namespace
 cargo test -q -p cf-bench --lib experiments::tail_anatomy
 
+echo "==> failover smoke: cluster goodput recovers before the killed node rejoins"
+cargo test -q -p cf-bench --lib experiments::failover
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full: cargo test --workspace -q"
     cargo test --workspace -q
+    echo "==> full: cluster chaos soak"
+    CF_CHAOS_CASES=64 cargo test -q --test cluster_chaos
 fi
 
 echo "All checks passed."

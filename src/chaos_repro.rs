@@ -1,0 +1,183 @@
+//! Repro artifacts for chaos-test failures.
+//!
+//! The chaos suites explore seeded fault plans; when a property fails,
+//! the panic message alone rarely carries enough to replay the run.
+//! [`guard`] wraps one proptest case: if the case body panics, it dumps
+//! the case's identity (test name, fault-plan seed, free-form
+//! parameters) plus every flight-recorder timeline captured during the
+//! run to `target/chaos_repro.json`, then re-raises the panic so the
+//! test still fails. Re-running with `CF_CHAOS_SEED=<seed>` style
+//! overrides (or just the recorded parameters) reproduces the case
+//! deterministically — the artifact is the bridge between "CI went red"
+//! and a local replay.
+//!
+//! CI uploads the file on failure; on success it is never written.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use cf_telemetry::FlightRecorder;
+
+/// Where the repro artifact lands: `$CF_REPRO_DIR` or `target/`.
+fn repro_path() -> PathBuf {
+    let dir = std::env::var("CF_REPRO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target"));
+    dir.join("chaos_repro.json")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Serializes every recorded flight event as a JSON array of
+/// `{req_id, ts_ns, event, detail_key?, detail?}` objects.
+fn flight_json(flight: &FlightRecorder) -> String {
+    let mut out = String::from("[");
+    for (i, rec) in flight.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"req_id\":{},\"ts_ns\":{},\"event\":\"{}\"",
+            rec.req_id,
+            rec.ts_ns,
+            rec.event.label()
+        );
+        if let Some((key, val)) = rec.event.detail() {
+            let _ = write!(out, ",\"{key}\":{val}");
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Runs `body` as one chaos case. On panic, writes
+/// `target/chaos_repro.json` with the test name, the fault-plan `seed`,
+/// the free-form `params` (name, value) pairs, the panic message, and
+/// the full flight-recorder timeline, then re-raises the panic.
+pub fn guard<F: FnOnce()>(
+    test: &str,
+    seed: u64,
+    params: &[(&str, String)],
+    flight: &FlightRecorder,
+    body: F,
+) {
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let Err(payload) = result else { return };
+
+    let mut doc = String::from("{");
+    let _ = write!(doc, "\"test\":\"{}\"", json_escape(test));
+    let _ = write!(doc, ",\"seed\":{seed}");
+    let _ = write!(
+        doc,
+        ",\"panic\":\"{}\"",
+        json_escape(&panic_message(payload.as_ref()))
+    );
+    doc.push_str(",\"params\":{");
+    for (i, (name, value)) in params.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{}\":\"{}\"", json_escape(name), json_escape(value));
+    }
+    doc.push('}');
+    let _ = write!(
+        doc,
+        ",\"flight_recorded\":{},\"flight_dropped\":{}",
+        flight.recorded(),
+        flight.dropped()
+    );
+    let _ = write!(doc, ",\"flight\":{}", flight_json(flight));
+    doc.push('}');
+
+    let path = repro_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, &doc) {
+        Ok(()) => eprintln!("chaos repro artifact written to {}", path.display()),
+        Err(e) => eprintln!("failed to write chaos repro artifact: {e}"),
+    }
+    resume_unwind(payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_telemetry::FlightEvent;
+    use std::sync::Mutex;
+
+    /// Both tests mutate `CF_REPRO_DIR`; run them one at a time.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn passing_body_writes_nothing() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cf_repro_pass");
+        std::env::set_var("CF_REPRO_DIR", &dir);
+        let _ = std::fs::remove_file(dir.join("chaos_repro.json"));
+        guard("demo", 1, &[], &FlightRecorder::disabled(), || {});
+        assert!(!dir.join("chaos_repro.json").exists());
+        std::env::remove_var("CF_REPRO_DIR");
+    }
+
+    #[test]
+    fn failing_body_dumps_seed_params_and_timelines() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cf_repro_fail");
+        std::env::set_var("CF_REPRO_DIR", &dir);
+        let _ = std::fs::remove_file(dir.join("chaos_repro.json"));
+        let flight = FlightRecorder::with_capacity(8);
+        flight.record(42, 1_000, FlightEvent::ClientSend);
+        flight.record(42, 2_000, FlightEvent::Failover { node: 2 });
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            guard(
+                "demo_fail",
+                0xDEAD,
+                &[("drop_bp", "150".to_string())],
+                &flight,
+                || panic!("invariant \"x\" violated"),
+            );
+        }));
+        assert!(caught.is_err(), "guard re-raises the panic");
+        let body = std::fs::read_to_string(dir.join("chaos_repro.json")).expect("artifact written");
+        std::env::remove_var("CF_REPRO_DIR");
+        assert!(body.contains("\"test\":\"demo_fail\""));
+        assert!(body.contains(&format!("\"seed\":{}", 0xDEADu64)));
+        assert!(body.contains("\"drop_bp\":\"150\""));
+        assert!(body.contains("invariant \\\"x\\\" violated"));
+        assert!(body.contains("\"event\":\"failover\""));
+        assert!(body.contains("\"node\":2"));
+        // The artifact is valid JSON by the in-tree parser.
+        cf_telemetry::json::parse(&body).expect("artifact parses as JSON");
+    }
+}

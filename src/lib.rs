@@ -24,6 +24,9 @@
 //!   generators.
 //! - [`kv`] — the applications: custom key-value store, mini-Redis, echo
 //!   server.
+//! - [`cluster`] — multi-node replicated KV serving over a simulated
+//!   switch: consistent-hash placement, R-way replication, probe-based
+//!   failure detection, and client failover.
 //! - [`telemetry`] — virtual-time observability: request span tracing with
 //!   Chrome-trace export, a metrics registry, and hybrid-serializer
 //!   decision logging.
@@ -31,7 +34,10 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! experiment index.
 
+pub mod chaos_repro;
+
 pub use cf_baselines as baselines;
+pub use cf_cluster as cluster;
 pub use cf_codegen as codegen;
 pub use cf_kv as kv;
 pub use cf_mem as mem;

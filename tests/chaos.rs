@@ -18,6 +18,7 @@
 
 use proptest::prelude::*;
 
+use cornflakes::chaos_repro;
 use cornflakes::kv::client::{KvClient, ProtectionConfig, RetryConfig, CLIENT_PORT, SERVER_PORT};
 use cornflakes::kv::flags;
 use cornflakes::kv::overload::AdmissionConfig;
@@ -27,7 +28,7 @@ use cornflakes::mem::PoolConfig;
 use cornflakes::net::UdpStack;
 use cornflakes::nic::{link, FaultPlan};
 use cornflakes::sim::{MachineProfile, Sim};
-use cornflakes::telemetry::Telemetry;
+use cornflakes::telemetry::{FlightRecorder, Telemetry};
 use cornflakes::workloads::{key_string, Ycsb, YcsbConfig};
 
 const NUM_KEYS: u64 = 16;
@@ -111,10 +112,27 @@ proptest! {
         // One bool per operation: true = put, false = get.
         ops in proptest::collection::vec(any::<bool>(), 12..28),
     ) {
+        let flight = FlightRecorder::with_capacity(4096);
+        let params = [
+            ("drop_bp", drop_bp.to_string()),
+            ("dup_bp", dup_bp.to_string()),
+            ("reorder_bp", reorder_bp.to_string()),
+            ("corrupt_bp", corrupt_bp.to_string()),
+            ("delay_bp", delay_bp.to_string()),
+            ("ops", ops.iter().map(|&p| if p { 'P' } else { 'G' }).collect()),
+        ];
+        chaos_repro::guard(
+            "chaos::kv_traffic_survives_arbitrary_fault_plans",
+            seed,
+            &params,
+            &flight,
+            || {
         let (mut client, mut server, sim) = chaos_pair();
         let tele = Telemetry::attach(&sim);
         server.set_telemetry(&tele);
         client.set_telemetry(&tele);
+        server.set_flight_recorder(&flight);
+        client.set_flight_recorder(&flight);
         client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3, ..RetryConfig::default() });
 
         let mut ycsb = Ycsb::new(
@@ -267,6 +285,7 @@ proptest! {
             store_slots,
             "server pool occupancy != store contents: leak or early free"
         );
+        });
     }
 
     /// The same chaos invariants with the multi-queue datapath: a sharded
@@ -285,6 +304,22 @@ proptest! {
         delay_bp in 0u32..2000,
         ops in proptest::collection::vec(any::<bool>(), 10..20),
     ) {
+        let flight = FlightRecorder::with_capacity(4096);
+        let params = [
+            ("queues", queues.to_string()),
+            ("drop_bp", drop_bp.to_string()),
+            ("dup_bp", dup_bp.to_string()),
+            ("reorder_bp", reorder_bp.to_string()),
+            ("corrupt_bp", corrupt_bp.to_string()),
+            ("delay_bp", delay_bp.to_string()),
+            ("ops", ops.iter().map(|&p| if p { 'P' } else { 'G' }).collect()),
+        ];
+        chaos_repro::guard(
+            "chaos::sharded_kv_traffic_survives_arbitrary_fault_plans",
+            seed,
+            &params,
+            &flight,
+            || {
         // Shards share one Sim (one clock) so retry deadlines and fault
         // delays stay coherent with the client's view of time.
         let sim = Sim::new(MachineProfile::tiny_for_tests());
@@ -305,6 +340,8 @@ proptest! {
         let mut client = KvClient::new(client_stack, SerKind::Cornflakes);
         client.enable_steering(&server.rss());
         client.enable_retries(RetryConfig { timeout_ns: 100_000, max_retries: 3, ..RetryConfig::default() });
+        server.set_flight_recorder(&flight);
+        client.set_flight_recorder(&flight);
 
         let keys: Vec<Vec<u8>> = (0..NUM_KEYS)
             .map(|i| key_string(i).into_bytes())
@@ -440,6 +477,7 @@ proptest! {
                 "shard pool occupancy != its store contents"
             );
         }
+        });
     }
 
     /// Overload phase: a burst of requests far beyond the admission
@@ -458,7 +496,21 @@ proptest! {
         // several times the backlog + rx-ring budget below.
         ops in proptest::collection::vec(any::<bool>(), 24..48),
     ) {
+        let flight = FlightRecorder::with_capacity(4096);
+        let params = [
+            ("drop_bp", drop_bp.to_string()),
+            ("reorder_bp", reorder_bp.to_string()),
+            ("ops", ops.iter().map(|&p| if p { 'P' } else { 'G' }).collect()),
+        ];
+        chaos_repro::guard(
+            "chaos::overload_burst_with_faults_concludes_every_request",
+            seed,
+            &params,
+            &flight,
+            || {
         let (mut client, mut server, sim) = chaos_pair();
+        server.set_flight_recorder(&flight);
+        client.set_flight_recorder(&flight);
         server.enable_admission(AdmissionConfig {
             backlog_capacity: 8,
             rx_backlog_limit: 16,
@@ -613,6 +665,7 @@ proptest! {
             store_slots,
             "server pool occupancy != store contents: leak or early free"
         );
+        });
     }
 }
 

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 use std::fs;
 
+use cornflakes::cluster::{Cluster, ClusterConfig};
 use cornflakes::core::SerializationConfig;
 use cornflakes::kv::client::{KvClient, RetryConfig, CLIENT_PORT, SERVER_PORT};
 use cornflakes::kv::server::{KvServer, SerKind};
@@ -75,6 +76,22 @@ fn registered_metric_names() -> BTreeSet<String> {
         server.poll();
         while client.recv_response().is_some() {}
     }
+
+    // Cluster layer: switch drop counters, per-node protocol counters,
+    // and the cluster client's failover counter (cluster.*). The nodes'
+    // own kv.*/nic.* scopes stay unregistered here — in multi-node runs
+    // those use per-node registries.
+    let cluster_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut cluster = Cluster::new(
+        cluster_sim,
+        ClusterConfig {
+            pool: PoolConfig::small_for_tests(),
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.set_telemetry(&tele);
+    let mut cluster_client = cluster.client();
+    cluster_client.set_telemetry(&tele);
 
     let snapshot = tele.snapshot_json();
     let doc = json::parse(&snapshot).expect("snapshot is valid JSON");
@@ -151,6 +168,13 @@ fn normalize(name: &str) -> String {
             out.push("<dir>".to_string());
             continue;
         }
+        let is_node = seg
+            .strip_prefix("node")
+            .is_some_and(|r| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit()));
+        if segs[0] == "cluster" && i == 1 && is_node {
+            out.push("<node>".to_string());
+            continue;
+        }
         out.push((*seg).to_string());
     }
     out.join(".")
@@ -166,7 +190,7 @@ fn every_registered_metric_is_documented_and_well_formed() {
     );
     let documented = documented_names();
 
-    let layers = ["nic", "net", "kv", "mem", "fault"];
+    let layers = ["nic", "net", "kv", "mem", "fault", "cluster"];
     let mut missing = Vec::new();
     for name in &registered {
         assert!(
@@ -204,4 +228,16 @@ fn normalization_maps_scopes_onto_table_placeholders() {
     assert_eq!(normalize("kv.client.retries"), "kv.client.retries");
     assert_eq!(normalize("fault.b_rx.drops"), "fault.<dir>.drops");
     assert_eq!(normalize("mem.pool.occupancy"), "mem.pool.occupancy");
+    assert_eq!(
+        normalize("cluster.node2.repl_puts"),
+        "cluster.<node>.repl_puts"
+    );
+    assert_eq!(
+        normalize("cluster.switch.forwarded"),
+        "cluster.switch.forwarded"
+    );
+    assert_eq!(
+        normalize("cluster.client.failovers"),
+        "cluster.client.failovers"
+    );
 }
