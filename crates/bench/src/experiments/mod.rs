@@ -13,6 +13,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod overload;
+pub mod partition;
 pub mod scaling;
 pub mod table2;
 pub mod table5;

@@ -1,0 +1,594 @@
+//! Split-brain partition: consistency vs availability under the two
+//! cluster read modes.
+//!
+//! The fixture is the `cf-cluster` stack end to end, driven once per
+//! [`cf_cluster::ReadMode`] with identical parameters and seeds. The
+//! fault schedule has three acts:
+//!
+//! 1. at [`PartitionParams::partition_window`] the victim node is
+//!    split from its peers (split-brain): the majority keeps taking
+//!    writes, the victim falls behind;
+//! 2. at [`PartitionParams::isolate_window`] the client is also cut
+//!    off from the majority, so the stale victim is the only node it
+//!    can reach;
+//! 3. at [`PartitionParams::heal_window`] every cut heals and
+//!    catch-up replay brings the victim back in sync.
+//!
+//! Each completed GET is classified against the highest version the
+//! client itself saw cleanly acknowledged for that key: a clean GET
+//! answer with a lower version is a **stale read**. `ReadMode::Any`
+//! keeps serving from the victim through act 2 (available, stale);
+//! `ReadMode::Quorum` refuses — majority fan-outs cannot complete, so
+//! goodput drops to zero but no stale value is ever returned.
+//!
+//! Emits `partition.json` with per-window goodput and stale-read-rate
+//! series for both modes (committed as `BENCH_partition.json`).
+
+use std::fmt::Write as _;
+
+use cf_cluster::{Cluster, ClusterConfig, ReadMode};
+use cf_kv::client::RetryConfig;
+use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::Telemetry;
+use cf_workloads::{key_string, Ycsb, YcsbConfig};
+
+use crate::artifacts::{write_json_artifact, write_metrics_artifact};
+use crate::tables::{f1, print_table};
+
+/// Experiment knobs; [`PartitionParams::quick`] is the CI-sized preset.
+#[derive(Clone, Debug)]
+pub struct PartitionParams {
+    /// Cluster size (hosts behind the switch).
+    pub nodes: usize,
+    /// Replication factor R.
+    pub replication: usize,
+    /// Distinct keys, preloaded on every replica.
+    pub num_keys: u64,
+    /// Value size per key.
+    pub value_bytes: usize,
+    /// Goodput bucket width in virtual nanoseconds.
+    pub window_ns: u64,
+    /// Windows discarded from the front before computing the baseline.
+    pub warmup_windows: usize,
+    /// Window index at whose start the victim is split from its peers.
+    pub partition_window: usize,
+    /// Window index at whose start the client loses the majority too.
+    pub isolate_window: usize,
+    /// Window index at whose start every cut heals.
+    pub heal_window: usize,
+    /// Total measured windows.
+    pub total_windows: usize,
+    /// Which node ends up on the minority side.
+    pub victim: u8,
+    /// PUT probability in percent (the rest are GETs).
+    pub put_pct: u32,
+    /// Workload / retry-jitter seed.
+    pub seed: u64,
+}
+
+impl PartitionParams {
+    /// Full run: 3 nodes, R=3, 60 windows of 250 µs (15 ms virtual).
+    pub fn full() -> Self {
+        PartitionParams {
+            nodes: 3,
+            replication: 3,
+            num_keys: 16,
+            value_bytes: 256,
+            window_ns: 250_000,
+            warmup_windows: 2,
+            partition_window: 10,
+            isolate_window: 20,
+            heal_window: 40,
+            total_windows: 60,
+            victim: 1,
+            put_pct: 30,
+            seed: 0x9A27_11E5,
+        }
+    }
+
+    /// CI smoke preset: the same shape, a shorter timeline.
+    pub fn quick() -> Self {
+        PartitionParams {
+            num_keys: 8,
+            value_bytes: 128,
+            partition_window: 5,
+            isolate_window: 10,
+            heal_window: 20,
+            total_windows: 28,
+            ..PartitionParams::full()
+        }
+    }
+}
+
+/// One goodput bucket.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Window start, relative to measurement start.
+    pub start_ns: u64,
+    /// Clean (flag-free) responses decoded inside the window.
+    pub served: u64,
+    /// Request timeouts expiring inside the window.
+    pub timeouts: u64,
+    /// Clean GET answers whose version trails the newest clean-acked
+    /// write the client has seen for that key.
+    pub stale: u64,
+}
+
+impl Window {
+    /// Stale reads as a fraction of clean completions in this window.
+    pub fn stale_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.stale as f64 / self.served as f64
+        }
+    }
+}
+
+/// Everything one mode's run measured.
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    pub mode: ReadMode,
+    pub windows: Vec<Window>,
+    /// Mean served/window over the pre-partition (post-warmup) windows.
+    pub baseline: f64,
+    /// Clean completions over the whole run.
+    pub clean: u64,
+    /// Answers carrying SHED (minority-write refusals) or DEGRADED.
+    pub flagged: u64,
+    pub timeouts: u64,
+    /// Total stale reads (sum of the window series).
+    pub stale_reads: u64,
+    pub failovers: u64,
+    pub quorum_reads: u64,
+    pub read_repairs: u64,
+    pub partition_suspects: u64,
+    pub puts_applied: u64,
+}
+
+fn retry_cfg() -> RetryConfig {
+    RetryConfig {
+        timeout_ns: 120_000,
+        max_retries: 6,
+        max_backoff_ns: 500_000,
+        jitter_seed: None, // seeded per-client below
+    }
+}
+
+/// Drives the closed-loop workload under one read mode.
+pub fn run_partition(
+    params: &PartitionParams,
+    mode: ReadMode,
+    tele: &Telemetry,
+) -> PartitionResult {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let mut cluster = Cluster::new(
+        sim,
+        ClusterConfig {
+            nodes: params.nodes,
+            replication: params.replication,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.set_telemetry(tele);
+    let mut client = cluster.client();
+    client.set_telemetry(tele);
+    client.set_read_mode(mode);
+    client.enable_retries_seeded(params.seed, retry_cfg());
+    let client_host = params.nodes as u8;
+    let peers: Vec<u8> = (0..params.nodes as u8)
+        .filter(|&n| n != params.victim)
+        .collect();
+
+    let keys: Vec<Vec<u8>> = (0..params.num_keys)
+        .map(|i| key_string(i).into_bytes())
+        .collect();
+    for key in &keys {
+        cluster.preload(key, &[params.value_bytes]);
+    }
+    // Let probes establish a steady state before measuring.
+    for _ in 0..6 {
+        cluster.poll();
+        cluster.sim().clock().advance(60_000);
+    }
+
+    let mut ycsb = Ycsb::new(
+        YcsbConfig {
+            num_keys: params.num_keys,
+            theta: 0.9,
+            value_segments: 1,
+            segment_size: params.value_bytes,
+        },
+        params.seed,
+    );
+    let mut op_rng = cf_sim::rng::SplitMix64::new(params.seed ^ 0xA5A5);
+
+    let t0 = cluster.sim().now();
+    let end = t0 + params.window_ns * params.total_windows as u64;
+    let split_at = t0 + params.window_ns * params.partition_window as u64;
+    let isolate_at = t0 + params.window_ns * params.isolate_window as u64;
+    let heal_at = t0 + params.window_ns * params.heal_window as u64;
+    let mut windows: Vec<Window> = (0..params.total_windows)
+        .map(|i| Window {
+            start_ns: params.window_ns * i as u64,
+            served: 0,
+            timeouts: 0,
+            stale: 0,
+        })
+        .collect();
+
+    // Highest version the client saw cleanly acked per key; a clean GET
+    // below this is a stale read by the client's own observations.
+    let mut max_acked = vec![0u64; params.num_keys as usize];
+    // (request id, key index, is_put) of the in-flight op.
+    let mut outstanding: Option<(u32, usize, bool)> = None;
+    let mut tally = Tally::default();
+    let mut timeouts = 0u64;
+    let (mut split, mut isolated, mut healed) = (false, false, false);
+    let step = 10_000u64;
+    let bucket = |ts: u64| (((ts - t0) / params.window_ns) as usize).min(params.total_windows - 1);
+
+    #[derive(Default)]
+    struct Tally {
+        clean: u64,
+        flagged: u64,
+        stale_reads: u64,
+    }
+
+    impl Tally {
+        fn settle(
+            &mut self,
+            resp: &cf_kv::client::Response,
+            key_idx: usize,
+            is_put: bool,
+            window: &mut Window,
+            max_acked: &mut [u64],
+        ) {
+            if resp.flags != 0 {
+                self.flagged += 1;
+                return;
+            }
+            self.clean += 1;
+            window.served += 1;
+            if is_put {
+                max_acked[key_idx] = max_acked[key_idx].max(resp.version);
+            } else if resp.version < max_acked[key_idx] {
+                self.stale_reads += 1;
+                window.stale += 1;
+            }
+        }
+    }
+
+    while cluster.sim().now() < end {
+        let now = cluster.sim().now();
+        if !split && now >= split_at {
+            for &p in &peers {
+                cluster.partition(params.victim, p);
+            }
+            split = true;
+        }
+        if split && !isolated && now >= isolate_at {
+            for &p in &peers {
+                cluster.partition(client_host, p);
+            }
+            isolated = true;
+        }
+        if isolated && !healed && now >= heal_at {
+            for &p in &peers {
+                cluster.heal(params.victim, p);
+                cluster.heal(client_host, p);
+            }
+            healed = true;
+        }
+        if outstanding.is_none() {
+            let key_idx = (ycsb.next_key() % params.num_keys) as usize;
+            let is_put = op_rng.next_u64() % 100 < u64::from(params.put_pct);
+            let id = if is_put {
+                let fill = (tally.clean + tally.flagged + timeouts) as u8 ^ 0x5A;
+                client.send_put(&keys[key_idx], &vec![fill; params.value_bytes])
+            } else {
+                client.send_get(&keys[key_idx])
+            };
+            outstanding = Some((id, key_idx, is_put));
+        }
+        cluster.poll();
+        if let Some((_, key_idx, is_put)) = outstanding {
+            if let Some(resp) = client.recv_response() {
+                outstanding = None;
+                let b = bucket(cluster.sim().now());
+                tally.settle(&resp, key_idx, is_put, &mut windows[b], &mut max_acked);
+            }
+        }
+        cluster.sim().clock().advance(step);
+        if let Some((id, _, _)) = outstanding {
+            if client.poll_timers().contains(&id) {
+                outstanding = None;
+                timeouts += 1;
+                windows[bucket(cluster.sim().now())].timeouts += 1;
+            }
+        }
+    }
+    // Conclude the in-flight request so nothing is left pending.
+    if let Some((id, key_idx, is_put)) = outstanding {
+        for _ in 0..400 {
+            cluster.poll();
+            if let Some(resp) = client.recv_response() {
+                let b = bucket(cluster.sim().now());
+                tally.settle(&resp, key_idx, is_put, &mut windows[b], &mut max_acked);
+                break;
+            }
+            cluster.sim().clock().advance(step);
+            if client.poll_timers().contains(&id) {
+                timeouts += 1;
+                break;
+            }
+        }
+    }
+
+    let pre: &[Window] = &windows[params.warmup_windows..params.partition_window];
+    let baseline = pre.iter().map(|w| w.served).sum::<u64>() as f64 / pre.len().max(1) as f64;
+
+    PartitionResult {
+        mode,
+        windows,
+        baseline,
+        clean: tally.clean,
+        flagged: tally.flagged,
+        timeouts,
+        stale_reads: tally.stale_reads,
+        failovers: client.failovers(),
+        quorum_reads: client.quorum_reads(),
+        read_repairs: client.read_repairs(),
+        partition_suspects: client.partition_suspects(),
+        puts_applied: cluster.total_puts_applied(),
+    }
+}
+
+fn mode_name(mode: ReadMode) -> &'static str {
+    match mode {
+        ReadMode::Any => "any",
+        ReadMode::Quorum => "quorum",
+    }
+}
+
+/// Hand-built JSON artifact body (`partition.json`): both modes' window
+/// series side by side.
+pub fn to_json(params: &PartitionParams, results: &[PartitionResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"partition\",");
+    let _ = writeln!(out, "  \"nodes\": {},", params.nodes);
+    let _ = writeln!(out, "  \"replication\": {},", params.replication);
+    let _ = writeln!(out, "  \"victim\": {},", params.victim);
+    let _ = writeln!(out, "  \"window_ns\": {},", params.window_ns);
+    let _ = writeln!(out, "  \"partition_window\": {},", params.partition_window);
+    let _ = writeln!(out, "  \"isolate_window\": {},", params.isolate_window);
+    let _ = writeln!(out, "  \"heal_window\": {},", params.heal_window);
+    let _ = writeln!(out, "  \"seed\": {},", params.seed);
+    out.push_str("  \"modes\": [\n");
+    for (mi, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"mode\": \"{}\",", mode_name(r.mode));
+        let _ = writeln!(
+            out,
+            "      \"baseline_goodput_per_window\": {:.2},",
+            r.baseline
+        );
+        let _ = writeln!(out, "      \"clean\": {},", r.clean);
+        let _ = writeln!(out, "      \"flagged\": {},", r.flagged);
+        let _ = writeln!(out, "      \"timeouts\": {},", r.timeouts);
+        let _ = writeln!(out, "      \"stale_reads\": {},", r.stale_reads);
+        let _ = writeln!(out, "      \"failovers\": {},", r.failovers);
+        let _ = writeln!(out, "      \"quorum_reads\": {},", r.quorum_reads);
+        let _ = writeln!(out, "      \"read_repairs\": {},", r.read_repairs);
+        let _ = writeln!(
+            out,
+            "      \"partition_suspects\": {},",
+            r.partition_suspects
+        );
+        let _ = writeln!(out, "      \"puts_applied\": {},", r.puts_applied);
+        out.push_str("      \"windows\": [\n");
+        for (i, w) in r.windows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"idx\": {}, \"start_ns\": {}, \"served\": {}, \"timeouts\": {}, \
+                 \"stale\": {}, \"stale_rate\": {:.4}}}",
+                i,
+                w.start_ns,
+                w.served,
+                w.timeouts,
+                w.stale,
+                w.stale_rate()
+            );
+            out.push_str(if i + 1 < r.windows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if mi + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs both read modes, prints the window series, writes artifacts.
+pub fn run(params: &PartitionParams) {
+    let mut results = Vec::new();
+    for mode in [ReadMode::Any, ReadMode::Quorum] {
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let tele = Telemetry::attach(&sim);
+        let r = run_partition(params, mode, &tele);
+        if mode == ReadMode::Quorum {
+            if let Err(e) = write_metrics_artifact("partition", &tele) {
+                eprintln!("  metrics artifact write failed: {e}");
+            }
+        }
+        results.push(r);
+    }
+
+    let phase = |i: usize| {
+        if i < params.partition_window {
+            "healthy"
+        } else if i < params.isolate_window {
+            "split-brain"
+        } else if i < params.heal_window {
+            "client w/ minority"
+        } else {
+            "healed"
+        }
+    };
+    let any = &results[0];
+    let quorum = &results[1];
+    let rows: Vec<Vec<String>> = any
+        .windows
+        .iter()
+        .zip(quorum.windows.iter())
+        .enumerate()
+        .map(|(i, (a, q))| {
+            vec![
+                i.to_string(),
+                phase(i).to_string(),
+                a.served.to_string(),
+                format!("{:.2}", a.stale_rate()),
+                q.served.to_string(),
+                format!("{:.2}", q.stale_rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Partition: {} nodes, R={}, victim {} split at window {}",
+            params.nodes, params.replication, params.victim, params.partition_window
+        ),
+        &[
+            "window",
+            "phase",
+            "any served",
+            "any stale",
+            "quorum served",
+            "quorum stale",
+        ],
+        &rows,
+    );
+    for r in &results {
+        println!(
+            "  {:>6}: baseline {}/window, clean {}, stale reads {}, timeouts {}, \
+             failovers {}, quorum reads {}, read repairs {}, partition suspects {}",
+            mode_name(r.mode),
+            f1(r.baseline),
+            r.clean,
+            r.stale_reads,
+            r.timeouts,
+            r.failovers,
+            r.quorum_reads,
+            r.read_repairs,
+            r.partition_suspects
+        );
+    }
+
+    match write_json_artifact("partition", &to_json(params, &results)) {
+        Ok(path) => println!("  artifact: {}", path.display()),
+        Err(e) => eprintln!("  artifact write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_mode(mode: ReadMode) -> PartitionResult {
+        let params = PartitionParams::quick();
+        let sim = Sim::new(MachineProfile::tiny_for_tests());
+        let tele = Telemetry::attach(&sim);
+        run_partition(&params, mode, &tele)
+    }
+
+    #[test]
+    fn any_mode_trades_staleness_for_availability() {
+        let r = run_mode(ReadMode::Any);
+        assert!(r.baseline > 0.0, "pre-partition traffic flows");
+        assert!(
+            r.stale_reads > 0,
+            "ReadMode::Any serves stale reads from the minority side"
+        );
+        assert!(r.failovers >= 1, "the client failed over toward the victim");
+        assert_eq!(r.quorum_reads, 0);
+        // Post-heal windows serve again.
+        let tail = &r.windows[r.windows.len() - 3..];
+        assert!(
+            tail.iter().any(|w| w.served > 0),
+            "goodput returns after heal"
+        );
+    }
+
+    #[test]
+    fn quorum_mode_never_serves_a_stale_read() {
+        let r = run_mode(ReadMode::Quorum);
+        assert!(r.baseline > 0.0, "pre-partition traffic flows");
+        assert_eq!(
+            r.stale_reads, 0,
+            "majority fan-out reads never return a stale version"
+        );
+        assert!(r.quorum_reads > 0, "GETs went through the quorum path");
+        // The isolated stretch is unavailable rather than inconsistent.
+        let params = PartitionParams::quick();
+        let iso = &r.windows[params.isolate_window + 2..params.heal_window];
+        let iso_timeouts: u64 = iso.iter().map(|w| w.timeouts).sum();
+        assert!(
+            iso_timeouts > 0,
+            "quorum reads time out while the majority is unreachable"
+        );
+        let tail = &r.windows[r.windows.len() - 3..];
+        assert!(
+            tail.iter().any(|w| w.served > 0),
+            "goodput returns after heal"
+        );
+    }
+
+    #[test]
+    fn artifact_json_is_valid_and_complete() {
+        let params = PartitionParams::quick();
+        let results: Vec<PartitionResult> = [ReadMode::Any, ReadMode::Quorum]
+            .into_iter()
+            .map(run_mode)
+            .collect();
+        let json = to_json(&params, &results);
+        let doc = cf_telemetry::json::parse(&json).expect("artifact parses");
+        for field in [
+            "experiment",
+            "partition_window",
+            "isolate_window",
+            "heal_window",
+            "modes",
+        ] {
+            assert!(doc.get(field).is_some(), "missing field {field}");
+        }
+        let modes = doc.get("modes").unwrap().as_arr().expect("modes array");
+        assert_eq!(modes.len(), 2);
+        for m in modes {
+            for field in [
+                "mode",
+                "stale_reads",
+                "quorum_reads",
+                "read_repairs",
+                "windows",
+            ] {
+                assert!(m.get(field).is_some(), "missing mode field {field}");
+            }
+            let windows = m.get("windows").unwrap().as_arr().expect("window series");
+            assert_eq!(windows.len(), params.total_windows);
+            for w in windows {
+                assert!(
+                    w.get("stale_rate").is_some(),
+                    "windows carry a stale-read rate"
+                );
+            }
+        }
+        let any = &modes[0];
+        let quorum = &modes[1];
+        assert_eq!(any.get("mode").unwrap().as_str().unwrap(), "any");
+        assert!(any.get("stale_reads").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(quorum.get("stale_reads").unwrap().as_u64().unwrap(), 0);
+    }
+}

@@ -20,7 +20,12 @@
 //! - [`ClusterClient`] — replica routing with per-node circuit
 //!   breakers; the inner client's retransmits double as the failover
 //!   trigger, and stable request ids make retried puts exactly-once
-//!   cluster-wide via each replica's dedup window.
+//!   cluster-wide via each replica's dedup window. Reads run under a
+//!   selectable [`ReadMode`]: any-replica (fast, no staleness bound) or
+//!   majority quorum with version-ordered read-repair.
+//! - [`ConsistencyHistory`] — a bounded recorder of client-observed
+//!   operations plus a checker for per-key read-your-writes and
+//!   monotonic reads, the oracle the split-brain tests assert against.
 //! - [`Cluster`] — the assembled harness: shared virtual clock, switch
 //!   fault primitives (`kill`, `partition`), and telemetry wiring.
 //!
@@ -32,11 +37,13 @@
 
 pub mod client;
 pub mod cluster;
+pub mod history;
 pub mod map;
 pub mod node;
 
-pub use client::ClusterClient;
+pub use client::{ClusterClient, ReadMode};
 pub use cluster::{Cluster, ClusterConfig};
+pub use history::{ConsistencyHistory, OpKind, OpRecord, Violation};
 pub use map::ClusterMap;
 pub use node::{ClusterNode, NodeConfig};
 

@@ -28,8 +28,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use cf_kv::client::{CLIENT_PORT, SERVER_PORT};
-use cf_kv::msg_type;
 use cf_kv::sharded::{shard_of_key, ShardedKvServer};
+use cf_kv::{flags, msg_type};
 use cf_net::{FrameMeta, Packet, PacketHeader, HEADER_BYTES};
 use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Telemetry};
 
@@ -104,6 +104,9 @@ struct PendingRepl {
     key: Vec<u8>,
     /// The put payload, byte-for-byte, for re-forwarding.
     payload: Vec<u8>,
+    /// Coordinator-assigned version of this put, carried on every
+    /// forwarded `REPL_PUT` header.
+    version: u64,
     /// Backup nodes that have not acked yet.
     awaiting: Vec<u8>,
     created_ns: u64,
@@ -140,8 +143,8 @@ pub struct ClusterNode {
     /// Health view, indexed by node id (`None` for self).
     peers: Vec<Option<PeerHealth>>,
     pending: HashMap<u32, PendingRepl>,
-    /// Replay log of applied puts: `(req_id, key, payload)`.
-    log: VecDeque<(u32, Vec<u8>, Vec<u8>)>,
+    /// Replay log of applied puts: `(req_id, key, payload, version)`.
+    log: VecDeque<(u32, Vec<u8>, Vec<u8>, u64)>,
     probe_seq: u32,
     cfg: NodeConfig,
     counters: NodeCounters,
@@ -296,10 +299,15 @@ impl ClusterNode {
         if let Some(p) = self.pending.get(&req_id) {
             // A client retransmit of a put still replicating: re-forward
             // to the stragglers instead of starting over.
-            let (key, payload, awaiting) = (p.key.clone(), p.payload.clone(), p.awaiting.clone());
+            let (key, payload, version, awaiting) = (
+                p.key.clone(),
+                p.payload.clone(),
+                p.version,
+                p.awaiting.clone(),
+            );
             let now = self.now();
             for node in awaiting {
-                self.send_repl_put(node, req_id, &key, &payload);
+                self.send_repl_put(node, req_id, &key, &payload, version);
             }
             if let Some(p) = self.pending.get_mut(&req_id) {
                 p.last_send_ns = now;
@@ -309,10 +317,41 @@ impl ClusterNode {
         let Some((key, val)) = self.server.shards_mut()[q].decode_put(&pkt.payload) else {
             return; // malformed put: drop, as the plain server would
         };
+        // A coordinator cut off from a majority of the key's replicas must
+        // not accept the write: quorum reads rely on every acked write
+        // overlapping every read majority, and an ack minted on a minority
+        // island is invisible to the other side's majorities. Refuse with
+        // SHED (before applying anything) so the client's failover
+        // machinery carries the same request id to the majority side.
+        let live = self
+            .map
+            .replicas_for(&key, self.r)
+            .into_iter()
+            .filter(|&n| self.peer_alive(n))
+            .count();
+        if live < self.r / 2 + 1 {
+            let hdr = pkt.hdr.reply(FrameMeta {
+                msg_type: msg_type::PUT | msg_type::RESPONSE,
+                flags: flags::SHED,
+                req_id,
+            });
+            let _ = self.server.shards_mut()[q].stack.send_fast_reject(hdr);
+            return;
+        }
         let payload = pkt.payload.as_slice().to_vec();
-        let flags = self.server.shards_mut()[q].apply_replicated_put(req_id, &key, &val);
+        // Coordinator-assigned version: one past the key's newest applied
+        // version. A retransmit of an already-applied put (dedup hit) must
+        // not mint a fresh version — it re-forwards under the version the
+        // key already has.
+        let shard = &mut self.server.shards_mut()[q];
+        let version = if shard.dedup_contains(req_id) {
+            shard.version_of(&key)
+        } else {
+            shard.version_of(&key) + 1
+        };
+        let flags = shard.apply_versioned_put(req_id, &key, &val, version);
         if flags == 0 {
-            self.log_apply(req_id, &key, &payload);
+            self.log_apply(req_id, &key, &payload, version);
         }
         let awaiting: Vec<u8> = self
             .map
@@ -328,7 +367,7 @@ impl ClusterNode {
         }
         let now = self.now();
         for &node in &awaiting {
-            self.send_repl_put(node, req_id, &key, &payload);
+            self.send_repl_put(node, req_id, &key, &payload, version);
         }
         self.pending.insert(
             req_id,
@@ -337,6 +376,7 @@ impl ClusterNode {
                 shard: q,
                 key,
                 payload,
+                version,
                 awaiting,
                 created_ns: now,
                 last_send_ns: now,
@@ -352,11 +392,15 @@ impl ClusterNode {
         let Some((key, val)) = self.server.shards_mut()[q].decode_put(&pkt.payload) else {
             return;
         };
-        let flags = self.server.shards_mut()[q].apply_replicated_put(req_id, &key, &val);
+        // The coordinator's version rides the REPL_PUT header; the
+        // versioned apply rejects anything at or below the stored version,
+        // so catch-up replays and read-repairs can never roll a key back.
+        let version = pkt.hdr.version;
+        let flags = self.server.shards_mut()[q].apply_versioned_put(req_id, &key, &val, version);
         self.counters.repl_applies.inc();
         if flags == 0 {
             let payload = pkt.payload.as_slice().to_vec();
-            self.log_apply(req_id, &key, &payload);
+            self.log_apply(req_id, &key, &payload, version);
         }
         let hdr = pkt.hdr.reply(FrameMeta {
             msg_type: msg_type::REPL_ACK,
@@ -396,7 +440,7 @@ impl ClusterNode {
         self.server.shards_mut()[p.shard].handle(p.pkt);
     }
 
-    fn send_repl_put(&mut self, node: u8, req_id: u32, key: &[u8], payload: &[u8]) {
+    fn send_repl_put(&mut self, node: u8, req_id: u32, key: &[u8], payload: &[u8], version: u64) {
         let q = shard_of_key(key, self.steer_ports.len());
         let hdr = PacketHeader {
             src_host: self.id,
@@ -410,6 +454,7 @@ impl ClusterNode {
                 flags: 0,
                 req_id,
             },
+            version,
             payload_len: 0,
         };
         let stack = &mut self.server.shards_mut()[q].stack;
@@ -424,8 +469,9 @@ impl ClusterNode {
         }
     }
 
-    fn log_apply(&mut self, req_id: u32, key: &[u8], payload: &[u8]) {
-        self.log.push_back((req_id, key.to_vec(), payload.to_vec()));
+    fn log_apply(&mut self, req_id: u32, key: &[u8], payload: &[u8], version: u64) {
+        self.log
+            .push_back((req_id, key.to_vec(), payload.to_vec(), version));
         while self.log.len() > self.cfg.log_capacity {
             self.log.pop_front();
         }
@@ -468,6 +514,7 @@ impl ClusterNode {
                         flags: 0,
                         req_id: seq,
                     },
+                    version: 0,
                     payload_len: 0,
                 };
                 let sent = self.server.shards_mut()[0]
@@ -503,14 +550,14 @@ impl ClusterNode {
     /// `node` as a `REPL_PUT`. Dedup on the receiver makes overlapping
     /// replays from several surviving nodes idempotent.
     fn catch_up(&mut self, node: u8) {
-        let entries: Vec<(u32, Vec<u8>, Vec<u8>)> = self
+        let entries: Vec<(u32, Vec<u8>, Vec<u8>, u64)> = self
             .log
             .iter()
-            .filter(|(_, key, _)| self.map.replicas_for(key, self.r).contains(&node))
+            .filter(|(_, key, _, _)| self.map.replicas_for(key, self.r).contains(&node))
             .cloned()
             .collect();
-        for (req_id, key, payload) in entries {
-            self.send_repl_put(node, req_id, &key, &payload);
+        for (req_id, key, payload, version) in entries {
+            self.send_repl_put(node, req_id, &key, &payload, version);
             self.counters.catchup_replays.inc();
             self.flight
                 .record(req_id, self.now(), FlightEvent::CatchupReplay { node });
@@ -552,10 +599,14 @@ impl ClusterNode {
                 continue;
             }
             if now.saturating_sub(p.last_send_ns) > self.cfg.repl_resend_ns {
-                let (key, payload, awaiting) =
-                    (p.key.clone(), p.payload.clone(), p.awaiting.clone());
+                let (key, payload, version, awaiting) = (
+                    p.key.clone(),
+                    p.payload.clone(),
+                    p.version,
+                    p.awaiting.clone(),
+                );
                 for node in awaiting {
-                    self.send_repl_put(node, req_id, &key, &payload);
+                    self.send_repl_put(node, req_id, &key, &payload, version);
                 }
                 if let Some(p) = self.pending.get_mut(&req_id) {
                     p.last_send_ns = now;

@@ -11,7 +11,7 @@
 //! gives up after a bounded number of retries, reporting the id as a typed
 //! timeout. Duplicate or late responses are filtered out and counted.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cf_mem::PoolConfig;
 use cf_net::{FrameMeta, NetError, UdpStack, HEADER_BYTES};
@@ -50,6 +50,11 @@ pub struct Response {
     pub flags: u8,
     /// Value buffers, in order.
     pub vals: Vec<Vec<u8>>,
+    /// Per-key value version from the frame header (0 = unversioned;
+    /// cluster replies carry the coordinator-assigned version).
+    pub version: u64,
+    /// Source host id of the reply (0 on point-to-point links).
+    pub from_host: u8,
     /// Total payload bytes on the wire (for Gbps accounting).
     pub payload_bytes: usize,
 }
@@ -169,6 +174,15 @@ pub struct KvClient {
     jitter_rng: Option<SplitMix64>,
     protection: Option<Protection>,
     pending: HashMap<u32, PendingReq>,
+    /// Request ids fanned out to several hosts under one id (quorum
+    /// reads). While marked, every reply is delivered (never counted
+    /// stale) and the pending entry survives each reply so the retransmit
+    /// timer keeps running until the caller settles the read.
+    fanout: HashSet<u32>,
+    /// Source hosts of stale (no-longer-pending) responses since the last
+    /// [`KvClient::drain_stale_sources`] — the raw signal a routing layer
+    /// uses to tell a partitioned-but-alive peer from a dead one.
+    stale_sources: Vec<u8>,
     /// Per-shard source ports: entry `q` is a source port whose flow to
     /// [`SERVER_PORT`] RSS-steers to queue `q`. Empty = steering disabled.
     steer_ports: Vec<u16>,
@@ -205,6 +219,8 @@ impl KvClient {
             jitter_rng: None,
             protection: None,
             pending: HashMap::new(),
+            fanout: HashSet::new(),
+            stale_sources: Vec::new(),
             steer_ports: Vec::new(),
             counters: ClientCounters::default(),
             flight: FlightRecorder::disabled(),
@@ -305,6 +321,71 @@ impl KvClient {
     /// id is actually allocated by the send.
     pub fn next_req_id(&self) -> u32 {
         self.next_id
+    }
+
+    /// Marks `id` as fanned out to several hosts under one request id (a
+    /// quorum read): while marked, replies for `id` are always delivered
+    /// — never counted stale — and the pending entry survives each reply,
+    /// so the retransmit timer keeps running until the caller settles the
+    /// read. The caller MUST end the fan-out with
+    /// [`KvClient::finish_request`] on conclusion or
+    /// [`KvClient::cancel_fanout`] after a timeout.
+    pub fn begin_fanout(&mut self, id: u32) {
+        self.fanout.insert(id);
+    }
+
+    /// Ends a fan-out without touching the pending entry (the timeout
+    /// path of [`KvClient::poll_timers`] already removed it). Late
+    /// replies go back to being counted stale.
+    pub fn cancel_fanout(&mut self, id: u32) {
+        self.fanout.remove(&id);
+    }
+
+    /// Concludes a fanned-out request: drops its pending entry and
+    /// fan-out mark. Replies still in flight are absorbed as stale.
+    pub fn finish_request(&mut self, id: u32) {
+        self.pending.remove(&id);
+        self.fanout.remove(&id);
+    }
+
+    /// Re-transmits a pending request immediately toward the stack's
+    /// current peer host, without waiting for its backoff deadline — how
+    /// a quorum read chases an unheard replica the moment a partition is
+    /// suspected. The deadline and retry count are untouched.
+    pub fn resend_now(&mut self, id: u32) {
+        let Some(p) = self.pending.get(&id) else {
+            return;
+        };
+        let meta = FrameMeta {
+            msg_type: p.mtype,
+            flags: 0,
+            req_id: id,
+        };
+        let index = p.index;
+        let keys: Vec<Vec<u8>> = p.keys.clone();
+        let vals: Vec<Vec<u8>> = p.vals.clone();
+        let key_refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let val_refs: Vec<&[u8]> = vals.iter().map(Vec::as_slice).collect();
+        let _ = self.transmit(meta, index, &key_refs, &val_refs);
+    }
+
+    /// Fire-and-forget read-repair: pushes `(key, val)` at `version` to
+    /// the stack's current peer host as a [`msg_type::REPL_PUT`] under a
+    /// fresh, untracked request id — no pending entry, no retries; the
+    /// receiving replica's versioned apply ignores it if it lost the race
+    /// to a newer write, and its `REPL_ACK` is absorbed silently by
+    /// [`KvClient::recv_response`]. Returns the request id used.
+    pub fn send_repair_put(&mut self, key: &[u8], val: &[u8], version: u64) -> u32 {
+        let meta = self.meta(msg_type::REPL_PUT);
+        let _ = self.transmit_versioned(meta, None, &[key], &[val], version);
+        meta.req_id
+    }
+
+    /// Source hosts of stale responses observed since the last call — the
+    /// raw signal for telling a partitioned-but-alive peer (still
+    /// emitting late replies) from a dead one (silent).
+    pub fn drain_stale_sources(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.stale_sources)
     }
 
     /// Retransmissions so far (counts even without telemetry attached).
@@ -495,7 +576,19 @@ impl KvClient {
         keys: &[&[u8]],
         vals: &[&[u8]],
     ) -> Result<(), NetError> {
+        self.transmit_versioned(meta, index, keys, vals, 0)
+    }
+
+    fn transmit_versioned(
+        &mut self,
+        meta: FrameMeta,
+        index: Option<u32>,
+        keys: &[&[u8]],
+        vals: &[&[u8]],
+        version: u64,
+    ) -> Result<(), NetError> {
         let mut hdr = self.stack.header_to(SERVER_PORT, meta);
+        hdr.version = version;
         if !self.steer_ports.is_empty() {
             if let Some(key) = keys.first() {
                 let shard = shard_of_key(key, self.steer_ports.len());
@@ -582,8 +675,18 @@ impl KvClient {
     pub fn recv_response(&mut self) -> Option<Response> {
         loop {
             let pkt = self.stack.recv_packet()?;
-            if self.retry.is_some() && self.pending.remove(&pkt.hdr.meta.req_id).is_none() {
+            if pkt.hdr.meta.msg_type == msg_type::REPL_ACK {
+                // Ack for a fire-and-forget read-repair REPL_PUT; nothing
+                // pends on it and there is no payload to decode.
+                continue;
+            }
+            let fanned = self.fanout.contains(&pkt.hdr.meta.req_id);
+            if self.retry.is_some()
+                && !fanned
+                && self.pending.remove(&pkt.hdr.meta.req_id).is_none()
+            {
                 self.counters.stale_responses.inc();
+                self.stale_sources.push(pkt.hdr.src_host);
                 self.flight.record(
                     pkt.hdr.meta.req_id,
                     self.stack.sim().now(),
@@ -613,6 +716,8 @@ impl KvClient {
                     id: Some(pkt.hdr.meta.req_id),
                     flags,
                     vals: Vec::new(),
+                    version: pkt.hdr.version,
+                    from_host: pkt.hdr.src_host,
                     payload_bytes,
                 });
             }
@@ -635,6 +740,8 @@ impl KvClient {
                         id: m.id.map(|i| i as u32),
                         flags,
                         vals: m.vals.iter().map(|v| v.as_slice().to_vec()).collect(),
+                        version: pkt.hdr.version,
+                        from_host: pkt.hdr.src_host,
                         payload_bytes,
                     }
                 }
@@ -644,6 +751,8 @@ impl KvClient {
                         id: m.id,
                         flags,
                         vals: m.vals,
+                        version: pkt.hdr.version,
+                        from_host: pkt.hdr.src_host,
                         payload_bytes,
                     }
                 }
@@ -658,6 +767,8 @@ impl KvClient {
                         id: v.id().ok()?,
                         flags,
                         vals,
+                        version: pkt.hdr.version,
+                        from_host: pkt.hdr.src_host,
                         payload_bytes,
                     }
                 }
@@ -667,6 +778,8 @@ impl KvClient {
                         id: r.id().ok()?,
                         flags,
                         vals: r.vals(&sim).ok()?.iter().map(|b| b.to_vec()).collect(),
+                        version: pkt.hdr.version,
+                        from_host: pkt.hdr.src_host,
                         payload_bytes,
                     }
                 }

@@ -2,7 +2,7 @@
 //! (paper §6.1.3: each baseline gets the network API that minimizes its
 //! copies).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use cf_net::{FrameMeta, Packet, UdpStack, HEADER_BYTES};
 use cf_sim::cost::Category;
@@ -163,6 +163,11 @@ pub struct KvServer {
     pub raw_zero_copy: bool,
     counters: KvCounters,
     dedup: DedupWindow,
+    /// Per-key value versions. Populated only by the cluster layer's
+    /// versioned apply path; single-node servers leave it empty, so every
+    /// reply carries version 0 and the wire stays byte-identical to the
+    /// pre-versioning format.
+    versions: HashMap<Vec<u8>, u64>,
     admission: Option<AdmissionState>,
     flight: FlightRecorder,
 }
@@ -179,6 +184,7 @@ impl KvServer {
             raw_zero_copy: false,
             counters: KvCounters::default(),
             dedup: DedupWindow::new(DEFAULT_DEDUP_CAPACITY),
+            versions: HashMap::new(),
             admission: None,
             flight: FlightRecorder::disabled(),
         }
@@ -644,6 +650,36 @@ impl KvServer {
         self.dedup.contains(req_id)
     }
 
+    /// The version the cluster layer last applied for `key` (0 = never
+    /// versioned). Stamped onto GET replies and PUT acks so clients can
+    /// order values observed across replicas.
+    pub fn version_of(&self, key: &[u8]) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
+
+    /// Applies a versioned put on behalf of the replication layer. The
+    /// dedup window is consulted first (a replayed request id never
+    /// re-applies, same as [`KvServer::apply_replicated_put`]); then
+    /// versions are compared — an incoming version at or below the stored
+    /// one is stale (a catch-up replay or read-repair racing a newer
+    /// write) and is acknowledged without clobbering the newer value.
+    /// The version table is updated only when the store actually applied
+    /// the bytes, so a degraded apply can be retried and an old frame can
+    /// never advance the version past the stored value.
+    pub fn apply_versioned_put(&mut self, req_id: u32, key: &[u8], val: &[u8], version: u64) -> u8 {
+        if self.dedup.contains(req_id) {
+            return self.apply_put(req_id, key, val); // counts the dedup hit
+        }
+        if version != 0 && version <= self.version_of(key) {
+            return 0; // stale: an equal-or-newer version already applied
+        }
+        let f = self.apply_put(req_id, key, val);
+        if f & flags::DEGRADED == 0 && version != 0 {
+            self.versions.insert(key.to_vec(), version);
+        }
+        f
+    }
+
     // ---- Cornflakes ----------------------------------------------------
 
     fn handle_cornflakes(&mut self, pkt: Packet) {
@@ -671,6 +707,7 @@ impl KvServer {
                 }
                 msg_type::GET_SEGMENT => {
                     let Some(key) = req.keys.get(0) else { return };
+                    hdr.version = self.version_of(key.as_slice());
                     let seg = req.id.unwrap_or(0) as usize;
                     if let Some(value) = self.store.get(key.as_slice()) {
                         if let Some(buf) = value.segments.get(seg) {
@@ -685,6 +722,9 @@ impl KvServer {
                     // requested key, in order (paper Listing 4).
                     resp.init_vals(req.keys.len());
                     for key in req.keys.iter() {
+                        if hdr.version == 0 {
+                            hdr.version = self.version_of(key.as_slice());
+                        }
                         if let Some(value) = self.store.get(key.as_slice()) {
                             for buf in &value.segments {
                                 let field = if self.raw_zero_copy {
@@ -703,6 +743,7 @@ impl KvServer {
         }
         if let Some((key, val)) = pending_put {
             hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
+            hdr.version = self.version_of(&key);
         }
         self.counters
             .zero_copy_entries
@@ -736,9 +777,11 @@ impl KvServer {
                     return;
                 };
                 hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, key, val);
+                hdr.version = self.version_of(key);
             }
             msg_type::GET_SEGMENT => {
                 if let Some(key) = req.keys.first() {
+                    hdr.version = self.version_of(key);
                     let seg = req.id.unwrap_or(0) as usize;
                     if let Some(value) = self.store.get(key) {
                         if let Some(buf) = value.segments.get(seg) {
@@ -749,6 +792,9 @@ impl KvServer {
             }
             _ => {
                 for key in &req.keys {
+                    if hdr.version == 0 {
+                        hdr.version = self.version_of(key);
+                    }
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             resp.add_val(&sim, buf.as_slice());
@@ -787,9 +833,11 @@ impl KvServer {
                 };
                 let (key, val) = (key.to_vec(), val.to_vec());
                 hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
+                hdr.version = self.version_of(&key);
             }
             msg_type::GET_SEGMENT => {
                 if let Ok(key) = req.key(0) {
+                    hdr.version = self.version_of(key);
                     let seg = req.id().ok().flatten().unwrap_or(0) as usize;
                     if let Some(value) = self.store.get(key) {
                         if let Some(buf) = value.segments.get(seg) {
@@ -801,6 +849,9 @@ impl KvServer {
             _ => {
                 for i in 0..nkeys {
                     let Ok(key) = req.key(i) else { continue };
+                    if hdr.version == 0 {
+                        hdr.version = self.version_of(key);
+                    }
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             vals.push(buf.as_slice());
@@ -848,9 +899,11 @@ impl KvServer {
                 };
                 let (key, val) = (key.to_vec(), val.to_vec());
                 hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
+                hdr.version = self.version_of(&key);
             }
             msg_type::GET_SEGMENT => {
                 if let Some(key) = keys.first() {
+                    hdr.version = self.version_of(key);
                     let seg = req.id().ok().flatten().unwrap_or(0) as usize;
                     if let Some(value) = self.store.get(key) {
                         if let Some(buf) = value.segments.get(seg) {
@@ -861,6 +914,9 @@ impl KvServer {
             }
             _ => {
                 for key in &keys {
+                    if hdr.version == 0 {
+                        hdr.version = self.version_of(key);
+                    }
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             resp.add_val(&sim, buf.as_slice());

@@ -31,6 +31,11 @@ const OFF_DST_HOST: usize = 5;
 /// Byte offset of the source host id (last byte of the stand-in source
 /// MAC).
 const OFF_SRC_HOST: usize = 11;
+/// Byte offset of the per-key value version (8 bytes, little-endian),
+/// carved out of the otherwise-zero L3 stub. Version 0 means "unversioned"
+/// and encodes as all zeros, so single-host traffic — and every golden
+/// fixture predating versioning — stays byte-identical.
+const OFF_VERSION: usize = 24;
 /// Byte offset of the UDP source port within the header.
 const OFF_SRC_PORT: usize = 34;
 /// Byte offset of the UDP destination port.
@@ -68,6 +73,10 @@ pub struct PacketHeader {
     pub dst_port: u16,
     /// Application metadata.
     pub meta: FrameMeta,
+    /// Per-key value version carried on cluster GET replies, PUT acks, and
+    /// `REPL_PUT` frames. 0 (the default) means unversioned and encodes as
+    /// zero bytes, leaving pre-versioning wire traffic unchanged.
+    pub version: u64,
     /// Payload length in bytes.
     pub payload_len: u32,
 }
@@ -83,6 +92,7 @@ impl PacketHeader {
         out[..HEADER_BYTES].fill(0);
         out[OFF_DST_HOST] = self.dst_host;
         out[OFF_SRC_HOST] = self.src_host;
+        out[OFF_VERSION..OFF_VERSION + 8].copy_from_slice(&self.version.to_le_bytes());
         out[OFF_SRC_PORT..OFF_SRC_PORT + 2].copy_from_slice(&self.src_port.to_be_bytes());
         out[OFF_DST_PORT..OFF_DST_PORT + 2].copy_from_slice(&self.dst_port.to_be_bytes());
         let udp_len = (self.payload_len + 8 + 6) as u16;
@@ -114,6 +124,11 @@ impl PacketHeader {
             src_port,
             dst_port,
             meta,
+            version: u64::from_le_bytes(
+                frame[OFF_VERSION..OFF_VERSION + 8]
+                    .try_into()
+                    .expect("8-byte slice"),
+            ),
             payload_len: (frame.len() - HEADER_BYTES) as u32,
         })
     }
@@ -139,6 +154,7 @@ impl PacketHeader {
             src_port: self.dst_port,
             dst_port: self.src_port,
             meta,
+            version: 0,
             payload_len: 0,
         }
     }
@@ -160,6 +176,7 @@ mod tests {
                 flags: 0x80,
                 req_id: 0xDEADBEEF,
             },
+            version: 0x0123_4567_89AB_CDEF,
             payload_len: 0,
         };
         let mut frame = vec![0u8; HEADER_BYTES + 100];
@@ -169,6 +186,7 @@ mod tests {
         assert_eq!(d.dst_port, 53);
         assert_eq!((d.src_host, d.dst_host), (3, 7));
         assert_eq!(d.meta, h.meta);
+        assert_eq!(d.version, 0x0123_4567_89AB_CDEF);
         assert_eq!(d.payload_len, 100);
         assert_eq!(PacketHeader::frame_dst_host(&frame), 7);
         assert_eq!(PacketHeader::frame_src_host(&frame), 3);
@@ -232,6 +250,7 @@ mod tests {
             src_port: 1111,
             dst_port: 2222,
             meta: FrameMeta::default(),
+            version: 17,
             payload_len: 5,
         };
         let r = h.reply(FrameMeta {
@@ -243,5 +262,29 @@ mod tests {
         assert_eq!(r.dst_port, 1111);
         assert_eq!((r.src_host, r.dst_host), (9, 4));
         assert_eq!(r.meta.req_id, 42);
+        assert_eq!(r.version, 0, "replies start unversioned");
+    }
+
+    #[test]
+    fn zero_version_keeps_l3_stub_all_zero() {
+        // The version field lives in the L2/L3 stub; the golden fixtures'
+        // byte-identity guarantee requires version 0 to encode as silence.
+        let h = PacketHeader {
+            src_port: 4000,
+            dst_port: 9000,
+            meta: FrameMeta {
+                msg_type: 1,
+                flags: 0,
+                req_id: 42,
+            },
+            ..PacketHeader::default()
+        };
+        let mut frame = vec![0u8; HEADER_BYTES];
+        h.encode(&mut frame);
+        assert!(frame[..34].iter().all(|&b| b == 0));
+        let versioned = PacketHeader { version: 3, ..h };
+        versioned.encode(&mut frame);
+        assert_eq!(frame[OFF_VERSION], 3);
+        assert_eq!(PacketHeader::decode(&frame).unwrap().version, 3);
     }
 }

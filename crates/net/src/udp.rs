@@ -775,6 +775,7 @@ impl UdpStack {
             src_port: self.local_port,
             dst_port,
             meta,
+            version: 0,
             payload_len: 0,
         }
     }

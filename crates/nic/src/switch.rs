@@ -298,6 +298,70 @@ mod tests {
     }
 
     #[test]
+    fn double_partition_is_idempotent() {
+        let mut sw = SimSwitch::new();
+        let (a, pa) = sw.attach();
+        let (b, pb) = sw.attach();
+        sw.partition(a, b);
+        sw.partition(b, a); // same pair, either order: no second entry
+        assert!(sw.partitioned(a, b));
+
+        // One heal fully restores the pair — a duplicate entry would
+        // leave the link black-holed after the first heal.
+        sw.heal(a, b);
+        assert!(!sw.partitioned(a, b));
+        pa.send(frame_to(1, 7));
+        sw.pump();
+        assert_eq!(pb.recv().unwrap().data[47], 7);
+    }
+
+    #[test]
+    fn heal_of_absent_pair_is_a_no_op() {
+        let mut sw = SimSwitch::new();
+        let (a, pa) = sw.attach();
+        let (b, pb) = sw.attach();
+        let (_c, _pc) = sw.attach();
+        sw.partition(a, b);
+        sw.heal(0, 2); // never partitioned: nothing to remove
+        sw.heal(5, 6); // hosts that don't even exist
+        assert!(sw.partitioned(a, b), "unrelated heals leave the cut alone");
+
+        pa.send(frame_to(1, 1));
+        sw.pump();
+        assert!(pb.recv().is_none());
+        assert_eq!(sw.stats().dropped_partitioned, 1);
+    }
+
+    #[test]
+    fn dropped_partitioned_counts_each_blocked_frame_exactly_once() {
+        let mut sw = SimSwitch::new();
+        let (a, pa) = sw.attach();
+        let (b, pb) = sw.attach();
+        let (_c, pc) = sw.attach();
+        sw.partition(a, b);
+        sw.partition(a, b); // idempotent: must not double-count drops
+
+        pa.send(frame_to(1, 1)); // blocked
+        pa.send(frame_to(1, 2)); // blocked
+        pb.send(frame_to(0, 3)); // blocked (reverse direction)
+        pa.send(frame_to(2, 4)); // delivered: c is not in the cut
+        sw.pump();
+        assert_eq!(sw.stats().dropped_partitioned, 3);
+        assert_eq!(sw.stats().forwarded, 1);
+        assert_eq!(pc.recv().unwrap().data[47], 4);
+
+        sw.heal(a, b);
+        pa.send(frame_to(1, 5));
+        sw.pump();
+        assert_eq!(
+            sw.stats().dropped_partitioned,
+            3,
+            "healed traffic no longer counts as partitioned"
+        );
+        assert_eq!(pb.recv().unwrap().data[47], 5);
+    }
+
+    #[test]
     fn runt_frames_route_to_host_zero() {
         let mut sw = SimSwitch::new();
         let (_a, pa) = sw.attach();

@@ -35,11 +35,17 @@ cargo test -q -p cf-bench --lib experiments::tail_anatomy
 echo "==> failover smoke: cluster goodput recovers before the killed node rejoins"
 cargo test -q -p cf-bench --lib experiments::failover
 
+echo "==> partition smoke: stale reads under Any, none under Quorum"
+cargo test -q -p cf-bench --lib experiments::partition
+cargo test -q --test cluster_consistency
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full: cargo test --workspace -q"
     cargo test --workspace -q
-    echo "==> full: cluster chaos soak"
+    echo "==> full: cluster chaos soak (both read modes)"
     CF_CHAOS_CASES=64 cargo test -q --test cluster_chaos
+    echo "==> full: split-brain consistency soak"
+    CF_CHAOS_CASES=64 cargo test -q --test cluster_consistency
 fi
 
 echo "All checks passed."

@@ -21,9 +21,8 @@
 use proptest::prelude::*;
 
 use cornflakes::chaos_repro;
-use cornflakes::cluster::{Cluster, ClusterClient, ClusterConfig};
+use cornflakes::cluster::{Cluster, ClusterClient, ClusterConfig, ReadMode};
 use cornflakes::kv::client::RetryConfig;
-use cornflakes::kv::flags;
 use cornflakes::mem::PoolConfig;
 use cornflakes::nic::FaultPlan;
 use cornflakes::sim::{MachineProfile, Sim};
@@ -125,12 +124,21 @@ proptest! {
             ("ops", ops.iter().map(|&p| if p { 'P' } else { 'G' }).collect()),
         ];
         let flight_for_guard = flight.clone();
+        // Same seeds, both read modes: every invariant below is
+        // consistency-policy-agnostic and must hold for each.
         chaos_repro::guard(
             "cluster_chaos::replicated_cluster_survives_node_kill_mid_workload",
             seed,
             &params,
             &flight_for_guard,
-            move || run_case(seed, drop_bp, dup_bp, delay_bp, victim, kill_after, revive, &ops, flight),
+            move || {
+                for mode in [ReadMode::Any, ReadMode::Quorum] {
+                    run_case(
+                        seed, mode, drop_bp, dup_bp, delay_bp, victim, kill_after, revive, &ops,
+                        flight.clone(),
+                    );
+                }
+            },
         );
     }
 }
@@ -138,6 +146,7 @@ proptest! {
 #[allow(clippy::too_many_arguments)]
 fn run_case(
     seed: u64,
+    mode: ReadMode,
     drop_bp: u32,
     dup_bp: u32,
     delay_bp: u32,
@@ -152,6 +161,7 @@ fn run_case(
     let mut client = cluster.client();
     client.set_flight_recorder(&flight);
     client.enable_retries_seeded(seed, retry_cfg());
+    client.set_read_mode(mode);
 
     // Preload every key on all its replicas; track every byte pattern a
     // key could legitimately hold (the candidate set only grows — a
@@ -226,10 +236,14 @@ fn run_case(
             match drive(&mut cluster, &mut client, id) {
                 Outcome::Answered { flags: f, .. } => {
                     answered += 1;
-                    if f & flags::DEGRADED == 0 {
+                    // SHED = a minority-islanded coordinator refused the
+                    // put before applying; DEGRADED = applied somewhere
+                    // but not everywhere. Neither is a clean ack.
+                    if f == 0 {
                         clean_put_acks += 1;
                     }
-                    // Even a degraded ack may have applied on some replica.
+                    // Even a refused/degraded put may have applied on some
+                    // replica along a rotated path.
                     candidates[key_id].push(val);
                 }
                 Outcome::TimedOut => {
@@ -243,7 +257,7 @@ fn run_case(
             match drive(&mut cluster, &mut client, id) {
                 Outcome::Answered { flags: f, vals } => {
                     answered += 1;
-                    if f & flags::DEGRADED == 0 {
+                    if f == 0 {
                         prop_assert_eq!(vals.len(), 1, "one value per get");
                         prop_assert!(
                             candidates[key_id].contains(&vals[0]),
@@ -330,9 +344,21 @@ fn run_case(
 /// client's failover machinery has rotated off the dead node.
 #[test]
 fn cluster_keeps_serving_while_a_node_is_down() {
+    keeps_serving_while_a_node_is_down(ReadMode::Any);
+}
+
+/// Quorum reads survive the same kill: two of three replicas are a
+/// majority, so availability is unchanged under the stronger mode.
+#[test]
+fn cluster_keeps_serving_at_quorum_while_a_node_is_down() {
+    keeps_serving_while_a_node_is_down(ReadMode::Quorum);
+}
+
+fn keeps_serving_while_a_node_is_down(mode: ReadMode) {
     let mut cluster = build_cluster();
     let mut client = cluster.client();
     client.enable_retries_seeded(23, retry_cfg());
+    client.set_read_mode(mode);
 
     let keys: Vec<Vec<u8>> = (0..NUM_KEYS).map(|i| key_string(i).into_bytes()).collect();
     for key in &keys {

@@ -33,6 +33,8 @@ use cornflakes::nic::{fcs_ok, link, Frame, Port, FCS_OFFSET};
 use cornflakes::sim::{MachineProfile, Sim};
 
 /// Frame-header offsets pinned by the fixtures (see `cf-net`).
+const OFF_VERSION: usize = 24;
+const OFF_MSG_TYPE: usize = 42;
 const OFF_FLAGS: usize = 43;
 
 fn golden_dir() -> PathBuf {
@@ -244,6 +246,58 @@ fn shed_fast_reject_matches_fixture() {
     let resp = client.recv_response().expect("shed reply decodes");
     assert_eq!(resp.flags, flags::SHED);
     assert!(resp.vals.is_empty(), "fast reject carries no payload");
+}
+
+#[test]
+fn versioned_cluster_frames_match_fixtures() {
+    // The cluster layer's versioned values ride the previously-reserved
+    // header bytes at OFF_VERSION. Two fixtures pin that wire contract:
+    // a GET reply for a key with a cluster-assigned version, and the
+    // read-repair REPL_PUT a quorum-mode client pushes at a stale
+    // replica.
+    let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
+    let applied = server.apply_versioned_put(99, b"key-a", &[0x7A; 64], 3);
+    assert_eq!(applied, 0, "versioned apply succeeds");
+
+    client.send_get(&[b"key-a"]);
+    let req = sp_tap.recv().expect("get request");
+    cp_tap.send(req);
+    server.poll();
+    let bytes = capture("udp_versioned_get_reply.bin", &cp_tap, &sp_tap);
+    assert_eq!(bytes[OFF_VERSION], 3, "reply carries the key's version");
+    let resp = client.recv_response().expect("versioned reply decodes");
+    assert_eq!(resp.version, 3);
+    assert_eq!(resp.vals, vec![vec![0x7A; 64]]);
+
+    // The read-repair frame: an ordinary PUT payload under REPL_PUT with
+    // the repairing version in the header and a fresh, untracked req id.
+    client.send_repair_put(b"key-a", &[0x7A; 64], 3);
+    let frame = sp_tap.recv().expect("read-repair frame on the wire");
+    check_golden("udp_read_repair_repl_put.bin", &frame.data);
+    assert_eq!(frame.data[OFF_MSG_TYPE], 5, "msg_type REPL_PUT");
+    assert_eq!(frame.data[OFF_VERSION], 3, "repair carries the version");
+}
+
+#[test]
+fn versioning_is_invisible_on_the_single_node_wire() {
+    // Differential guard for the version field: a server that never went
+    // through the cluster's versioned apply path (version 0 everywhere)
+    // must emit frames byte-identical to the pre-versioning fixtures —
+    // the same `udp_get_request.bin`/`udp_get_response.bin` pinned by
+    // `udp_cornflakes_frames_match_fixtures` — with the version bytes
+    // all zero. ReadMode::Any single-node traffic is exactly this path.
+    let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
+    server
+        .store
+        .preload(server.stack.ctx(), b"key-a", &[256])
+        .unwrap();
+    client.send_get(&[b"key-a"]);
+    let req = capture("udp_get_request.bin", &sp_tap, &cp_tap);
+    assert_eq!(&req[OFF_VERSION..OFF_VERSION + 8], &[0u8; 8]);
+    server.poll();
+    let reply = capture("udp_get_response.bin", &cp_tap, &sp_tap);
+    assert_eq!(&reply[OFF_VERSION..OFF_VERSION + 8], &[0u8; 8]);
+    client.recv_response().expect("reply decodes");
 }
 
 #[test]

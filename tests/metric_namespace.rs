@@ -217,6 +217,20 @@ fn every_registered_metric_is_documented_and_well_formed() {
         "metrics registered but absent from DESIGN.md's metric-namespace table:\n  {}",
         missing.join("\n  ")
     );
+
+    // The quorum-read path's counters are part of the registry contract:
+    // attaching a cluster client must surface all of them.
+    for required in [
+        "cluster.client.failovers",
+        "cluster.client.quorum_reads",
+        "cluster.client.read_repairs",
+        "cluster.client.partition_suspects",
+    ] {
+        assert!(
+            registered.contains(required),
+            "{required} not registered by ClusterClient::set_telemetry"
+        );
+    }
 }
 
 #[test]
@@ -239,5 +253,13 @@ fn normalization_maps_scopes_onto_table_placeholders() {
     assert_eq!(
         normalize("cluster.client.failovers"),
         "cluster.client.failovers"
+    );
+    assert_eq!(
+        normalize("cluster.client.quorum_reads"),
+        "cluster.client.quorum_reads"
+    );
+    assert_eq!(
+        normalize("cluster.client.partition_suspects"),
+        "cluster.client.partition_suspects"
     );
 }
