@@ -93,7 +93,12 @@ struct QuorumRead {
     replicas: Vec<u8>,
     /// Replica hosts a copy of the request was sent to.
     targeted: Vec<u8>,
-    /// Distinct replies collected so far.
+    /// Hosts whose reply already fed their breaker (clean or SHED):
+    /// each replica takes at most one breaker outcome per read, so the
+    /// timeout sweep skips these instead of double-counting a SHED
+    /// replier as a second failure.
+    responded: Vec<u8>,
+    /// Distinct clean replies collected so far.
     heard: Vec<(u8, Response)>,
 }
 
@@ -324,6 +329,7 @@ impl ClusterClient {
             need,
             replicas,
             targeted: targets,
+            responded: Vec::with_capacity(need),
             heard: Vec::with_capacity(need),
         });
         id
@@ -394,9 +400,11 @@ impl ClusterClient {
             if timed_out.contains(&q.id) {
                 // The read is concluding as a timeout: every targeted
                 // replica that never answered takes a breaker failure.
+                // A replica that answered — even with SHED — already fed
+                // its breaker at reply time and is skipped here.
                 self.kv.cancel_fanout(q.id);
                 for &t in &q.targeted {
-                    if !q.heard.iter().any(|(h, _)| *h == t) {
+                    if !q.responded.contains(&t) {
                         self.breakers[t as usize].on_failure(now, q.id);
                     }
                 }
@@ -468,15 +476,24 @@ impl ClusterClient {
                 if resp.id == Some(q.id) {
                     let h = resp.from_host;
                     self.note_suspect_host(h);
+                    // One breaker outcome per replica per read: duplicate
+                    // frames and the timeout sweep must not stack onto it.
+                    let first_outcome = !q.responded.contains(&h);
                     if resp.flags & flags::SHED != 0 {
-                        if let Some(b) = self.breakers.get_mut(h as usize) {
-                            b.on_failure(now, q.id);
+                        if first_outcome {
+                            q.responded.push(h);
+                            if let Some(b) = self.breakers.get_mut(h as usize) {
+                                b.on_failure(now, q.id);
+                            }
                         }
                         self.quorum = Some(q);
                         continue;
                     }
-                    if let Some(b) = self.breakers.get_mut(h as usize) {
-                        b.on_success(now, q.id);
+                    if first_outcome {
+                        q.responded.push(h);
+                        if let Some(b) = self.breakers.get_mut(h as usize) {
+                            b.on_success(now, q.id);
+                        }
                     }
                     if !q.heard.iter().any(|(x, _)| *x == h) {
                         q.heard.push((h, resp));

@@ -40,6 +40,7 @@ pub mod cluster;
 pub mod history;
 pub mod map;
 pub mod node;
+pub mod version;
 
 pub use client::{ClusterClient, ReadMode};
 pub use cluster::{Cluster, ClusterConfig};

@@ -34,6 +34,7 @@ use cf_net::{FrameMeta, Packet, PacketHeader, HEADER_BYTES};
 use cf_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Telemetry};
 
 use crate::map::ClusterMap;
+use crate::version;
 
 /// Probe acknowledgement message type.
 const PROBE_ACK: u8 = msg_type::PROBE | msg_type::RESPONSE;
@@ -314,6 +315,33 @@ impl ClusterNode {
             }
             return;
         }
+        if self.server.shards_mut()[q].dedup_contains(req_id) {
+            // A late retransmit of a put this node already applied, acked,
+            // and forgot (pending entry gone). Re-forward only under the
+            // version ORIGINALLY minted for this request id — the replay
+            // log keeps it — never a re-derived `version_of(key)`: that may
+            // belong to a newer put to the same key, and stamping the old
+            // payload with the newer version would wedge any backup that
+            // missed both writes on the old value forever. If the log has
+            // evicted the entry the re-forward is dropped (catch-up owns
+            // redelivery); either way the client is re-acked through the
+            // dedup window.
+            if let Some((_, key, payload, vers)) =
+                self.log.iter().find(|(id, ..)| *id == req_id).cloned()
+            {
+                let backups: Vec<u8> = self
+                    .map
+                    .replicas_for(&key, self.r)
+                    .into_iter()
+                    .filter(|&n| n != self.id && self.peer_alive(n))
+                    .collect();
+                for node in backups {
+                    self.send_repl_put(node, req_id, &key, &payload, vers);
+                }
+            }
+            self.server.shards_mut()[q].handle(pkt);
+            return;
+        }
         let Some((key, val)) = self.server.shards_mut()[q].decode_put(&pkt.payload) else {
             return; // malformed put: drop, as the plain server would
         };
@@ -339,19 +367,15 @@ impl ClusterNode {
             return;
         }
         let payload = pkt.payload.as_slice().to_vec();
-        // Coordinator-assigned version: one past the key's newest applied
-        // version. A retransmit of an already-applied put (dedup hit) must
-        // not mint a fresh version — it re-forwards under the version the
-        // key already has.
+        // Coordinator-assigned version: the key's newest counter plus one,
+        // tagged with this node's id ([`crate::version`]) so two
+        // coordinators minting concurrently for the same key can never
+        // stamp different values with the same version.
         let shard = &mut self.server.shards_mut()[q];
-        let version = if shard.dedup_contains(req_id) {
-            shard.version_of(&key)
-        } else {
-            shard.version_of(&key) + 1
-        };
-        let flags = shard.apply_versioned_put(req_id, &key, &val, version);
-        if flags == 0 {
-            self.log_apply(req_id, &key, &payload, version);
+        let vers = version::next(shard.version_of(&key), self.id);
+        let (_, applied) = shard.apply_versioned_put(req_id, &key, &val, vers);
+        if applied {
+            self.log_apply(req_id, &key, &payload, vers);
         }
         let awaiting: Vec<u8> = self
             .map
@@ -367,7 +391,7 @@ impl ClusterNode {
         }
         let now = self.now();
         for &node in &awaiting {
-            self.send_repl_put(node, req_id, &key, &payload, version);
+            self.send_repl_put(node, req_id, &key, &payload, vers);
         }
         self.pending.insert(
             req_id,
@@ -376,7 +400,7 @@ impl ClusterNode {
                 shard: q,
                 key,
                 payload,
-                version,
+                version: vers,
                 awaiting,
                 created_ns: now,
                 last_send_ns: now,
@@ -395,10 +419,14 @@ impl ClusterNode {
         // The coordinator's version rides the REPL_PUT header; the
         // versioned apply rejects anything at or below the stored version,
         // so catch-up replays and read-repairs can never roll a key back.
+        // Only frames the store genuinely applied enter the replay log —
+        // a stale rejection logged here would churn the bounded log on
+        // every heal cycle and could evict entries catch-up still needs.
         let version = pkt.hdr.version;
-        let flags = self.server.shards_mut()[q].apply_versioned_put(req_id, &key, &val, version);
+        let (flags, applied) =
+            self.server.shards_mut()[q].apply_versioned_put(req_id, &key, &val, version);
         self.counters.repl_applies.inc();
-        if flags == 0 {
+        if applied {
             let payload = pkt.payload.as_slice().to_vec();
             self.log_apply(req_id, &key, &payload, version);
         }

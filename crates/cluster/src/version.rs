@@ -1,0 +1,75 @@
+//! Composite cluster versions: a per-key write counter tagged with the
+//! minting coordinator's node id, packed into the 8 header version
+//! bytes.
+//!
+//! A bare per-key counter is ambiguous after failover: the old and the
+//! new coordinator can each mint "stored + 1" for *different* values,
+//! and the strictly-newer apply guard then freezes whichever copy
+//! landed first on each replica — permanent divergence that a
+//! version-only consistency checker cannot see. Tagging the low byte
+//! with the coordinator's node id makes every minted version unique,
+//! keeps plain `u64` comparison as the cluster-wide total order (the
+//! counter occupies the high bits, so it dominates), and gives
+//! equal-counter values a deterministic winner — the higher coordinator
+//! id — that catch-up replay and read-repair converge on. Version 0
+//! remains "unversioned": [`next`] always yields a nonzero version.
+
+/// Low bits carrying the minting coordinator's node id.
+const COORD_BITS: u32 = 8;
+
+/// Packs a per-key write `counter` and the minting `coordinator` into a
+/// wire version. Counters are effectively unbounded for any simulated
+/// workload (56 usable bits).
+pub fn pack(counter: u64, coordinator: u8) -> u64 {
+    (counter << COORD_BITS) | u64::from(coordinator)
+}
+
+/// The per-key write counter of `version` (0 ⇔ unversioned).
+pub fn counter(version: u64) -> u64 {
+    version >> COORD_BITS
+}
+
+/// The node id that minted `version` (meaningless for version 0).
+pub fn coordinator(version: u64) -> u8 {
+    (version & ((1 << COORD_BITS) - 1)) as u8
+}
+
+/// The version `coordinator` mints after observing `prev` as the key's
+/// newest stored version: `prev`'s counter plus one, tagged with the
+/// minting node.
+pub fn next(prev: u64, coordinator: u8) -> u64 {
+    pack(counter(prev) + 1, coordinator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        let v = pack(7, 3);
+        assert_eq!(counter(v), 7);
+        assert_eq!(coordinator(v), 3);
+        assert_ne!(v, 0);
+    }
+
+    #[test]
+    fn zero_is_unversioned() {
+        assert_eq!(counter(0), 0);
+        assert_eq!(next(0, 5), pack(1, 5));
+        assert!(next(0, 0) > 0, "even coordinator 0 mints nonzero");
+    }
+
+    #[test]
+    fn counter_dominates_the_order() {
+        assert!(pack(2, 0) > pack(1, u8::MAX));
+        assert!(next(pack(1, 2), 0) > pack(1, 2));
+    }
+
+    #[test]
+    fn equal_counters_order_by_coordinator() {
+        let (a, b) = (pack(4, 1), pack(4, 2));
+        assert_ne!(a, b, "concurrent mints are never equal");
+        assert!(b > a, "deterministic winner for convergence");
+    }
+}

@@ -51,7 +51,10 @@ pub struct Response {
     /// Value buffers, in order.
     pub vals: Vec<Vec<u8>>,
     /// Per-key value version from the frame header (0 = unversioned;
-    /// cluster replies carry the coordinator-assigned version).
+    /// cluster replies carry the coordinator-assigned version). Only
+    /// single-key requests stamp it — a batched multi-get reply leaves
+    /// it 0, since the one header slot is attributable to no particular
+    /// key of the batch.
     pub version: u64,
     /// Source host id of the reply (0 on point-to-point links).
     pub from_host: u8,

@@ -663,21 +663,29 @@ impl KvServer {
     /// versions are compared — an incoming version at or below the stored
     /// one is stale (a catch-up replay or read-repair racing a newer
     /// write) and is acknowledged without clobbering the newer value.
-    /// The version table is updated only when the store actually applied
-    /// the bytes, so a degraded apply can be retried and an old frame can
-    /// never advance the version past the stored value.
-    pub fn apply_versioned_put(&mut self, req_id: u32, key: &[u8], val: &[u8], version: u64) -> u8 {
+    /// Returns the reply flags plus whether the store actually applied
+    /// the bytes (and the version table advanced). Dedup hits, stale
+    /// rejections, and degraded applies all report `false`, so callers
+    /// maintaining replay logs record only genuine applies.
+    pub fn apply_versioned_put(
+        &mut self,
+        req_id: u32,
+        key: &[u8],
+        val: &[u8],
+        version: u64,
+    ) -> (u8, bool) {
         if self.dedup.contains(req_id) {
-            return self.apply_put(req_id, key, val); // counts the dedup hit
+            return (self.apply_put(req_id, key, val), false); // counts the dedup hit
         }
         if version != 0 && version <= self.version_of(key) {
-            return 0; // stale: an equal-or-newer version already applied
+            return (0, false); // stale: an equal-or-newer version already applied
         }
         let f = self.apply_put(req_id, key, val);
-        if f & flags::DEGRADED == 0 && version != 0 {
+        let applied = f & flags::DEGRADED == 0;
+        if applied && version != 0 {
             self.versions.insert(key.to_vec(), version);
         }
-        f
+        (f, applied)
     }
 
     // ---- Cornflakes ----------------------------------------------------
@@ -719,12 +727,16 @@ impl KvServer {
                 }
                 _ => {
                     // GET / multi-get / list query: all segments of every
-                    // requested key, in order (paper Listing 4).
-                    resp.init_vals(req.keys.len());
-                    for key in req.keys.iter() {
-                        if hdr.version == 0 {
+                    // requested key, in order (paper Listing 4). The header
+                    // has one version slot, so only a single-key get can
+                    // attribute it; batches leave it 0.
+                    if req.keys.len() == 1 {
+                        if let Some(key) = req.keys.get(0) {
                             hdr.version = self.version_of(key.as_slice());
                         }
+                    }
+                    resp.init_vals(req.keys.len());
+                    for key in req.keys.iter() {
                         if let Some(value) = self.store.get(key.as_slice()) {
                             for buf in &value.segments {
                                 let field = if self.raw_zero_copy {
@@ -791,10 +803,11 @@ impl KvServer {
                 }
             }
             _ => {
+                // One version slot in the header: single-key gets only.
+                if let [key] = req.keys.as_slice() {
+                    hdr.version = self.version_of(key);
+                }
                 for key in &req.keys {
-                    if hdr.version == 0 {
-                        hdr.version = self.version_of(key);
-                    }
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             resp.add_val(&sim, buf.as_slice());
@@ -847,11 +860,14 @@ impl KvServer {
                 }
             }
             _ => {
-                for i in 0..nkeys {
-                    let Ok(key) = req.key(i) else { continue };
-                    if hdr.version == 0 {
+                // One version slot in the header: single-key gets only.
+                if nkeys == 1 {
+                    if let Ok(key) = req.key(0) {
                         hdr.version = self.version_of(key);
                     }
+                }
+                for i in 0..nkeys {
+                    let Ok(key) = req.key(i) else { continue };
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             vals.push(buf.as_slice());
@@ -913,10 +929,11 @@ impl KvServer {
                 }
             }
             _ => {
+                // One version slot in the header: single-key gets only.
+                if let [key] = keys.as_slice() {
+                    hdr.version = self.version_of(key);
+                }
                 for key in &keys {
-                    if hdr.version == 0 {
-                        hdr.version = self.version_of(key);
-                    }
                     if let Some(value) = self.store.get(key) {
                         for buf in &value.segments {
                             resp.add_val(&sim, buf.as_slice());

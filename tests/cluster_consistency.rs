@@ -25,6 +25,7 @@
 use proptest::prelude::*;
 
 use cornflakes::chaos_repro;
+use cornflakes::cluster::version;
 use cornflakes::cluster::{Cluster, ClusterClient, ClusterConfig, ConsistencyHistory, ReadMode};
 use cornflakes::kv::client::RetryConfig;
 use cornflakes::kv::flags;
@@ -168,11 +169,9 @@ fn witness_scenario(
     let id = client.send_put(&key, &[0xB2; VALUE_BYTES]);
     match drive(&mut cluster, &mut client, id) {
         Outcome::Answered {
-            flags: 0,
-            version: 2,
-            ..
-        } => {}
-        other => panic!("v2 put should ack cleanly at version 2, got {other:?}"),
+            flags: 0, version, ..
+        } if version::counter(version) == 2 => {}
+        other => panic!("v2 put should ack cleanly at counter 2, got {other:?}"),
     }
     (cluster, client, key, replicas)
 }
@@ -187,11 +186,9 @@ fn any_mode_witness_serves_a_stale_read_after_split_brain() {
     let id = client.send_get(&key);
     match drive(&mut cluster, &mut client, id) {
         Outcome::Answered {
-            flags: 0,
-            version: 2,
-            ..
-        } => {}
-        other => panic!("fresh get sees version 2, got {other:?}"),
+            flags: 0, version, ..
+        } if version::counter(version) == 2 => {}
+        other => panic!("fresh get sees counter 2, got {other:?}"),
     }
 
     // ...then loses its links to both fresh replicas. Only the stale
@@ -206,7 +203,11 @@ fn any_mode_witness_serves_a_stale_read_after_split_brain() {
             version,
             vals,
         } => {
-            assert_eq!(version, 1, "the victim serves its pre-split version");
+            assert_eq!(
+                version::counter(version),
+                1,
+                "the victim serves its pre-split version"
+            );
             assert_eq!(vals, vec![vec![0xA1; VALUE_BYTES]], "stale bytes");
         }
         other => panic!("the victim answers the rotated get, got {other:?}"),
@@ -223,8 +224,8 @@ fn any_mode_witness_serves_a_stale_read_after_split_brain() {
         !violations.is_empty(),
         "Any-mode split-brain read must violate monotonicity"
     );
-    assert_eq!(violations[0].saw, 1);
-    assert_eq!(violations[0].floor, 2);
+    assert_eq!(version::counter(violations[0].saw), 1);
+    assert_eq!(version::counter(violations[0].floor), 2);
 }
 
 #[test]
@@ -242,9 +243,11 @@ fn quorum_mode_witness_stays_consistent_and_read_repairs() {
     match drive(&mut cluster, &mut client, id) {
         Outcome::Answered {
             flags: 0,
-            version: 2,
+            version,
             vals,
-        } => assert_eq!(vals, vec![vec![0xB2; VALUE_BYTES]]),
+        } if version::counter(version) == 2 => {
+            assert_eq!(vals, vec![vec![0xB2; VALUE_BYTES]]);
+        }
         o => panic!("quorum read returns the newest version, got {o:?}"),
     }
     assert_eq!(client.quorum_reads(), 1);
@@ -260,7 +263,7 @@ fn quorum_mode_witness_stays_consistent_and_read_repairs() {
     idle(&mut cluster, &mut client, 6);
     let q = shard_of_key(&key, cluster.nodes[victim as usize].server.num_shards());
     assert_eq!(
-        cluster.nodes[victim as usize].server.shards()[q].version_of(&key),
+        version::counter(cluster.nodes[victim as usize].server.shards()[q].version_of(&key)),
         2,
         "read-repair brought the victim to version 2"
     );
@@ -286,10 +289,8 @@ fn quorum_mode_witness_stays_consistent_and_read_repairs() {
     let id = client.send_get(&key);
     match drive(&mut cluster, &mut client, id) {
         Outcome::Answered {
-            flags: 0,
-            version: 2,
-            ..
-        } => {}
+            flags: 0, version, ..
+        } if version::counter(version) == 2 => {}
         o => panic!("post-heal quorum read sees version 2, got {o:?}"),
     }
 
@@ -370,6 +371,89 @@ fn partitioned_but_alive_node_is_reported_as_partition_suspect() {
         tele.counter("cluster.client.partition_suspects").get(),
         client.partition_suspects()
     );
+}
+
+/// Review-pinned regression: a put retransmit that dedup-hits AFTER its
+/// pending entry is gone (acked and forgotten) must re-forward under
+/// the version originally minted for that request id — never a
+/// re-derived `version_of(key)`, which can belong to a newer put — and
+/// must not append a duplicate replay-log entry. Otherwise a replica
+/// that missed both writes can end up holding the OLD payload at the
+/// NEWEST version, and the strictly-newer apply guard then rejects the
+/// real newest value forever.
+#[test]
+fn late_put_retransmit_reforwards_under_its_original_version() {
+    let mut cluster = build_cluster();
+    let mut client = cluster.client();
+    client.enable_retries_seeded(23, retry_cfg());
+
+    let key = b"witness-key".to_vec();
+    let replicas = cluster.map().replicas_for(&key, R);
+    let (coordinator, victim) = (replicas[0], replicas[1]);
+
+    // v1 lands everywhere (req id 1 — the client's first request)...
+    idle(&mut cluster, &mut client, 6);
+    let id = client.send_put(&key, &[0xA1; VALUE_BYTES]);
+    assert!(matches!(
+        drive(&mut cluster, &mut client, id),
+        Outcome::Answered { flags: 0, .. }
+    ));
+
+    // ...then the victim is split off and v2 lands on the majority only.
+    split_brain(&mut cluster, victim);
+    idle(&mut cluster, &mut client, 40);
+    let id = client.send_put(&key, &[0xB2; VALUE_BYTES]);
+    assert!(matches!(
+        drive(&mut cluster, &mut client, id),
+        Outcome::Answered { flags: 0, .. }
+    ));
+    let log_before = cluster.nodes[coordinator as usize].log_len();
+
+    // A second client replays the FIRST put byte-for-byte: fresh clients
+    // allocate request ids from 1, so this is exactly a late client
+    // retransmit arriving after the coordinator acked and dropped the
+    // pending entry (dedup hit, pending gone).
+    let mut late = cluster.client();
+    late.enable_retries_seeded(29, retry_cfg());
+    let id = late.send_put(&key, &[0xA1; VALUE_BYTES]);
+    assert!(matches!(
+        drive(&mut cluster, &mut late, id),
+        Outcome::Answered { flags: 0, .. }
+    ));
+    assert_eq!(
+        cluster.nodes[coordinator as usize].log_len(),
+        log_before,
+        "a dedup-hit retransmit must not re-log the old payload"
+    );
+
+    // Heal; catch-up replay runs. The victim — which missed v2 and the
+    // retransmit — must converge to v2's bytes at v2's version: the old
+    // payload was never re-stamped with a newer version anywhere.
+    heal_brain(&mut cluster, victim);
+    idle(&mut cluster, &mut client, 80);
+    let q = shard_of_key(&key, cluster.nodes[victim as usize].server.num_shards());
+    let victim_version = cluster.nodes[victim as usize].server.shards()[q].version_of(&key);
+    assert_eq!(
+        version::counter(victim_version),
+        2,
+        "catch-up brought the victim to the v2 counter"
+    );
+    let id = client.send_get(&key);
+    match drive(&mut cluster, &mut client, id) {
+        Outcome::Answered {
+            flags: 0,
+            version,
+            vals,
+        } => {
+            assert_eq!(version::counter(version), 2);
+            assert_eq!(
+                vals,
+                vec![vec![0xB2; VALUE_BYTES]],
+                "the newest bytes survive the late retransmit"
+            );
+        }
+        other => panic!("post-heal get, got {other:?}"),
+    }
 }
 
 proptest! {

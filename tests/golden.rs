@@ -256,8 +256,9 @@ fn versioned_cluster_frames_match_fixtures() {
     // read-repair REPL_PUT a quorum-mode client pushes at a stale
     // replica.
     let (mut client, mut server, cp_tap, sp_tap) = tapped_pair(SerKind::Cornflakes);
-    let applied = server.apply_versioned_put(99, b"key-a", &[0x7A; 64], 3);
-    assert_eq!(applied, 0, "versioned apply succeeds");
+    let (apply_flags, applied) = server.apply_versioned_put(99, b"key-a", &[0x7A; 64], 3);
+    assert_eq!(apply_flags, 0, "versioned apply succeeds");
+    assert!(applied, "a fresh versioned apply writes the store");
 
     client.send_get(&[b"key-a"]);
     let req = sp_tap.recv().expect("get request");
