@@ -1,0 +1,470 @@
+//! Hot-path microbenchmark: ns/op and allocs/op for the steady-state
+//! request path, per serialization kind. The enforcement artifact behind
+//! the CI benchmark ratchet (`BENCH_hotpath.json`).
+//!
+//! Three drivers per [`SerKind`], all on a warm client/server pair:
+//!
+//! | op          | what one iteration does                                |
+//! |-------------|--------------------------------------------------------|
+//! | `get`       | single-key GET round trip (encode → serve → recv)      |
+//! | `batch_get` | multi-key GET round trip (`batch_keys` keys)           |
+//! | `put`       | PUT round trip overwriting a hot key                   |
+//!
+//! Two measurements per op:
+//!
+//! - **ns/op** — *real* wall-clock time (`std::time::Instant`), not virtual
+//!   time: allocator churn is invisible to the simulator's cost model, so
+//!   the zero-alloc work can only be observed on the host clock. Split
+//!   into `encode` (client send), `serve` (server poll: decode + app +
+//!   reply), and `recv` (client decode) segments.
+//! - **allocs/op** — real heap acquisitions from
+//!   [`cf_telemetry::alloctrack`], meaningful when the enclosing binary
+//!   installs [`cf_telemetry::CountingAlloc`] as its global allocator (the
+//!   `hotpath` bench does; the in-lib smoke test does not, and reports
+//!   `alloc_counted: false`).
+//!
+//! Emits `hotpath.json` (schema in EXPERIMENTS.md). The committed
+//! `BENCH_hotpath.json` is the ratchet baseline: the bench binary itself
+//! compares a fresh run against it and fails on regression — allocs/op is
+//! a hard floor (deterministic), ns/op gets a configurable tolerance
+//! (`CF_HOTPATH_TOLERANCE`, default 2.0×, wall clocks differ across
+//! machines).
+
+use std::time::Instant;
+
+use cf_net::UdpStack;
+use cf_nic::link;
+use cf_sim::{MachineProfile, Sim};
+use cf_telemetry::alloctrack::alloc_count;
+use cornflakes_core::SerializationConfig;
+
+use cf_kv::client::{KvClient, Response, CLIENT_PORT, SERVER_PORT};
+use cf_kv::server::{KvServer, SerKind};
+
+use crate::artifacts::write_json_artifact;
+use crate::tables::print_table;
+
+/// Harness knobs; [`HotpathParams::quick`] is the CI-sized preset.
+#[derive(Clone, Debug)]
+pub struct HotpathParams {
+    /// Untimed rounds per op before measurement (pools, maps, and scratch
+    /// reach their steady-state footprint — the warmup contract).
+    pub warmup: u64,
+    /// Timed rounds per op.
+    pub rounds: u64,
+    /// Value size in bytes (below the hybrid threshold: exercises the
+    /// arena-copy encode path; served values still leave zero-copy).
+    pub value_bytes: usize,
+    /// Keys per `batch_get` iteration.
+    pub batch_keys: usize,
+}
+
+impl HotpathParams {
+    /// Full run: enough rounds that per-round `Instant` overhead amortizes.
+    pub fn full() -> Self {
+        HotpathParams {
+            warmup: 1_024,
+            rounds: 16_384,
+            value_bytes: 256,
+            batch_keys: 8,
+        }
+    }
+
+    /// CI smoke preset: the same shape, a fraction of the volume.
+    pub fn quick() -> Self {
+        HotpathParams {
+            warmup: 256,
+            rounds: 2_048,
+            ..HotpathParams::full()
+        }
+    }
+}
+
+/// Per-op measurement.
+#[derive(Clone, Debug)]
+pub struct OpStats {
+    /// Operation label (`get`, `batch_get`, `put`).
+    pub op: &'static str,
+    /// Wall-clock nanoseconds per round trip.
+    pub ns_per_op: f64,
+    /// Heap acquisitions per round trip (0.0 when not counted).
+    pub allocs_per_op: f64,
+    /// Client encode+send segment of `ns_per_op`.
+    pub encode_ns_per_op: f64,
+    /// Server poll (decode + app + reply) segment.
+    pub serve_ns_per_op: f64,
+    /// Client receive+decode segment.
+    pub recv_ns_per_op: f64,
+}
+
+/// One serialization kind's measurements.
+#[derive(Clone, Debug)]
+pub struct KindReport {
+    /// Kind label (lowercase).
+    pub kind: &'static str,
+    /// `get`, `batch_get`, `put` in order.
+    pub ops: Vec<OpStats>,
+}
+
+/// The full report, as emitted to `hotpath.json`.
+#[derive(Clone, Debug)]
+pub struct HotpathReport {
+    /// Timed rounds per op.
+    pub rounds: u64,
+    /// Warmup rounds per op.
+    pub warmup: u64,
+    /// Value size driven.
+    pub value_bytes: usize,
+    /// Whether the binary counts heap acquisitions (global allocator is
+    /// [`cf_telemetry::CountingAlloc`]). When false, allocs/op is 0 by
+    /// construction and must not be ratcheted against.
+    pub alloc_counted: bool,
+    /// Per-kind measurements.
+    pub kinds: Vec<KindReport>,
+}
+
+const KINDS: [(SerKind, &str); 4] = [
+    (SerKind::Cornflakes, "cornflakes"),
+    (SerKind::Protobuf, "protobuf"),
+    (SerKind::FlatBuffers, "flatbuffers"),
+    (SerKind::CapnProto, "capnproto"),
+];
+
+/// Client and server on one Sim, telemetry disabled, no retries — the
+/// zero-alloc steady-state configuration (DESIGN.md "Hot-path memory
+/// discipline").
+fn fixture(kind: SerKind) -> (KvClient, KvServer) {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (cp, sp) = link();
+    let client_stack = UdpStack::new(sim.clone(), cp, CLIENT_PORT, SerializationConfig::hybrid());
+    let server_stack = UdpStack::new(sim.clone(), sp, SERVER_PORT, SerializationConfig::hybrid());
+    let client = KvClient::new(client_stack, kind);
+    let mut server = KvServer::new(server_stack, kind);
+    // A dedup window the warmup saturates: once full, each put's id insert
+    // evicts the oldest in place and the window's containers stop growing.
+    server.set_dedup_capacity(128);
+    (client, server)
+}
+
+/// Whether this binary's global allocator feeds the acquisition counter.
+fn alloc_counting_active() -> bool {
+    let before = alloc_count();
+    let probe = std::hint::black_box(Box::new(0u8));
+    drop(probe);
+    alloc_count() != before
+}
+
+struct RoundTimer {
+    encode_ns: f64,
+    serve_ns: f64,
+    recv_ns: f64,
+    allocs: u64,
+}
+
+impl RoundTimer {
+    fn new() -> Self {
+        RoundTimer {
+            encode_ns: 0.0,
+            serve_ns: 0.0,
+            recv_ns: 0.0,
+            allocs: 0,
+        }
+    }
+
+    fn stats(&self, op: &'static str, rounds: u64) -> OpStats {
+        let per = |total: f64| total / rounds as f64;
+        OpStats {
+            op,
+            ns_per_op: per(self.encode_ns + self.serve_ns + self.recv_ns),
+            allocs_per_op: self.allocs as f64 / rounds as f64,
+            encode_ns_per_op: per(self.encode_ns),
+            serve_ns_per_op: per(self.serve_ns),
+            recv_ns_per_op: per(self.recv_ns),
+        }
+    }
+}
+
+/// One timed round trip; segment times and allocation counts accumulate
+/// into `t`. `send` must enqueue exactly one request. The response decodes
+/// into the caller's reusable `resp` so its buffers persist across rounds
+/// (the steady-state client pattern — `KvClient::recv_response_into`).
+fn timed_round(
+    client: &mut KvClient,
+    server: &mut KvServer,
+    t: &mut RoundTimer,
+    resp: &mut Response,
+    send: impl FnOnce(&mut KvClient) -> u32,
+) {
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let id = send(client);
+    let t1 = Instant::now();
+    let served = server.poll();
+    let t2 = Instant::now();
+    let answered = client.recv_response_into(resp);
+    let t3 = Instant::now();
+    t.allocs += alloc_count() - a0;
+    t.encode_ns += (t1 - t0).as_nanos() as f64;
+    t.serve_ns += (t2 - t1).as_nanos() as f64;
+    t.recv_ns += (t3 - t2).as_nanos() as f64;
+    assert_eq!(served, 1, "exactly one request served per round");
+    assert!(answered, "request answered");
+    assert_eq!(resp.id, Some(id), "response matches request");
+}
+
+fn measure_kind(params: &HotpathParams, kind: SerKind, label: &'static str) -> KindReport {
+    let (mut client, mut server) = fixture(kind);
+    let value = vec![0x5A_u8; params.value_bytes];
+    let key: &[u8] = b"hotpath-key";
+    // The one Response for the whole kind: its value buffers reach batch
+    // capacity during warmup and are reused every round after.
+    let mut resp = Response::default();
+    // Batched keys share the hot key's value size; preload them once.
+    let batch_names: Vec<Vec<u8>> = (0..params.batch_keys)
+        .map(|i| format!("hotpath-batch-{i:04}").into_bytes())
+        .collect();
+    for name in &batch_names {
+        let id = client.send_put(name, &value);
+        server.poll();
+        assert!(client.recv_response_into(&mut resp), "preload put answered");
+        assert_eq!(resp.id, Some(id));
+    }
+    let batch_refs: Vec<&[u8]> = batch_names.iter().map(|n| n.as_slice()).collect();
+
+    // Seed the hot key, then warm every driver.
+    let id = client.send_put(key, &value);
+    server.poll();
+    assert!(client.recv_response_into(&mut resp), "seed put answered");
+    assert_eq!(resp.id, Some(id));
+    for _ in 0..params.warmup {
+        let mut sink = RoundTimer::new();
+        timed_round(&mut client, &mut server, &mut sink, &mut resp, |c| {
+            c.send_get(&[key])
+        });
+        timed_round(&mut client, &mut server, &mut sink, &mut resp, |c| {
+            c.send_get(&batch_refs)
+        });
+        timed_round(&mut client, &mut server, &mut sink, &mut resp, |c| {
+            c.send_put(key, &value)
+        });
+    }
+
+    let mut ops = Vec::new();
+    let mut get_t = RoundTimer::new();
+    for _ in 0..params.rounds {
+        timed_round(&mut client, &mut server, &mut get_t, &mut resp, |c| {
+            c.send_get(&[key])
+        });
+    }
+    ops.push(get_t.stats("get", params.rounds));
+
+    let mut batch_t = RoundTimer::new();
+    for _ in 0..params.rounds {
+        timed_round(&mut client, &mut server, &mut batch_t, &mut resp, |c| {
+            c.send_get(&batch_refs)
+        });
+    }
+    ops.push(batch_t.stats("batch_get", params.rounds));
+
+    let mut put_t = RoundTimer::new();
+    for _ in 0..params.rounds {
+        timed_round(&mut client, &mut server, &mut put_t, &mut resp, |c| {
+            c.send_put(key, &value)
+        });
+    }
+    ops.push(put_t.stats("put", params.rounds));
+
+    KindReport { kind: label, ops }
+}
+
+fn report_json(r: &HotpathReport) -> String {
+    let mut kinds = String::new();
+    for (i, k) in r.kinds.iter().enumerate() {
+        let ops: Vec<String> = k
+            .ops
+            .iter()
+            .map(|o| {
+                format!(
+                    "      {{\"op\": \"{}\", \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.4}, \
+                     \"encode_ns_per_op\": {:.1}, \"serve_ns_per_op\": {:.1}, \
+                     \"recv_ns_per_op\": {:.1}}}",
+                    o.op,
+                    o.ns_per_op,
+                    o.allocs_per_op,
+                    o.encode_ns_per_op,
+                    o.serve_ns_per_op,
+                    o.recv_ns_per_op
+                )
+            })
+            .collect();
+        kinds.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"ops\": [\n{}\n    ]}}{}\n",
+            k.kind,
+            ops.join(",\n"),
+            if i + 1 < r.kinds.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"hotpath\",\n  \"rounds\": {},\n  \"warmup\": {},\n  \
+         \"value_bytes\": {},\n  \"alloc_counted\": {},\n  \"kinds\": [\n{}  ]\n}}\n",
+        r.rounds, r.warmup, r.value_bytes, r.alloc_counted, kinds
+    )
+}
+
+/// Runs the microbenchmark, prints the table, writes `hotpath.json`.
+pub fn run(params: &HotpathParams) -> HotpathReport {
+    let report = HotpathReport {
+        rounds: params.rounds,
+        warmup: params.warmup,
+        value_bytes: params.value_bytes,
+        alloc_counted: alloc_counting_active(),
+        kinds: KINDS
+            .iter()
+            .map(|(kind, label)| measure_kind(params, *kind, label))
+            .collect(),
+    };
+
+    let mut rows = Vec::new();
+    for k in &report.kinds {
+        for o in &k.ops {
+            rows.push(vec![
+                k.kind.to_string(),
+                o.op.to_string(),
+                format!("{:.0}", o.ns_per_op),
+                if report.alloc_counted {
+                    format!("{:.2}", o.allocs_per_op)
+                } else {
+                    "n/a".to_string()
+                },
+                format!("{:.0}", o.encode_ns_per_op),
+                format!("{:.0}", o.serve_ns_per_op),
+                format!("{:.0}", o.recv_ns_per_op),
+            ]);
+        }
+    }
+    print_table(
+        "Hot path: ns/op and allocs/op per round trip (real time)",
+        &[
+            "kind",
+            "op",
+            "ns/op",
+            "allocs/op",
+            "encode",
+            "serve",
+            "recv",
+        ],
+        &rows,
+    );
+
+    match write_json_artifact("hotpath", &report_json(&report)) {
+        Ok(path) => println!("  artifact: {}", path.display()),
+        Err(e) => eprintln!("  artifact write failed: {e}"),
+    }
+    report
+}
+
+/// Stray-allocation budget per measured window: a handful of one-off
+/// allocations per window (lazy runtime init, hash-seed-dependent rehash
+/// timing, amortized container doubling that happens to land inside the
+/// window) is a *fixed* count, not a per-request cost, so the floor's
+/// slack is `STRAY_ALLOC_BUDGET / rounds` — it shrinks as the run grows.
+/// Any structural regression costs at least one allocation per request,
+/// orders of magnitude above this budget, and still trips.
+const STRAY_ALLOC_BUDGET: f64 = 16.0;
+
+/// Compares a fresh report against the committed `BENCH_hotpath.json`
+/// baseline. Returns every violation found (empty = ratchet holds).
+///
+/// - **allocs/op is a hard floor** (modulo [`STRAY_ALLOC_BUDGET`] one-off
+///   allocations per window): the driver is deterministic, so any
+///   per-request rise over the baseline is a regression. Only enforced
+///   when both the baseline and the current run actually counted
+///   allocations.
+/// - **ns/op gets `tolerance`** (a multiplier, e.g. 2.0): wall clocks
+///   differ across machines, so the gate catches structural regressions,
+///   not scheduler noise.
+/// - A kind/op present in the baseline but missing from the current run is
+///   a violation — coverage only ratchets up.
+pub fn ratchet(current: &HotpathReport, baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let baseline = match cf_telemetry::json::parse(baseline_json) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline is not valid JSON: {e}")],
+    };
+    let base_counted = matches!(
+        baseline.get("alloc_counted"),
+        Some(cf_telemetry::json::Value::Bool(true))
+    );
+    let enforce_allocs = base_counted && current.alloc_counted;
+    let alloc_slack = STRAY_ALLOC_BUDGET / current.rounds.max(1) as f64;
+
+    let kinds = baseline
+        .get("kinds")
+        .and_then(|v| v.as_arr().map(<[_]>::to_vec))
+        .unwrap_or_default();
+    if kinds.is_empty() {
+        violations.push("baseline has no kinds".to_string());
+    }
+    for bk in &kinds {
+        let kind = bk.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+        let Some(ck) = current.kinds.iter().find(|k| k.kind == kind) else {
+            violations.push(format!("kind {kind} present in baseline, missing from run"));
+            continue;
+        };
+        for bo in bk.get("ops").and_then(|v| v.as_arr()).unwrap_or(&[]).iter() {
+            let op = bo.get("op").and_then(|v| v.as_str()).unwrap_or("?");
+            let Some(co) = ck.ops.iter().find(|o| o.op == op) else {
+                violations.push(format!("{kind}.{op} present in baseline, missing from run"));
+                continue;
+            };
+            let base_ns = bo.get("ns_per_op").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if base_ns > 0.0 && co.ns_per_op > base_ns * tolerance {
+                violations.push(format!(
+                    "{kind}.{op}: ns/op regressed {:.0} -> {:.0} (> {tolerance:.2}x tolerance)",
+                    base_ns, co.ns_per_op
+                ));
+            }
+            if enforce_allocs {
+                let base_allocs = bo
+                    .get("allocs_per_op")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                if co.allocs_per_op > base_allocs + alloc_slack {
+                    violations.push(format!(
+                        "{kind}.{op}: allocs/op rose {:.4} -> {:.4} (hard floor)",
+                        base_allocs, co.allocs_per_op
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_all_kinds_and_ops() {
+        let report = run(&HotpathParams {
+            warmup: 16,
+            rounds: 64,
+            ..HotpathParams::quick()
+        });
+        assert_eq!(report.kinds.len(), 4);
+        for k in &report.kinds {
+            let labels: Vec<_> = k.ops.iter().map(|o| o.op).collect();
+            assert_eq!(labels, ["get", "batch_get", "put"], "kind {}", k.kind);
+            for o in &k.ops {
+                assert!(o.ns_per_op > 0.0, "{}:{} measured nothing", k.kind, o.op);
+                let segments = o.encode_ns_per_op + o.serve_ns_per_op + o.recv_ns_per_op;
+                assert!((segments - o.ns_per_op).abs() < 1e-6, "segments telescope");
+            }
+        }
+        // The lib test binary keeps the system allocator.
+        assert!(!report.alloc_counted);
+        let json = report_json(&report);
+        cf_telemetry::json::validate(&json).expect("artifact is valid JSON");
+    }
+}

@@ -285,17 +285,46 @@ impl<T: ListElem> CFList<T> {
 
     /// Reads a list whose field entry is at `entry`.
     pub fn read(ctx: &SerCtx, payload: &RcBuf, entry: usize) -> Result<Self, WireError> {
+        let mut list = CFList::new();
+        list.read_into(ctx, payload, entry)?;
+        Ok(list)
+    }
+
+    /// Drops all elements, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Reads a list whose field entry is at `entry` *into* this list,
+    /// replacing its contents but reusing its element-vector capacity —
+    /// the in-place decode path is heap-allocation-free once the vector
+    /// has grown to the steady-state list length.
+    ///
+    /// On error the list is left cleared (never partially decoded).
+    pub fn read_into(
+        &mut self,
+        ctx: &SerCtx,
+        payload: &RcBuf,
+        entry: usize,
+    ) -> Result<(), WireError> {
+        self.items.clear();
         let ptr = ForwardPtr::get(payload.as_slice(), entry)?;
         let count = ptr.len as usize;
         if count > MAX_LIST_LEN {
             return Err(WireError::TooLarge);
         }
         let (table, _) = ptr.check_range(count * PTR_SIZE, payload.len())?;
-        let mut items = Vec::with_capacity(count);
+        self.items.reserve(count);
         for i in 0..count {
-            items.push(T::read_elem(ctx, payload, table + i * PTR_SIZE)?);
+            match T::read_elem(ctx, payload, table + i * PTR_SIZE) {
+                Ok(item) => self.items.push(item),
+                Err(e) => {
+                    self.items.clear();
+                    return Err(e);
+                }
+            }
         }
-        Ok(CFList { items })
+        Ok(())
     }
 
     /// Visits copied entries of all elements, in order.

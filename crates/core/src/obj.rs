@@ -153,6 +153,29 @@ pub trait CornflakesObj: Sized {
     fn deserialize(ctx: &SerCtx, payload: &RcBuf) -> Result<Self, WireError> {
         Self::deserialize_at(ctx, payload, 0)
     }
+
+    /// Deserializes the header block at `block` *into* `self`, replacing
+    /// its contents. The default falls back to [`Self::deserialize_at`];
+    /// generated messages override this to decode in place, reusing their
+    /// list-vector capacity so the steady-state decode path performs no
+    /// heap allocations.
+    ///
+    /// On error `self` is left in an unspecified-but-valid state; callers
+    /// must not interpret its fields.
+    fn deserialize_at_into(
+        &mut self,
+        ctx: &SerCtx,
+        payload: &RcBuf,
+        block: usize,
+    ) -> Result<(), WireError> {
+        *self = Self::deserialize_at(ctx, payload, block)?;
+        Ok(())
+    }
+
+    /// In-place root-object decode (see [`Self::deserialize_at_into`]).
+    fn deserialize_into(&mut self, ctx: &SerCtx, payload: &RcBuf) -> Result<(), WireError> {
+        self.deserialize_at_into(ctx, payload, 0)
+    }
 }
 
 /// Writes the complete header region of `obj` into `out`

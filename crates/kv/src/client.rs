@@ -191,6 +191,12 @@ pub struct KvClient {
     steer_ports: Vec<u16>,
     counters: ClientCounters,
     flight: FlightRecorder,
+    /// Scratch request/response messages for the Cornflakes datapath:
+    /// requests are rebuilt in `req_scratch` and replies decode in place
+    /// into `resp_scratch`, so list capacities persist across requests and
+    /// a warm client's encode/decode stays off the heap allocator.
+    req_scratch: GetMsg,
+    resp_scratch: GetMsg,
 }
 
 /// Creates a connected (client, server) pair: the client on its own
@@ -227,6 +233,8 @@ impl KvClient {
             steer_ports: Vec::new(),
             counters: ClientCounters::default(),
             flight: FlightRecorder::disabled(),
+            req_scratch: GetMsg::new(),
+            resp_scratch: GetMsg::new(),
         }
     }
 
@@ -600,7 +608,10 @@ impl KvClient {
         }
         match self.kind {
             SerKind::Cornflakes => {
-                let mut req = GetMsg::new();
+                // Build the request in the reusable scratch message; its
+                // list capacities persist across sends so a warm encode
+                // never allocates.
+                let mut req = std::mem::take(&mut self.req_scratch);
                 req.id = index.map(|i| i as i32);
                 {
                     let ctx = self.stack.ctx();
@@ -611,7 +622,12 @@ impl KvClient {
                         req.add_vals(ctx, v);
                     }
                 }
-                self.stack.send_object(hdr, &req)?;
+                let sent = self.stack.send_object(hdr, &req);
+                req.id = None;
+                req.keys.clear();
+                req.vals.clear();
+                self.req_scratch = req;
+                sent?;
             }
             SerKind::Protobuf => {
                 let sim = self.stack.sim().clone();
@@ -676,8 +692,20 @@ impl KvClient {
     /// of an already-answered or timed-out request — are dropped and
     /// counted as `kv.client.stale_responses`.
     pub fn recv_response(&mut self) -> Option<Response> {
+        let mut out = Response::default();
+        self.recv_response_into(&mut out).then_some(out)
+    }
+
+    /// Like [`KvClient::recv_response`], but decodes into a caller-owned
+    /// [`Response`], reusing its `vals` buffers instead of allocating
+    /// fresh ones — the zero-alloc receive path for steady-state drivers.
+    /// Returns `false` when no (decodable) response is available; `out` is
+    /// unspecified in that case.
+    pub fn recv_response_into(&mut self, out: &mut Response) -> bool {
         loop {
-            let pkt = self.stack.recv_packet()?;
+            let Some(pkt) = self.stack.recv_packet() else {
+                return false;
+            };
             if pkt.hdr.meta.msg_type == msg_type::REPL_ACK {
                 // Ack for a fire-and-forget read-repair REPL_PUT; nothing
                 // pends on it and there is no payload to decode.
@@ -715,14 +743,13 @@ impl KvClient {
                     prot.breaker.on_failure(now, pkt.hdr.meta.req_id);
                     self.counters.note_breaker(prev, prot.breaker.state());
                 }
-                return Some(Response {
-                    id: Some(pkt.hdr.meta.req_id),
-                    flags,
-                    vals: Vec::new(),
-                    version: pkt.hdr.version,
-                    from_host: pkt.hdr.src_host,
-                    payload_bytes,
-                });
+                out.id = Some(pkt.hdr.meta.req_id);
+                out.flags = flags;
+                out.vals.clear();
+                out.version = pkt.hdr.version;
+                out.from_host = pkt.hdr.src_host;
+                out.payload_bytes = payload_bytes;
+                return true;
             }
             if let Some(prot) = &mut self.protection {
                 let now = self.stack.sim().now();
@@ -736,58 +763,85 @@ impl KvClient {
                 FlightEvent::ClientRecv { flags },
             );
             let sim = self.stack.sim().clone();
-            let resp = match self.kind {
+            match self.kind {
                 SerKind::Cornflakes => {
-                    let m = GetMsg::deserialize(self.stack.ctx(), &pkt.payload).ok()?;
-                    Response {
-                        id: m.id.map(|i| i as u32),
-                        flags,
-                        vals: m.vals.iter().map(|v| v.as_slice().to_vec()).collect(),
-                        version: pkt.hdr.version,
-                        from_host: pkt.hdr.src_host,
-                        payload_bytes,
+                    // Decode in place into the reusable scratch message,
+                    // then copy values out into the caller's recycled
+                    // buffers: the warm receive path never allocates.
+                    let mut m = std::mem::take(&mut self.resp_scratch);
+                    let decoded = m.deserialize_into(self.stack.ctx(), &pkt.payload);
+                    if decoded.is_err() {
+                        self.stash_resp_scratch(m);
+                        return false;
                     }
+                    out.id = m.id.map(|i| i as u32);
+                    out.vals.truncate(m.vals.len());
+                    for (i, v) in m.vals.iter().enumerate() {
+                        set_val_slot(&mut out.vals, i, v.as_slice());
+                    }
+                    self.stash_resp_scratch(m);
                 }
                 SerKind::Protobuf => {
-                    let m = PGetM::decode(&sim, &pkt.payload).ok()?;
-                    Response {
-                        id: m.id,
-                        flags,
-                        vals: m.vals,
-                        version: pkt.hdr.version,
-                        from_host: pkt.hdr.src_host,
-                        payload_bytes,
-                    }
+                    let Ok(m) = PGetM::decode(&sim, &pkt.payload) else {
+                        return false;
+                    };
+                    out.id = m.id;
+                    out.vals = m.vals;
                 }
                 SerKind::FlatBuffers => {
-                    let v = FlatGetMView::parse(&sim, &pkt.payload).ok()?;
-                    let n = v.vals_len().ok()?;
-                    let vals = (0..n)
-                        .map(|i| v.val(i).map(|b| b.to_vec()))
-                        .collect::<Result<_, _>>()
-                        .ok()?;
-                    Response {
-                        id: v.id().ok()?,
-                        flags,
-                        vals,
-                        version: pkt.hdr.version,
-                        from_host: pkt.hdr.src_host,
-                        payload_bytes,
+                    let Ok(v) = FlatGetMView::parse(&sim, &pkt.payload) else {
+                        return false;
+                    };
+                    let (Ok(id), Ok(n)) = (v.id(), v.vals_len()) else {
+                        return false;
+                    };
+                    out.id = id;
+                    out.vals.truncate(n);
+                    for i in 0..n {
+                        let Ok(b) = v.val(i) else { return false };
+                        set_val_slot(&mut out.vals, i, b);
                     }
                 }
                 SerKind::CapnProto => {
-                    let r = CapnReader::parse(&sim, &pkt.payload).ok()?;
-                    Response {
-                        id: r.id().ok()?,
-                        flags,
-                        vals: r.vals(&sim).ok()?.iter().map(|b| b.to_vec()).collect(),
-                        version: pkt.hdr.version,
-                        from_host: pkt.hdr.src_host,
-                        payload_bytes,
+                    let Ok(r) = CapnReader::parse(&sim, &pkt.payload) else {
+                        return false;
+                    };
+                    let (Ok(id), Ok(vals)) = (r.id(), r.vals(&sim)) else {
+                        return false;
+                    };
+                    out.id = id;
+                    out.vals.truncate(vals.len());
+                    for (i, b) in vals.iter().enumerate() {
+                        set_val_slot(&mut out.vals, i, b);
                     }
                 }
-            };
-            return Some(resp);
+            }
+            out.flags = flags;
+            out.version = pkt.hdr.version;
+            out.from_host = pkt.hdr.src_host;
+            out.payload_bytes = payload_bytes;
+            return true;
         }
+    }
+
+    /// Returns the Cornflakes response scratch: buffer references drop
+    /// (releasing the rx frame they pin) but list capacities persist for
+    /// the next receive.
+    fn stash_resp_scratch(&mut self, mut m: GetMsg) {
+        m.id = None;
+        m.keys.clear();
+        m.vals.clear();
+        self.resp_scratch = m;
+    }
+}
+
+/// Copies `data` into slot `i` of `vals`, reusing the slot's capacity when
+/// one is already there (the steady-state case for a fixed request shape).
+fn set_val_slot(vals: &mut Vec<Vec<u8>>, i: usize, data: &[u8]) {
+    if let Some(slot) = vals.get_mut(i) {
+        slot.clear();
+        slot.extend_from_slice(data);
+    } else {
+        vals.push(data.to_vec());
     }
 }

@@ -170,6 +170,32 @@ pub struct KvServer {
     versions: HashMap<Vec<u8>, u64>,
     admission: Option<AdmissionState>,
     flight: FlightRecorder,
+    /// Scratch request/response messages for the Cornflakes datapath:
+    /// requests decode in place into `req_scratch` and replies are rebuilt
+    /// in `resp_scratch`, so list capacities persist across requests and a
+    /// warm server handles GETs and PUTs without heap allocation.
+    req_scratch: GetMsg,
+    resp_scratch: GetMsg,
+    /// Recycled slice-scratch for the FlatBuffers batched-GET handler (the
+    /// per-request `Vec<&[u8]>` of value segments). Stored with a `'static`
+    /// tag but always empty between requests — see [`recycle_slices`].
+    flat_vals_spare: Vec<&'static [u8]>,
+}
+
+/// Recycles a slice-scratch vector for storage between requests: emptied,
+/// then retagged `'static` so it can live in the server struct. Taking it
+/// back out needs no unsafety — `Vec` is covariant, so the `'static` tag
+/// shortens to the next request's lifetime implicitly.
+fn recycle_slices(mut v: Vec<&[u8]>) -> Vec<&'static [u8]> {
+    v.clear();
+    let ptr = v.as_mut_ptr();
+    let cap = v.capacity();
+    std::mem::forget(v);
+    // SAFETY: the vector was emptied above, so no borrowed slice survives
+    // into the returned vector; `len == 0` means no `&'static [u8]` value
+    // is ever fabricated. Only the allocation is reused, and the element
+    // layout is identical on both sides of the cast.
+    unsafe { Vec::from_raw_parts(ptr.cast::<&'static [u8]>(), 0, cap) }
 }
 
 impl KvServer {
@@ -187,6 +213,9 @@ impl KvServer {
             versions: HashMap::new(),
             admission: None,
             flight: FlightRecorder::disabled(),
+            req_scratch: GetMsg::new(),
+            resp_scratch: GetMsg::new(),
+            flat_vals_spare: Vec::new(),
         }
     }
 
@@ -690,38 +719,62 @@ impl KvServer {
 
     // ---- Cornflakes ----------------------------------------------------
 
+    /// Returns the Cornflakes message scratch to the server: the request
+    /// and response drop their buffer references (releasing the rx frame
+    /// and any store segments they pin) but keep their list capacities for
+    /// the next request.
+    fn stash_cornflakes_scratch(&mut self, mut req: GetMsg, mut resp: GetMsg) {
+        req.id = None;
+        req.keys.clear();
+        req.vals.clear();
+        resp.id = None;
+        resp.keys.clear();
+        resp.vals.clear();
+        self.req_scratch = req;
+        self.resp_scratch = resp;
+    }
+
     fn handle_cornflakes(&mut self, pkt: Packet) {
         let tele = self.stack.telemetry().clone();
         let mut hdr = pkt.hdr.reply(Self::reply_meta(&pkt));
-        let mut resp = GetMsg::new();
+        let mut req = std::mem::take(&mut self.req_scratch);
+        let mut resp = std::mem::take(&mut self.resp_scratch);
+        {
+            let _de = tele.span("deserialize");
+            if req
+                .deserialize_into(self.stack.ctx(), &pkt.payload)
+                .is_err()
+            {
+                // Malformed request: drop, as the paper's server would.
+                self.stash_cornflakes_scratch(req, resp);
+                return;
+            }
+        }
         resp.id = pkt.hdr.meta.req_id.checked_into_i32();
-        let mut pending_put: Option<(Vec<u8>, Vec<u8>)> = None;
+        if pkt.hdr.meta.msg_type == msg_type::GET_SEGMENT && req.keys.get(0).is_none() {
+            // Malformed segment fetch: drop without replying.
+            self.stash_cornflakes_scratch(req, resp);
+            return;
+        }
         {
             let ctx = self.stack.ctx();
-            let req = {
-                let _de = tele.span("deserialize");
-                match GetMsg::deserialize(ctx, &pkt.payload) {
-                    Ok(r) => r,
-                    Err(_) => return, // malformed request: drop, as the paper's server would
-                }
-            };
             let _app = tele.span("app");
             match pkt.hdr.meta.msg_type {
                 msg_type::PUT => {
-                    let (Some(key), Some(val)) = (req.keys.get(0), req.vals.get(0)) else {
-                        return;
-                    };
-                    pending_put = Some((key.as_slice().to_vec(), val.as_slice().to_vec()));
+                    // Applied below, outside the app span, borrowing the
+                    // decoded key/value views directly — no intermediate
+                    // copies.
                 }
                 msg_type::GET_SEGMENT => {
-                    let Some(key) = req.keys.get(0) else { return };
-                    hdr.version = self.version_of(key.as_slice());
-                    let seg = req.id.unwrap_or(0) as usize;
-                    if let Some(value) = self.store.get(key.as_slice()) {
-                        if let Some(buf) = value.segments.get(seg) {
-                            resp.init_vals(1);
-                            resp.get_mut_vals()
-                                .append(CFBytes::new(ctx, buf.as_slice()));
+                    // Key presence was checked before this block.
+                    if let Some(key) = req.keys.get(0) {
+                        hdr.version = self.version_of(key.as_slice());
+                        let seg = req.id.unwrap_or(0) as usize;
+                        if let Some(value) = self.store.get(key.as_slice()) {
+                            if let Some(buf) = value.segments.get(seg) {
+                                resp.get_mut_vals()
+                                    .append(CFBytes::new(ctx, buf.as_slice()));
+                            }
                         }
                     }
                 }
@@ -735,7 +788,6 @@ impl KvServer {
                             hdr.version = self.version_of(key.as_slice());
                         }
                     }
-                    resp.init_vals(req.keys.len());
                     for key in req.keys.iter() {
                         if let Some(value) = self.store.get(key.as_slice()) {
                             for buf in &value.segments {
@@ -753,23 +805,30 @@ impl KvServer {
                 }
             }
         }
-        if let Some((key, val)) = pending_put {
-            hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
-            hdr.version = self.version_of(&key);
+        if pkt.hdr.meta.msg_type == msg_type::PUT {
+            let (Some(key), Some(val)) = (req.keys.get(0), req.vals.get(0)) else {
+                self.stash_cornflakes_scratch(req, resp);
+                return;
+            };
+            hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, key.as_slice(), val.as_slice());
+            hdr.version = self.version_of(key.as_slice());
         }
         self.counters
             .zero_copy_entries
             .add(resp.zero_copy_entries() as u64);
         self.record_reply(&hdr);
-        let _tx = tele.span("tx");
-        let sent = if self.stack.ctx().config.serialize_and_send {
-            self.stack.send_object(hdr, &resp)
-        } else {
-            self.stack.send_object_sga(hdr, &resp)
-        };
-        if sent.is_err() {
-            self.counters.reply_drops.inc();
+        {
+            let _tx = tele.span("tx");
+            let sent = if self.stack.ctx().config.serialize_and_send {
+                self.stack.send_object(hdr, &resp)
+            } else {
+                self.stack.send_object_sga(hdr, &resp)
+            };
+            if sent.is_err() {
+                self.counters.reply_drops.inc();
+            }
         }
+        self.stash_cornflakes_scratch(req, resp);
     }
 
     // ---- Protobuf baseline ----------------------------------------------
@@ -838,15 +897,17 @@ impl KvServer {
             return;
         };
         let nkeys = req.keys_len().unwrap_or(0);
-        let mut vals: Vec<&[u8]> = Vec::new();
+        // Recycled segment-slice scratch (`Vec` covariance shortens the
+        // stored `'static` tag to this request's lifetime).
+        let mut vals: Vec<&[u8]> = std::mem::take(&mut self.flat_vals_spare);
         match pkt.hdr.meta.msg_type {
             msg_type::PUT => {
                 let (Ok(key), Ok(val)) = (req.key(0), req.val(0)) else {
+                    self.flat_vals_spare = recycle_slices(vals);
                     return;
                 };
-                let (key, val) = (key.to_vec(), val.to_vec());
-                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
-                hdr.version = self.version_of(&key);
+                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, key, val);
+                hdr.version = self.version_of(key);
             }
             msg_type::GET_SEGMENT => {
                 if let Ok(key) = req.key(0) {
@@ -880,6 +941,7 @@ impl KvServer {
         // contiguous buffer is staged into DMA memory (warm).
         self.record_reply(&hdr);
         let built = FlatGetM::encode(&sim, Some(pkt.hdr.meta.req_id), &[], &vals);
+        self.flat_vals_spare = recycle_slices(vals);
         let Ok(mut tx) = self.stack.alloc_tx(built.len()) else {
             self.counters.reply_drops.inc();
             return;
@@ -913,9 +975,8 @@ impl KvServer {
                 let (Some(key), Some(val)) = (keys.first(), vals.first()) else {
                     return;
                 };
-                let (key, val) = (key.to_vec(), val.to_vec());
-                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, &key, &val);
-                hdr.version = self.version_of(&key);
+                hdr.meta.flags = self.apply_put(pkt.hdr.meta.req_id, key, val);
+                hdr.version = self.version_of(key);
             }
             msg_type::GET_SEGMENT => {
                 if let Some(key) = keys.first() {

@@ -49,6 +49,10 @@ impl Value {
 pub struct KvStore {
     map: HashMap<Vec<u8>, Value>,
     sim: Sim,
+    /// Segment vector recycled from the last overwritten value, so a
+    /// steady-state PUT to an existing key builds its new segments without
+    /// touching the heap allocator.
+    seg_spare: Vec<RcBuf>,
 }
 
 pub(crate) fn fxhash(key: &[u8]) -> u64 {
@@ -66,6 +70,7 @@ impl KvStore {
         KvStore {
             map: HashMap::new(),
             sim,
+            seg_spare: Vec::new(),
         }
     }
 
@@ -102,7 +107,23 @@ impl KvStore {
     /// lookup; segment preparation is charged where the copies happen).
     pub fn insert_value(&mut self, key: &[u8], value: Value) {
         self.charge_lookup(key);
-        self.map.insert(key.to_vec(), value);
+        self.store_value(key, value);
+    }
+
+    /// Stores `value` under `key` without re-allocating the key on
+    /// overwrite: existing entries are updated in place (the map already
+    /// owns a copy of the key), and only first-time inserts copy the key.
+    /// The displaced segment vector is kept as scratch for the next put.
+    fn store_value(&mut self, key: &[u8], value: Value) {
+        if let Some(existing) = self.map.get_mut(key) {
+            let mut old = std::mem::replace(existing, value);
+            old.segments.clear();
+            if old.segments.capacity() > self.seg_spare.capacity() {
+                self.seg_spare = old.segments;
+            }
+        } else {
+            self.map.insert(key.to_vec(), value);
+        }
     }
 
     /// Allocates pinned segments of at most `segment_size` bytes from
@@ -123,7 +144,28 @@ impl KvStore {
         segment_size: usize,
     ) -> Result<(), cf_mem::AllocError> {
         assert!(segment_size > 0);
-        let mut segments = Vec::with_capacity(data.len().div_ceil(segment_size).max(1));
+        let mut segments = std::mem::take(&mut self.seg_spare);
+        segments.reserve(data.len().div_ceil(segment_size).max(1));
+        if let Err(e) = Self::fill_segments(ctx, data, segment_size, &mut segments) {
+            // Store untouched on failure; release partial allocations but
+            // keep the vector's capacity for the next attempt.
+            segments.clear();
+            self.seg_spare = segments;
+            return Err(e);
+        }
+        self.charge_lookup(key);
+        // Allocate-and-swap: the old value's buffers are released when the
+        // last in-flight reference (e.g. a pending DMA) drops.
+        self.store_value(key, Value { segments });
+        Ok(())
+    }
+
+    fn fill_segments(
+        ctx: &SerCtx,
+        data: &[u8],
+        segment_size: usize,
+        segments: &mut Vec<RcBuf>,
+    ) -> Result<(), cf_mem::AllocError> {
         if data.is_empty() {
             let mut buf = ctx.pool.alloc(1)?;
             buf.truncate(0);
@@ -142,10 +184,6 @@ impl KvStore {
             buf.write_at(0, chunk);
             segments.push(buf);
         }
-        self.charge_lookup(key);
-        // Allocate-and-swap: the old value's buffers are released when the
-        // last in-flight reference (e.g. a pending DMA) drops.
-        self.map.insert(key.to_vec(), Value { segments });
         Ok(())
     }
 
@@ -174,7 +212,7 @@ impl KvStore {
             buf.truncate(size);
             segments.push(buf);
         }
-        self.map.insert(key.to_vec(), Value { segments });
+        self.store_value(key, Value { segments });
         Ok(())
     }
 

@@ -18,6 +18,14 @@ use crate::stats::ArenaStats;
 /// fields plus headers.
 pub const DEFAULT_CHUNK: usize = 64 * 1024;
 
+/// Retired-chunk pool bound. A reset that finds its current chunk pinned
+/// by live handles parks it here instead of dropping it; once the handles
+/// release (typically when the in-flight request that held them completes),
+/// the chunk is recycled by a later reset. Two chunks ping-ponging covers
+/// the steady-state request pipeline; the bound caps worst-case retention
+/// at a few chunk sizes.
+const MAX_SPARE_CHUNKS: usize = 4;
+
 struct Chunk {
     /// Raw backing storage. Access goes through raw pointers only (never a
     /// `&mut` to the whole buffer), so shared `ArenaBytes` readers and the
@@ -74,6 +82,8 @@ impl fmt::Debug for Chunk {
 #[derive(Debug)]
 pub struct Arena {
     current: RefCell<Rc<Chunk>>,
+    /// Retired chunks awaiting their last handle; recycled by `reset`.
+    spares: RefCell<Vec<Rc<Chunk>>>,
     chunk_size: usize,
     stats: ArenaStats,
 }
@@ -101,6 +111,7 @@ impl Arena {
         stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
         Arena {
             current: RefCell::new(Chunk::new(chunk_size)),
+            spares: RefCell::new(Vec::with_capacity(MAX_SPARE_CHUNKS)),
             chunk_size,
             stats,
         }
@@ -154,16 +165,34 @@ impl Arena {
     }
 
     /// Mass deallocation (paper §3.2.2): recycles the current chunk if no
-    /// handles reference it, otherwise swaps in a fresh chunk and lets the
-    /// old one die when its last handle drops.
+    /// handles reference it. A chunk still pinned by live handles — e.g.
+    /// the in-flight request that was just serialized — is parked in a
+    /// bounded spare pool and replaced by a previously parked chunk whose
+    /// handles have since released, so a steady-state pipeline ping-pongs
+    /// between two chunks without ever touching the heap allocator. Only
+    /// when every spare is still pinned does a fresh chunk get allocated.
     pub fn reset(&self) {
         self.stats.resets.fetch_add(1, Ordering::Relaxed);
         let mut current = self.current.borrow_mut();
         if Rc::strong_count(&current) == 1 {
             current.used.set(0);
-        } else {
-            self.stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
-            *current = Chunk::new(self.chunk_size);
+            return;
+        }
+        let mut spares = self.spares.borrow_mut();
+        let fresh = match spares.iter().position(|c| Rc::strong_count(c) == 1) {
+            Some(pos) => {
+                let chunk = spares.swap_remove(pos);
+                chunk.used.set(0);
+                chunk
+            }
+            None => {
+                self.stats.chunks_allocated.fetch_add(1, Ordering::Relaxed);
+                Chunk::new(self.chunk_size)
+            }
+        };
+        let retired = std::mem::replace(&mut *current, fresh);
+        if spares.len() < MAX_SPARE_CHUNKS {
+            spares.push(retired);
         }
     }
 
@@ -280,6 +309,24 @@ mod tests {
         assert_eq!(&*h, b"still alive", "old handle survives reset");
         assert_eq!(&*j, b"new data after reset");
         assert_ne!(h.addr() & !63, j.addr() & !63, "different chunks");
+    }
+
+    #[test]
+    fn reset_recycles_retired_chunk_once_handles_release() {
+        let a = Arena::with_chunk_size(1024);
+        let h = a.copy_in(b"first");
+        let addr_a = h.addr();
+        a.reset(); // chunk A pinned by `h`: parked, fresh B installed
+        let j = a.copy_in(b"second");
+        drop(h); // A's last handle releases; it waits in the spare pool
+        a.reset(); // B pinned by `j`: A recycled as the current chunk
+        let k = a.copy_in(b"third");
+        assert_eq!(
+            k.addr(),
+            addr_a,
+            "a retired chunk is reused once its handles release"
+        );
+        assert_eq!(&*j, b"second", "parked-chunk handles stay valid");
     }
 
     #[test]

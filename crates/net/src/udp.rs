@@ -317,6 +317,14 @@ impl UdpStack {
 
     /// Hands a fully built descriptor to the NIC — or stages it when
     /// batching is on.
+    /// An empty scatter-gather entry vector for the next send, reusing one
+    /// the NIC recovered from a completed transmit when available (see
+    /// [`Nic::take_desc`]) — warm send paths build descriptors without
+    /// allocating.
+    fn take_desc(&self) -> Vec<RcBuf> {
+        self.nic.borrow_mut().take_desc(self.queue)
+    }
+
     fn post(&mut self, entries: Vec<RcBuf>) -> Result<(), NetError> {
         if self.tx_batch_limit > 0 {
             self.nic.borrow().validate_descriptor(&entries)?;
@@ -386,7 +394,9 @@ impl UdpStack {
         let mut tx = self.ctx.pool.alloc(HEADER_BYTES)?;
         tx.write_at(0, &pkt_hdr);
         self.scratch = pkt_hdr;
-        self.post(vec![tx])?;
+        let mut entries = self.take_desc();
+        entries.push(tx);
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -557,7 +567,8 @@ impl UdpStack {
             return self.send_object_copied(hdr, obj);
         }
         let first = self.build_first_entry(&hdr, obj, true, 0)?;
-        let mut entries = Vec::with_capacity(1 + obj.zero_copy_entries());
+        let mut entries = self.take_desc();
+        entries.reserve(1 + obj.zero_copy_entries());
         entries.push(first);
         self.collect_zc_entries(obj, &mut entries);
         self.flight.record(
@@ -611,7 +622,9 @@ impl UdpStack {
                 zero_copy: false,
             });
         });
-        self.post(vec![tx])?;
+        let mut entries = self.take_desc();
+        entries.push(tx);
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -645,7 +658,8 @@ impl UdpStack {
         hdr_buf.write_at(0, &pkt_hdr);
         self.scratch = pkt_hdr;
 
-        let mut entries = Vec::with_capacity(2 + obj.zero_copy_entries());
+        let mut entries = self.take_desc();
+        entries.reserve(2 + obj.zero_copy_entries());
         entries.push(hdr_buf);
         entries.push(obj_buf);
         self.collect_zc_entries(obj, &mut entries);
@@ -686,7 +700,9 @@ impl UdpStack {
         tx.write_at(0, &pkt_hdr);
         self.scratch = pkt_hdr;
         tx.truncate(HEADER_BYTES + payload_len);
-        self.post(vec![tx])?;
+        let mut entries = self.take_desc();
+        entries.push(tx);
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }
@@ -709,7 +725,8 @@ impl UdpStack {
         let mut hdr_buf = self.ctx.pool.alloc(HEADER_BYTES)?;
         hdr_buf.write_at(0, &pkt_hdr);
         self.scratch = pkt_hdr;
-        let mut entries = Vec::with_capacity(1 + segments.len());
+        let mut entries = self.take_desc();
+        entries.reserve(1 + segments.len());
         entries.push(hdr_buf);
         entries.extend(segments);
         self.post(entries)?;
@@ -727,7 +744,9 @@ impl UdpStack {
         let dst = packet.hdr.dst_port;
         frame.write_at(34, &dst.to_be_bytes());
         frame.write_at(36, &src.to_be_bytes());
-        self.post(vec![frame])?;
+        let mut entries = self.take_desc();
+        entries.push(frame);
+        self.post(entries)?;
         self.finish_tx();
         Ok(())
     }

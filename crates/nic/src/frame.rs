@@ -130,6 +130,11 @@ impl Frame {
     }
 }
 
+/// Bound on a channel's recycled frame-data buffers. Covers the deepest
+/// steady-state burst (one spare per in-flight frame); anything beyond
+/// that is transient and may fall back to the allocator.
+const MAX_DATA_SPARES: usize = 64;
+
 /// One direction of a wire: an ordered frame queue plus, once
 /// [`Port::install_faults`] has armed it, the fault state that filters
 /// deliveries.
@@ -137,6 +142,10 @@ impl Frame {
 pub(crate) struct Channel {
     pub(crate) queue: VecDeque<Frame>,
     pub(crate) faults: Option<FaultState>,
+    /// Frame-data buffers returned by the receiver after consumption, for
+    /// this channel's *sender* to reuse on its next gather — the wire's
+    /// frame allocations amortize to zero in steady state.
+    spares: Vec<Vec<u8>>,
 }
 
 impl Channel {
@@ -191,6 +200,25 @@ impl Port {
     /// Transmits a frame.
     pub fn send(&self, frame: Frame) {
         self.tx.borrow_mut().queue.push_back(frame);
+    }
+
+    /// An empty frame-data buffer for the next transmit, reusing capacity
+    /// the peer recycled via [`Port::recycle_rx_data`] when one is
+    /// available.
+    pub fn take_tx_data(&self) -> Vec<u8> {
+        self.tx.borrow_mut().spares.pop().unwrap_or_default()
+    }
+
+    /// Returns a consumed frame's data buffer to the sender of this port's
+    /// receive direction, so its next gather reuses the capacity instead
+    /// of allocating. Buffers beyond the channel's bounded spare stash are
+    /// simply freed.
+    pub fn recycle_rx_data(&self, mut data: Vec<u8>) {
+        let mut ch = self.rx.borrow_mut();
+        if ch.spares.len() < MAX_DATA_SPARES {
+            data.clear();
+            ch.spares.push(data);
+        }
     }
 
     /// Receives the next frame, if any. With faults installed, the frame is
@@ -303,6 +331,23 @@ mod tests {
         let mut f = Frame::new(vec![0; FCS_OFFSET + 3]);
         f.seal(); // no-op
         assert!(f.fcs_ok());
+    }
+
+    #[test]
+    fn recycled_data_flows_back_to_the_sender() {
+        let (a, b) = link();
+        let mut buf = a.take_tx_data();
+        assert!(buf.is_empty(), "fresh take is empty");
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        a.send(Frame::new(buf));
+        let frame = b.recv().unwrap();
+        assert_eq!(frame.data, vec![1, 2, 3]);
+        // Receiver hands the capacity back; the sender's next take gets it.
+        b.recycle_rx_data(frame.data);
+        let reused = a.take_tx_data();
+        assert!(reused.is_empty(), "recycled buffer is cleared");
+        assert_eq!(reused.capacity(), cap, "capacity survived the round trip");
     }
 
     #[test]

@@ -32,6 +32,11 @@ const REQ_ID_RANGE: std::ops::Range<usize> = 44..48;
 /// Minimum frame length that can carry a full packet header.
 const MIN_HEADER_FRAME: usize = 48;
 
+/// Bound on a queue's recovered descriptor-vector stash (one per posted
+/// descriptor between completion polls; deeper bursts fall back to the
+/// allocator).
+const MAX_DESC_SPARES: usize = 64;
+
 /// Extracts the request id a well-formed KV frame carries, or `None` for
 /// frames too short to hold a packet header (runts, control traffic).
 /// This is how flight-recorder events stay wire-invisible: the id is
@@ -187,6 +192,10 @@ struct Queue {
     /// Buffers held by "in-flight DMA": released when completions are
     /// polled. Each inner vec is one descriptor's entries.
     completion_queue: VecDeque<Vec<RcBuf>>,
+    /// Empty descriptor vecs recovered by [`Nic::poll_completions`], handed
+    /// back out through [`Nic::take_desc`] so steady-state transmit posts
+    /// no fresh entry vectors.
+    desc_spares: Vec<Vec<RcBuf>>,
     /// Received frames steered here by RSS, awaiting `recv_into*`.
     rx_staging: VecDeque<Frame>,
     /// Bound on `rx_staging` (0 = unbounded). When full, newly steered
@@ -334,7 +343,11 @@ impl Nic {
         }
         let size: usize = entries.iter().map(|e| e.len()).sum();
         // NIC-side gather (PCIe reads): real data movement, no CPU charge.
-        let mut data = Vec::with_capacity(size);
+        // The gather buffer comes from the wire's recycled spares (the
+        // receiver returns consumed frame data), so a warm wire gathers
+        // without touching the allocator.
+        let mut data = self.port.take_tx_data();
+        data.reserve(size);
         for e in &entries {
             data.extend_from_slice(e.as_slice());
         }
@@ -444,11 +457,29 @@ impl Nic {
     fn reap_queue(&mut self, q: usize) -> usize {
         let queue = &mut self.queues[q];
         let n = queue.completion_queue.len();
-        queue.completion_queue.clear();
+        // Release the buffer references (the completion semantics) but keep
+        // the descriptor vectors themselves for `take_desc` to re-issue.
+        for mut desc in queue.completion_queue.drain(..) {
+            desc.clear();
+            if queue.desc_spares.len() < MAX_DESC_SPARES {
+                queue.desc_spares.push(desc);
+            }
+        }
         queue.stats.completions += n as u64;
         queue.counters.completions.add(n as u64);
         self.counters.completions.add(n as u64);
         n
+    }
+
+    /// An empty descriptor vector for building the next transmit post on
+    /// queue `q`, reusing one recovered by completion polling when
+    /// available. Senders that take, fill, and `post_tx_on` in a loop
+    /// allocate no descriptor vectors in steady state.
+    pub fn take_desc(&mut self, q: usize) -> Vec<RcBuf> {
+        self.queues
+            .get_mut(q)
+            .and_then(|queue| queue.desc_spares.pop())
+            .unwrap_or_default()
     }
 
     /// Number of descriptors whose buffers are still held by the NIC,
@@ -537,6 +568,7 @@ impl Nic {
             self.queues[q].stats.rx_nobuf_drops += 1;
             self.queues[q].counters.rx_nobuf_drops.inc();
             self.counters.rx_nobuf_drops.inc();
+            self.port.recycle_rx_data(frame.data);
             return None;
         };
         let queue = &mut self.queues[q];
@@ -554,6 +586,9 @@ impl Nic {
         // buffer (no DDIO on the modeled AMD platform): the CPU's first
         // touch of received data misses to memory.
         self.queue_sim(q).dma_write(buf.addr(), frame.len());
+        // The frame is consumed; hand its data buffer back to the wire's
+        // sender for the next gather.
+        self.port.recycle_rx_data(frame.data);
         Some(buf)
     }
 
@@ -691,6 +726,22 @@ mod tests {
         assert_eq!(watcher.refcount(), 2);
         assert_eq!(a.poll_completions(), 1);
         assert_eq!(watcher.refcount(), 1);
+    }
+
+    #[test]
+    fn completion_polling_recycles_descriptor_vecs() {
+        let (mut a, _b, pool, _sim) = setup();
+        let mut desc = a.take_desc(0);
+        assert!(desc.is_empty(), "fresh descriptor vec");
+        desc.push(buf(&pool, b"first"));
+        a.post_tx(desc).unwrap();
+        assert_eq!(a.poll_completions(), 1);
+        // The reaped vec comes back empty with its capacity intact.
+        let reused = a.take_desc(0);
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 1, "capacity recovered from completion");
+        // Out-of-range queue degrades to a fresh vec rather than panicking.
+        assert!(a.take_desc(99).is_empty());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Allocation counting for zero-alloc proofs (real heap, not virtual time).
+//!
+//! The hot-path contract (DESIGN.md "Hot-path memory discipline") is proven
+//! at the allocator: a test binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]`, warms the path under test, then asserts that a
+//! measured window performs exactly zero heap allocations. This module
+//! holds the shared harness so every proof counts the same way.
+//!
+//! ```ignore
+//! use cf_telemetry::alloctrack::{alloc_count, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! // ... warm up ...
+//! let before = alloc_count();
+//! hot_path();
+//! assert_eq!(alloc_count() - before, 0);
+//! ```
+//!
+//! Counting is per-thread and counts *acquisitions* (`alloc` + `realloc`),
+//! not frees: a steady-state path that allocates and immediately frees is
+//! still churning the allocator and still fails the proof. `dealloc` is
+//! deliberately uncounted so that dropping warmup garbage inside a measured
+//! window does not register as churn.
+//!
+//! [`AllocTrap`] is a debugging aid, not a proof mechanism: while a trap
+//! guard is alive the *next* allocation panics with a backtrace, pointing
+//! at the exact call site that broke a zero-alloc window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TRAP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A `#[global_allocator]` that forwards to [`System`] and counts
+/// per-thread allocation acquisitions.
+///
+/// Install one `static` per test/bench binary (Rust allows exactly one
+/// global allocator per binary); the counter itself lives in this crate so
+/// all binaries share the same accounting rules.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_acquisition();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_acquisition();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_acquisition();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[inline]
+fn note_acquisition() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+    TRAP.with(|t| {
+        if t.get() {
+            // Disarm before panicking: the panic machinery itself
+            // allocates, and a still-armed trap would recurse.
+            t.set(false);
+            panic!("heap allocation inside a no-alloc section (AllocTrap armed)");
+        }
+    });
+}
+
+/// Allocation acquisitions observed on this thread since it started.
+///
+/// Meaningful only in a binary whose `#[global_allocator]` is
+/// [`CountingAlloc`]; otherwise it stays 0.
+pub fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Panics at the first allocation while alive (see module docs).
+///
+/// Dropping the guard disarms the trap. Guards do not nest meaningfully —
+/// the trap is a single thread-local flag.
+pub struct AllocTrap {
+    _priv: (),
+}
+
+impl AllocTrap {
+    /// Arms the trap for the current thread.
+    pub fn armed() -> Self {
+        TRAP.with(|t| t.set(true));
+        AllocTrap { _priv: () }
+    }
+}
+
+impl Drop for AllocTrap {
+    fn drop(&mut self) {
+        TRAP.with(|t| t.set(false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No `#[global_allocator]` here (the library's unit-test binary keeps
+    // the system allocator), so these tests exercise the counter plumbing
+    // directly rather than through real allocations.
+
+    #[test]
+    fn counter_starts_at_zero_without_installation() {
+        // Fresh thread => fresh thread-local counter.
+        std::thread::spawn(|| assert_eq!(alloc_count(), 0))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn note_acquisition_increments_and_trap_fires_once() {
+        std::thread::spawn(|| {
+            let before = alloc_count();
+            note_acquisition();
+            assert_eq!(alloc_count(), before + 1);
+
+            let guard = AllocTrap::armed();
+            let hit = std::panic::catch_unwind(note_acquisition).is_err();
+            assert!(hit, "armed trap must panic on the next acquisition");
+            // The trap disarmed itself before panicking.
+            assert!(std::panic::catch_unwind(note_acquisition).is_ok());
+            drop(guard);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn trap_guard_disarms_on_drop() {
+        std::thread::spawn(|| {
+            {
+                let _guard = AllocTrap::armed();
+            }
+            assert!(std::panic::catch_unwind(note_acquisition).is_ok());
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -36,12 +36,14 @@ use std::sync::Arc;
 use cf_sim::cost::{Category, ChargeObserver, NUM_CATEGORIES};
 use cf_sim::{Clock, Sim};
 
+pub mod alloctrack;
 pub mod decisions;
 pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use alloctrack::{alloc_count, AllocTrap, CountingAlloc};
 pub use decisions::FieldDecision;
 pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
 pub use metrics::{Counter, Gauge, MetricsRegistry, VtHistogram};

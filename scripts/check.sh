@@ -32,6 +32,11 @@ cargo test -q --test flight_zero_alloc
 cargo test -q --test metric_namespace
 cargo test -q -p cf-bench --lib experiments::tail_anatomy
 
+echo "==> hot-path gates: allocator-count proofs + bench ratchet (quick preset)"
+cargo test -q --test hotpath_zero_alloc
+cargo test -q -p cf-bench --lib experiments::hotpath
+CF_QUICK=1 cargo bench -p cf-bench --bench hotpath
+
 echo "==> failover smoke: cluster goodput recovers before the killed node rejoins"
 cargo test -q -p cf-bench --lib experiments::failover
 

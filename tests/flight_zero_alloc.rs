@@ -1,7 +1,8 @@
 //! The flight recorder's disabled-path guarantee, proven at the allocator.
 //!
-//! A counting `#[global_allocator]` wraps the system allocator; each test
-//! reads the per-thread allocation count around a hot window. Two claims:
+//! The shared counting `#[global_allocator]` from
+//! `cf_telemetry::alloctrack` wraps the system allocator; each test reads
+//! the per-thread allocation count around a hot window. Two claims:
 //!
 //! - a **disabled** recorder's `record` hook performs *zero* allocations
 //!   (and no formatting — events are plain `Copy` structs, so there is
@@ -14,44 +15,15 @@
 //! windows), so the enabled window must allocate *exactly* as much as the
 //! disabled one — not merely "about as much".
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-
 use cornflakes::kv::client::{KvClient, CLIENT_PORT, SERVER_PORT};
 use cornflakes::kv::server::{KvServer, SerKind};
 use cornflakes::net::UdpStack;
 use cornflakes::nic::link;
 use cornflakes::sim::{MachineProfile, Sim};
-use cornflakes::telemetry::{FlightEvent, FlightRecorder};
-
-struct CountingAlloc;
-
-thread_local! {
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
+use cornflakes::telemetry::{alloc_count, CountingAlloc, FlightEvent, FlightRecorder};
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-fn alloc_count() -> u64 {
-    ALLOCS.with(Cell::get)
-}
 
 #[test]
 fn disabled_record_hook_is_alloc_free() {

@@ -1,0 +1,282 @@
+//! Zero-alloc steady-state hot path, proven at the allocator.
+//!
+//! The shared counting `#[global_allocator]` from
+//! `cf_telemetry::alloctrack` wraps the system allocator; each test warms
+//! a client/server pair until every pool, freelist, and scratch buffer
+//! has reached its steady-state footprint, then asserts the measured
+//! window performs **zero** heap allocations per request:
+//!
+//! - GET of a present key (single-segment value),
+//! - GET of a missing key (empty reply),
+//! - PUT overwriting an existing key (allocate-and-swap reuses the
+//!   displaced segment vector; the map already owns the key),
+//! - batched multi-GET (8 keys per request),
+//! - `SHED` fast-rejects from the admission layer (header-only replies).
+//!
+//! One path carries a *documented* non-zero budget instead: a PUT
+//! inserting a **fresh** key must hand the store an owned copy of the key
+//! (plus amortized index growth) — asserted small and bounded.
+//!
+//! Enabling full telemetry (metrics + span tree) adds **zero** to the
+//! warm path as well: the span ring is preallocated at attach time, so
+//! recording is a fixed-slot write — asserted directly below, and the
+//! flight recorder carries the same proof in `flight_zero_alloc.rs`.
+//!
+//! Retries, telemetry, and the flight recorder are off in the datapath
+//! zero-alloc windows so each layer's claim stands on its own.
+
+use cornflakes::kv::client::{KvClient, Response, CLIENT_PORT, SERVER_PORT};
+use cornflakes::kv::overload::AdmissionConfig;
+use cornflakes::kv::server::{KvServer, SerKind};
+use cornflakes::net::UdpStack;
+use cornflakes::nic::link;
+use cornflakes::sim::{MachineProfile, Sim};
+use cornflakes::telemetry::{alloc_count, CountingAlloc, Telemetry};
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const KEY: &[u8] = b"hotpath-key";
+const VALUE: [u8; 256] = [0x5A; 256];
+const WARMUP: usize = 256;
+const WINDOW: usize = 64;
+/// Small dedup window so warmup saturates it: once full, recording a put
+/// id evicts the oldest in place and the window's containers stop growing.
+const DEDUP_CAPACITY: usize = 128;
+
+/// Client and server on one Sim over a point-to-point link; retries,
+/// telemetry, and the flight recorder all disabled.
+fn pair() -> (KvClient, KvServer, Sim) {
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (cp, sp) = link();
+    let client_stack = UdpStack::new(
+        sim.clone(),
+        cp,
+        CLIENT_PORT,
+        cornflakes::core::SerializationConfig::hybrid(),
+    );
+    let server_stack = UdpStack::new(
+        sim.clone(),
+        sp,
+        SERVER_PORT,
+        cornflakes::core::SerializationConfig::hybrid(),
+    );
+    let client = KvClient::new(client_stack, SerKind::Cornflakes);
+    let mut server = KvServer::new(server_stack, SerKind::Cornflakes);
+    server.set_dedup_capacity(DEDUP_CAPACITY);
+    (client, server, sim)
+}
+
+/// One GET round into a reusable response.
+fn get_round(client: &mut KvClient, server: &mut KvServer, keys: &[&[u8]], resp: &mut Response) {
+    client.send_get(keys);
+    server.poll();
+    assert!(client.recv_response_into(resp), "get answered");
+}
+
+/// One PUT round into a reusable response.
+fn put_round(
+    client: &mut KvClient,
+    server: &mut KvServer,
+    key: &[u8],
+    val: &[u8],
+    resp: &mut Response,
+) {
+    client.send_put(key, val);
+    server.poll();
+    assert!(client.recv_response_into(resp), "put answered");
+}
+
+#[test]
+fn steady_state_get_hit_is_alloc_free() {
+    let (mut client, mut server, _sim) = pair();
+    let mut resp = Response::default();
+    put_round(&mut client, &mut server, KEY, &VALUE, &mut resp);
+
+    for _ in 0..WARMUP {
+        get_round(&mut client, &mut server, &[KEY], &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        get_round(&mut client, &mut server, &[KEY], &mut resp);
+        assert_eq!(resp.vals[0], VALUE);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "a warm GET round trip (encode, NIC, dispatch, decode, store \
+         lookup, reply) must not touch the heap allocator"
+    );
+}
+
+#[test]
+fn steady_state_get_miss_is_alloc_free() {
+    let (mut client, mut server, _sim) = pair();
+    let mut resp = Response::default();
+
+    for _ in 0..WARMUP {
+        get_round(&mut client, &mut server, &[b"absent-key"], &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        get_round(&mut client, &mut server, &[b"absent-key"], &mut resp);
+        assert!(resp.vals.is_empty(), "miss carries no values");
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "a warm GET miss (empty reply) must not touch the heap allocator"
+    );
+}
+
+#[test]
+fn steady_state_put_overwrite_is_alloc_free() {
+    let (mut client, mut server, _sim) = pair();
+    let mut resp = Response::default();
+
+    // Warmup saturates the dedup window (WARMUP > DEDUP_CAPACITY), so
+    // measured-window inserts evict in place instead of growing it.
+    for _ in 0..WARMUP {
+        put_round(&mut client, &mut server, KEY, &VALUE, &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        put_round(&mut client, &mut server, KEY, &VALUE, &mut resp);
+        assert_eq!(resp.flags, 0, "put applied cleanly");
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "a warm PUT overwrite (allocate-and-swap into pooled segments, \
+         key already owned by the store) must not touch the heap allocator"
+    );
+}
+
+#[test]
+fn fresh_key_put_allocates_only_the_key_insert() {
+    let (mut client, mut server, _sim) = pair();
+    let mut resp = Response::default();
+
+    // Warm with fresh keys too, so the datapath side is steady and only
+    // the store's ownership costs remain in the measured window.
+    let mut keybuf = *b"fresh-key-000000";
+    let stamp = |n: usize, buf: &mut [u8; 16]| {
+        let digits = format!("{n:06}");
+        buf[10..].copy_from_slice(digits.as_bytes());
+    };
+    for i in 0..WARMUP {
+        stamp(i, &mut keybuf);
+        put_round(&mut client, &mut server, &keybuf, &VALUE, &mut resp);
+    }
+    let before = alloc_count();
+    for i in 0..WINDOW {
+        stamp(WARMUP + i, &mut keybuf);
+        put_round(&mut client, &mut server, &keybuf, &VALUE, &mut resp);
+    }
+    let per_put = (alloc_count() - before) as f64 / WINDOW as f64;
+    // Documented budget: the store must copy the key it now owns (1), a
+    // fresh entry needs a segment vector when no displaced spare exists
+    // (1), plus the `format!` in this driver's key stamping (1) and
+    // amortized hash-map growth. Anything beyond ~4/put is a regression.
+    assert!(
+        per_put >= 1.0,
+        "a fresh-key put must copy the key ({per_put}/put)"
+    );
+    assert!(
+        per_put <= 4.0,
+        "fresh-key put budget exceeded: {per_put} allocs/put \
+         (expected key copy + segment vector + driver stamping only)"
+    );
+}
+
+#[test]
+fn steady_state_batched_get_is_alloc_free() {
+    let (mut client, mut server, _sim) = pair();
+    let mut resp = Response::default();
+    let keys: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("batch-key-{i}").into_bytes())
+        .collect();
+    let key_refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    for k in &key_refs {
+        put_round(&mut client, &mut server, k, &VALUE, &mut resp);
+    }
+
+    for _ in 0..WARMUP {
+        get_round(&mut client, &mut server, &key_refs, &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        get_round(&mut client, &mut server, &key_refs, &mut resp);
+        assert_eq!(resp.vals.len(), 8, "all batch values answered");
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "a warm batched multi-GET must not touch the heap allocator"
+    );
+}
+
+#[test]
+fn steady_state_shed_fast_reject_is_alloc_free() {
+    let (mut client, mut server, sim) = pair();
+    let mut resp = Response::default();
+    // A sojourn target of 200µs (default) with the service clock driven
+    // 300µs past each arrival: every admitted request expires and is
+    // answered with a header-only SHED fast-reject.
+    server.enable_admission(AdmissionConfig::default());
+
+    let shed_round = |client: &mut KvClient, server: &mut KvServer, resp: &mut Response| {
+        client.send_get(&[KEY]);
+        let now = sim.now();
+        server.ingest(now);
+        server.poll_admitted(now + 300_000);
+        assert!(client.recv_response_into(resp), "shed reply delivered");
+        assert_ne!(
+            resp.flags & cornflakes::kv::flags::SHED,
+            0,
+            "request was fast-rejected"
+        );
+    };
+
+    for _ in 0..WARMUP {
+        shed_round(&mut client, &mut server, &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        shed_round(&mut client, &mut server, &mut resp);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "a warm SHED fast-reject (no deserialize, no store access, \
+         header-only reply) must not touch the heap allocator"
+    );
+}
+
+#[test]
+fn telemetry_enabled_warm_path_is_also_alloc_free() {
+    let (mut client, mut server, sim) = pair();
+    // Full telemetry: metrics registry + span tree + charge attribution.
+    // The span ring and counter cells are allocated at attach/registration
+    // time (outside any measured window); recording is fixed-slot writes.
+    let tele = Telemetry::attach(&sim);
+    client.set_telemetry(&tele);
+    server.set_telemetry(&tele);
+    let mut resp = Response::default();
+    put_round(&mut client, &mut server, KEY, &VALUE, &mut resp);
+
+    for _ in 0..WARMUP {
+        get_round(&mut client, &mut server, &[KEY], &mut resp);
+    }
+    let before = alloc_count();
+    for _ in 0..WINDOW {
+        get_round(&mut client, &mut server, &[KEY], &mut resp);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "spans, counters, and charge attribution must stay off the heap \
+         allocator on the warm request path — their buffers preallocate \
+         at attach time"
+    );
+}
