@@ -1,5 +1,6 @@
 //! One module per paper table/figure. See `DESIGN.md` §4 for the index.
 
+pub mod churn;
 pub mod failover;
 pub mod fig02;
 pub mod fig03;

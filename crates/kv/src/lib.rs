@@ -28,6 +28,7 @@ pub mod redis;
 pub mod server;
 pub mod sharded;
 pub mod store;
+pub mod tcp_server;
 
 /// Messages generated from `schema/kv.proto` by `cf-codegen` at build time.
 pub mod msgs {

@@ -20,10 +20,15 @@
 //!   use-after-free guarantee to "until ACKed", not merely "until DMA'd"
 //!   (§6.2.3).
 
+pub mod flow;
 pub mod header;
 pub mod tcp;
 pub mod udp;
 
+pub use flow::{
+    FlowConfig, FlowId, ListenerStats, TcpListener, FLOW_CLOSE_FIN, FLOW_CLOSE_LOCAL,
+    FLOW_CLOSE_REAP, FLOW_CLOSE_RST,
+};
 pub use header::{FrameMeta, PacketHeader, HEADER_BYTES};
 pub use tcp::TcpStack;
 pub use udp::{NetError, Packet, UdpStack};

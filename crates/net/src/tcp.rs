@@ -31,22 +31,57 @@ use crate::udp::NetError;
 /// TCP frame header size (L2/L3 stub + ports + seq/ack + flags).
 pub const TCP_HEADER_BYTES: usize = 48;
 
-const OFF_SRC: usize = 34;
-const OFF_DST: usize = 36;
-const OFF_SEQ: usize = 38;
-const OFF_ACK: usize = 42;
-const OFF_FLAGS: usize = 46;
+/// Byte offset of the big-endian source port (shared with the UDP layout).
+pub const OFF_SRC: usize = 34;
+/// Byte offset of the big-endian destination port.
+pub const OFF_DST: usize = 36;
+/// Byte offset of the little-endian 32-bit sequence number.
+pub const OFF_SEQ: usize = 38;
+/// Byte offset of the little-endian 32-bit acknowledgment number.
+pub const OFF_ACK: usize = 42;
+/// Byte offset of the flags byte.
+pub const OFF_FLAGS: usize = 46;
 
-const FLAG_SYN: u8 = 1;
-const FLAG_ACK: u8 = 2;
+/// SYN flag: connection setup.
+pub const FLAG_SYN: u8 = 1;
+/// ACK flag: the segment's ack field is meaningful.
+pub const FLAG_ACK: u8 = 2;
+/// FIN flag: orderly close; consumes one sequence number.
+pub const FLAG_FIN: u8 = 4;
+/// RST flag: abortive teardown / connection refusal.
+pub const FLAG_RST: u8 = 8;
 
 /// Default retransmission timeout in virtual nanoseconds (200 µs: generous
 /// against the ~10 µs simulated RTT).
 pub const DEFAULT_RTO_NS: u64 = 200_000;
 
+/// Default cap on a connection's reassembly buffer (bytes). An unread
+/// stream stops accepting new in-order data past this point — the excess
+/// is dropped-as-loss for the peer's RTO to retry — so a slow-drip reader
+/// pins a bounded amount of memory, never an unbounded queue.
+pub const DEFAULT_REASM_CAP: usize = 256 * 1024;
+
 /// `a < b` in sequence-number space (RFC 1982 style).
-fn seq_lt(a: u32, b: u32) -> bool {
+pub(crate) fn seq_lt(a: u32, b: u32) -> bool {
     a != b && b.wrapping_sub(a) < u32::MAX / 2
+}
+
+/// Builds a TCP segment header (the shared layout both the single-flow
+/// [`TcpStack`] and the flow-table listener emit).
+pub(crate) fn build_header(
+    local: u16,
+    remote: u16,
+    seq: u32,
+    ack: u32,
+    flags: u8,
+) -> [u8; TCP_HEADER_BYTES] {
+    let mut h = [0u8; TCP_HEADER_BYTES];
+    h[OFF_SRC..OFF_SRC + 2].copy_from_slice(&local.to_be_bytes());
+    h[OFF_DST..OFF_DST + 2].copy_from_slice(&remote.to_be_bytes());
+    h[OFF_SEQ..OFF_SEQ + 4].copy_from_slice(&seq.to_le_bytes());
+    h[OFF_ACK..OFF_ACK + 4].copy_from_slice(&ack.to_le_bytes());
+    h[OFF_FLAGS] = flags;
+    h
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +90,8 @@ enum State {
     SynSent,
     SynReceived,
     Established,
+    /// We sent a FIN and are waiting for it to be acknowledged.
+    FinSent,
 }
 
 struct TxRecord {
@@ -73,6 +110,8 @@ struct TcpCounters {
     rx_corrupt_drops: Counter,
     rx_pool_exhausted: Counter,
     backlog_drops: Counter,
+    reasm_overflow_drops: Counter,
+    resets: Counter,
 }
 
 /// A TCP connection endpoint.
@@ -94,6 +133,9 @@ pub struct TcpStack {
     rcv_nxt: u32,
     rtx: VecDeque<TxRecord>,
     reasm: Vec<u8>,
+    /// Cap on `reasm` growth in bytes (0 = unbounded).
+    reasm_limit: usize,
+    reasm_overflow_drops: u64,
     rto_ns: u64,
     scratch: Vec<u8>,
     retransmissions: u64,
@@ -145,6 +187,8 @@ impl TcpStack {
             rcv_nxt: 1,
             rtx: VecDeque::new(),
             reasm: Vec::new(),
+            reasm_limit: DEFAULT_REASM_CAP,
+            reasm_overflow_drops: 0,
             rto_ns: DEFAULT_RTO_NS,
             scratch: Vec::with_capacity(4096),
             retransmissions: 0,
@@ -167,6 +211,8 @@ impl TcpStack {
             rx_corrupt_drops: tele.counter("net.tcp.rx_corrupt_drops"),
             rx_pool_exhausted: tele.counter("net.tcp.rx_pool_exhausted"),
             backlog_drops: tele.counter("net.tcp.backlog_drops"),
+            reasm_overflow_drops: tele.counter("net.tcp.reasm_overflow_drops"),
+            resets: tele.counter("net.tcp.resets"),
         };
     }
 
@@ -190,6 +236,33 @@ impl TcpStack {
     /// Whether the handshake has completed.
     pub fn is_established(&self) -> bool {
         self.state == State::Established
+    }
+
+    /// Whether the connection is fully torn down (never opened, or closed
+    /// by FIN exchange, RST, or [`TcpStack::abort`]).
+    pub fn is_closed(&self) -> bool {
+        self.state == State::Closed
+    }
+
+    /// Bytes currently buffered in the reassembly buffer.
+    pub fn reasm_len(&self) -> usize {
+        self.reasm.len()
+    }
+
+    /// In-order payload bytes dropped because the reassembly buffer was at
+    /// its cap (the peer's RTO re-delivers them once the reader drains).
+    pub fn reasm_overflow_drops(&self) -> u64 {
+        self.reasm_overflow_drops
+    }
+
+    /// Caps the reassembly buffer at `limit` bytes (0 = unbounded;
+    /// default [`DEFAULT_REASM_CAP`]). In-order data that would grow the
+    /// buffer past the cap is dropped-as-loss and counted in
+    /// `net.tcp.reasm_overflow_drops`; the ACK does not advance, so the
+    /// peer retransmits after its RTO — a slow reader costs latency, not
+    /// unbounded memory.
+    pub fn set_reasm_limit(&mut self, limit: usize) {
+        self.reasm_limit = limit;
     }
 
     /// Bytes sent but not yet cumulatively ACKed.
@@ -248,13 +321,7 @@ impl TcpStack {
     }
 
     fn header(&self, seq: u32, ack: u32, flags: u8) -> [u8; TCP_HEADER_BYTES] {
-        let mut h = [0u8; TCP_HEADER_BYTES];
-        h[OFF_SRC..OFF_SRC + 2].copy_from_slice(&self.local_port.to_be_bytes());
-        h[OFF_DST..OFF_DST + 2].copy_from_slice(&self.remote_port.to_be_bytes());
-        h[OFF_SEQ..OFF_SEQ + 4].copy_from_slice(&seq.to_le_bytes());
-        h[OFF_ACK..OFF_ACK + 4].copy_from_slice(&ack.to_le_bytes());
-        h[OFF_FLAGS] = flags;
-        h
+        build_header(self.local_port, self.remote_port, seq, ack, flags)
     }
 
     fn send_control(&mut self, flags: u8) -> Result<(), NetError> {
@@ -273,6 +340,40 @@ impl TcpStack {
         self.remote_port = remote_port;
         self.state = State::SynSent;
         self.send_control(FLAG_SYN)
+    }
+
+    /// Initiates an orderly close: sends FIN and waits (via [`TcpStack::poll`])
+    /// for the peer's FIN/ACK. Retransmission buffers are released as soon
+    /// as the close completes — pool occupancy returns to baseline on
+    /// close, not only when the stack is dropped.
+    pub fn close(&mut self) -> Result<(), NetError> {
+        if self.state != State::Established {
+            self.teardown();
+            return Ok(());
+        }
+        self.send_control(FLAG_FIN | FLAG_ACK)?;
+        self.snd_nxt = self.snd_nxt.wrapping_add(1); // FIN consumes a seq
+        self.state = State::FinSent;
+        Ok(())
+    }
+
+    /// Abortive close: best-effort RST to the peer, then immediate local
+    /// teardown (all retransmission references released).
+    pub fn abort(&mut self) {
+        if self.state != State::Closed && self.remote_port != 0 {
+            let _ = self.send_control(FLAG_RST | FLAG_ACK);
+        }
+        self.teardown();
+    }
+
+    /// Releases every buffer the connection pins: retransmission records
+    /// (their `RcBuf` references return to the pool) and the reassembly
+    /// buffer's heap allocation.
+    fn teardown(&mut self) {
+        self.state = State::Closed;
+        self.rtx.clear();
+        self.reasm = Vec::new();
+        self.snd_una = self.snd_nxt;
     }
 
     /// Sends a serialization object as one length-prefixed message on the
@@ -453,6 +554,24 @@ impl TcpStack {
         let ack = u32::from_le_bytes(b[OFF_ACK..OFF_ACK + 4].try_into().expect("4 bytes"));
         let flags = b[OFF_FLAGS];
 
+        // RST aborts whatever state we are in: all pinned buffers release
+        // immediately (the teardown guarantee a misbehaving peer cannot
+        // deny us).
+        if flags & FLAG_RST != 0 {
+            if self.state != State::Closed {
+                self.counters.resets.inc();
+                self.flight.record(
+                    self.rcv_nxt,
+                    self.ctx.sim.now(),
+                    FlightEvent::TcpFlowClose {
+                        reason: crate::flow::FLOW_CLOSE_RST,
+                    },
+                );
+                self.teardown();
+            }
+            return Ok(());
+        }
+
         match self.state {
             State::Closed => {
                 if flags & FLAG_SYN != 0 {
@@ -495,18 +614,77 @@ impl TcpStack {
                 let payload = &b[TCP_HEADER_BYTES..];
                 if !payload.is_empty() {
                     if seq == self.rcv_nxt {
-                        // In-order data: append to the reassembly buffer.
-                        self.ctx.sim.charge_memcpy(
-                            Category::Rx,
-                            frame.addr() + TCP_HEADER_BYTES as u64,
-                            self.reasm.as_ptr() as u64 + self.reasm.len() as u64,
-                            payload.len(),
-                        );
-                        self.reasm.extend_from_slice(payload);
-                        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                        if self.reasm_limit > 0
+                            && self.reasm.len() + payload.len() > self.reasm_limit
+                        {
+                            // Reassembly cap: treat the segment as lost.
+                            // rcv_nxt stays put, so our ACK is a duplicate
+                            // and the peer's RTO re-delivers once the
+                            // reader drains. Bounded memory, no data loss.
+                            self.reasm_overflow_drops += 1;
+                            self.counters.reasm_overflow_drops.inc();
+                        } else {
+                            // In-order data: append to the reassembly buffer.
+                            self.ctx.sim.charge_memcpy(
+                                Category::Rx,
+                                frame.addr() + TCP_HEADER_BYTES as u64,
+                                self.reasm.as_ptr() as u64 + self.reasm.len() as u64,
+                                payload.len(),
+                            );
+                            self.reasm.extend_from_slice(payload);
+                            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                        }
                     }
                     // ACK rcv_nxt (also re-ACKs out-of-order/duplicate data).
                     self.send_control(FLAG_ACK)?;
+                }
+                if flags & FLAG_FIN != 0 && seq.wrapping_add(payload.len() as u32) == self.rcv_nxt {
+                    // Peer's orderly close, with all preceding data in hand.
+                    // Reply FIN/ACK and collapse CLOSE-WAIT/LAST-ACK: drop
+                    // retransmission references now, keep `reasm` so the
+                    // application can still drain delivered messages.
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    self.send_control(FLAG_FIN | FLAG_ACK)?;
+                    self.rtx.clear();
+                    self.snd_una = self.snd_nxt;
+                    self.state = State::Closed;
+                    self.flight.record(
+                        self.rcv_nxt,
+                        self.ctx.sim.now(),
+                        FlightEvent::TcpFlowClose {
+                            reason: crate::flow::FLOW_CLOSE_FIN,
+                        },
+                    );
+                }
+            }
+            State::FinSent => {
+                if flags & FLAG_ACK != 0 && seq_lt(self.snd_una, ack.wrapping_add(1)) {
+                    self.snd_una = ack;
+                    while let Some(rec) = self.rtx.front() {
+                        let end = rec.seq.wrapping_add(rec.len);
+                        if seq_lt(end, self.snd_una.wrapping_add(1)) {
+                            self.rtx.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if flags & FLAG_FIN != 0 {
+                    // Peer's FIN (usually FIN/ACK of ours): acknowledge it
+                    // and finish. Simultaneous-close and LAST-ACK collapse
+                    // into the same terminal transition.
+                    self.rcv_nxt = seq.wrapping_add(1);
+                    self.send_control(FLAG_ACK)?;
+                    self.rtx.clear();
+                    self.snd_una = self.snd_nxt;
+                    self.state = State::Closed;
+                    self.flight.record(
+                        self.rcv_nxt,
+                        self.ctx.sim.now(),
+                        FlightEvent::TcpFlowClose {
+                            reason: crate::flow::FLOW_CLOSE_FIN,
+                        },
+                    );
                 }
             }
         }
@@ -514,7 +692,7 @@ impl TcpStack {
     }
 
     fn check_retransmit(&mut self) -> Result<(), NetError> {
-        if self.state != State::Established {
+        if self.state != State::Established && self.state != State::FinSent {
             return Ok(());
         }
         let now = self.ctx.sim.now();

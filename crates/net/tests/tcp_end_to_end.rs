@@ -264,3 +264,69 @@ fn bounded_rx_backlog_drops_are_recovered_by_rto() {
     a.poll().unwrap();
     assert_eq!(a.retransmit_queue_len(), 0);
 }
+
+#[test]
+fn reasm_cap_overflow_is_dropped_as_loss_and_recovered_by_rto() {
+    let (mut a, mut b, clock) = established_pair();
+    // Cap the receiver's reassembly buffer below two queued messages
+    // (stream framing adds a 4-byte length prefix to each).
+    b.set_reasm_limit(40);
+    a.send_bytes(&[0xAA; 28]).unwrap(); // 32 stream bytes: fits
+    a.send_bytes(&[0xBB; 28]).unwrap(); // would reach 64 > 40: dropped
+    b.poll().unwrap();
+    assert_eq!(b.reasm_overflow_drops(), 1);
+    assert!(b.reasm_len() <= 40, "cap is a hard ceiling");
+
+    // The first message is intact; the overflow segment was treated as
+    // loss, not as corruption of the stream.
+    let m1 = b.recv_msg().unwrap().expect("first message delivered");
+    assert_eq!(m1.as_slice(), &[0xAA; 28]);
+    assert!(
+        b.recv_msg().unwrap().is_none(),
+        "second message was dropped"
+    );
+
+    // Draining the app buffer makes room; the sender's RTO resends the
+    // dropped tail and the stream continues with no data loss.
+    clock.advance(300_000);
+    a.poll().unwrap();
+    assert!(a.retransmissions() >= 1, "recovery via the RTO path");
+    b.poll().unwrap();
+    let m2 = b.recv_msg().unwrap().expect("retransmission delivered");
+    assert_eq!(m2.as_slice(), &[0xBB; 28]);
+    a.poll().unwrap();
+    assert_eq!(a.retransmit_queue_len(), 0);
+}
+
+#[test]
+fn close_returns_pool_occupancy_to_baseline() {
+    let (mut a, mut b, _clock) = established_pair();
+    let baseline = a.ctx().pool.live_slots();
+
+    // A pinned in-flight message: the retransmission queue holds pool
+    // buffers until ACKed.
+    let value = a.ctx().pool.alloc_from(&[0xCD; 2000]).unwrap();
+    let mut m = Single::default();
+    m.val = Some(CFBytes::new(a.ctx(), value.as_slice()));
+    a.send_object(&m).unwrap();
+    drop(m);
+    drop(value);
+    assert!(
+        a.ctx().pool.live_slots() > baseline,
+        "unACKed send pins pool buffers"
+    );
+
+    // Graceful close: FIN rides behind the data; the peer's ACKs plus its
+    // FIN|ACK release every record immediately on teardown.
+    a.close().unwrap();
+    b.poll().unwrap(); // data + FIN -> ACKs + FIN|ACK, b closes
+    a.poll().unwrap(); // ACK releases records; FIN completes the close
+    assert!(a.is_closed());
+    assert!(b.is_closed());
+    assert_eq!(
+        a.ctx().pool.live_slots(),
+        baseline,
+        "close returns every pool buffer, not just on drop"
+    );
+    assert_eq!(a.retransmit_queue_len(), 0);
+}

@@ -36,14 +36,18 @@
 
 pub mod fault;
 pub mod frame;
+pub mod hub;
 pub mod nic;
 pub mod rss;
 pub mod switch;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use frame::{fcs_ok, frame_fcs, link, Frame, Port, FCS_OFFSET};
+pub use hub::{HubStats, PortHub};
 pub use nic::{frame_req_id, Nic, NicError, NicStats};
-pub use rss::{toeplitz_hash, RssConfig, DEFAULT_RSS_KEY, RSS_KEY_LEN, RSS_TABLE_SIZE};
+pub use rss::{
+    frame_ports, toeplitz_hash, RssConfig, DEFAULT_RSS_KEY, RSS_KEY_LEN, RSS_TABLE_SIZE,
+};
 pub use switch::{SimSwitch, SwitchStats};
 
 /// Maximum simulated frame size: a jumbo frame (paper §2.1).

@@ -34,6 +34,19 @@ const OFF_SRC_PORT: usize = 34;
 /// Byte offset of the big-endian destination port.
 const OFF_DST_PORT: usize = 36;
 
+/// Parses the `(src_port, dst_port)` flow key out of a raw frame — the
+/// same key RSS hashes and the flow-table listener demultiplexes on, read
+/// from the port offsets the UDP and TCP header layouts share. `None` for
+/// frames too short to carry ports (control runts).
+pub fn frame_ports(frame: &[u8]) -> Option<(u16, u16)> {
+    if frame.len() < OFF_DST_PORT + 2 {
+        return None;
+    }
+    let src = u16::from_be_bytes([frame[OFF_SRC_PORT], frame[OFF_SRC_PORT + 1]]);
+    let dst = u16::from_be_bytes([frame[OFF_DST_PORT], frame[OFF_DST_PORT + 1]]);
+    Some((src, dst))
+}
+
 /// The Toeplitz hash of `data` under `key`: for every set bit of the input,
 /// XOR in the 32-bit window of the key starting at that bit position.
 pub fn toeplitz_hash(key: &[u8], data: &[u8]) -> u32 {
@@ -117,12 +130,10 @@ impl RssConfig {
     /// frame's port fields. Frames too short to carry ports (control runts)
     /// land on queue 0, like hardware's non-RSS default queue.
     pub fn queue_for_frame(&self, frame: &[u8]) -> usize {
-        if frame.len() < OFF_DST_PORT + 2 {
-            return 0;
+        match frame_ports(frame) {
+            Some((src, dst)) => self.queue_for_flow(src, dst),
+            None => 0,
         }
-        let src = u16::from_be_bytes([frame[OFF_SRC_PORT], frame[OFF_SRC_PORT + 1]]);
-        let dst = u16::from_be_bytes([frame[OFF_DST_PORT], frame[OFF_DST_PORT + 1]]);
-        self.queue_for_flow(src, dst)
     }
 }
 

@@ -77,6 +77,15 @@ pub enum FlightEvent {
     TcpMsgSend { bytes: u32 },
     /// TCP stack delivered a reassembled message to the application.
     TcpMsgDeliver { bytes: u32 },
+    /// Flow-table listener completed a handshake; `flows` is the table's
+    /// occupancy after the accept. Keyed by the flow's remote port.
+    TcpAccept { flows: u16 },
+    /// Listener answered a SYN with an RST because the flow slab or SYN
+    /// backlog was full. Keyed by the rejected remote port.
+    TcpSynReject,
+    /// A flow slot was returned to the slab; `reason` is a
+    /// `FLOW_CLOSE_*` constant (FIN, peer RST, idle reap, local close).
+    TcpFlowClose { reason: u8 },
     /// Coordinator forwarded a client put to backup replica `node`.
     ReplicaPut { node: u8 },
     /// Coordinator received backup `node`'s replication acknowledgement.
@@ -113,6 +122,9 @@ impl FlightEvent {
             FlightEvent::Reply { .. } => "reply",
             FlightEvent::TcpMsgSend { .. } => "tcp_msg_send",
             FlightEvent::TcpMsgDeliver { .. } => "tcp_msg_deliver",
+            FlightEvent::TcpAccept { .. } => "tcp_accept",
+            FlightEvent::TcpSynReject => "tcp_syn_reject",
+            FlightEvent::TcpFlowClose { .. } => "tcp_flow_close",
             FlightEvent::ReplicaPut { .. } => "replica_put",
             FlightEvent::ReplicaAck { .. } => "replica_ack",
             FlightEvent::Failover { .. } => "failover",
@@ -138,6 +150,8 @@ impl FlightEvent {
             FlightEvent::TcpMsgSend { bytes } | FlightEvent::TcpMsgDeliver { bytes } => {
                 Some(("bytes", u64::from(bytes)))
             }
+            FlightEvent::TcpAccept { flows } => Some(("flows", u64::from(flows))),
+            FlightEvent::TcpFlowClose { reason } => Some(("reason", u64::from(reason))),
             FlightEvent::ReplicaPut { node }
             | FlightEvent::ReplicaAck { node }
             | FlightEvent::Failover { node }
@@ -473,6 +487,9 @@ mod tests {
             FlightEvent::Reply { flags: 0 },
             FlightEvent::TcpMsgSend { bytes: 0 },
             FlightEvent::TcpMsgDeliver { bytes: 0 },
+            FlightEvent::TcpAccept { flows: 0 },
+            FlightEvent::TcpSynReject,
+            FlightEvent::TcpFlowClose { reason: 0 },
             FlightEvent::ReplicaPut { node: 0 },
             FlightEvent::ReplicaAck { node: 0 },
             FlightEvent::Failover { node: 0 },

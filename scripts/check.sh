@@ -37,6 +37,12 @@ cargo test -q --test hotpath_zero_alloc
 cargo test -q -p cf-bench --lib experiments::hotpath
 CF_QUICK=1 cargo bench -p cf-bench --bench hotpath
 
+echo "==> churn gates: bounded flow table + churn bench ratchet (quick preset)"
+cargo test -q -p cf-net --test flow_table
+cargo test -q --test tcp_churn
+cargo test -q -p cf-bench --lib experiments::churn
+CF_QUICK=1 cargo bench -p cf-bench --bench churn
+
 echo "==> failover smoke: cluster goodput recovers before the killed node rejoins"
 cargo test -q -p cf-bench --lib experiments::failover
 

@@ -325,6 +325,54 @@ fn tcp_segments_match_fixtures() {
 }
 
 #[test]
+fn tcp_flow_control_segments_match_fixtures() {
+    use cornflakes::net::{FlowConfig, TcpListener};
+
+    // A zero-backlog listener fast-rejects the handshake with RST|ACK —
+    // the flow-table overflow answer, pinned byte for byte.
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (cp, sp) = link();
+    let (c_tap, s_tap) = (cp.clone(), sp.clone());
+    let mut listener = TcpListener::new(
+        sim.clone(),
+        sp,
+        9000,
+        SerializationConfig::hybrid(),
+        FlowConfig {
+            syn_backlog: 0,
+            ..FlowConfig::default()
+        },
+    );
+    let mut client = TcpStack::new(sim, cp, 4000, SerializationConfig::hybrid());
+    client.connect(9000).unwrap();
+    listener.poll().unwrap();
+    capture("tcp_rst_reject.bin", &c_tap, &s_tap);
+    client.poll().unwrap();
+    assert!(client.is_closed(), "RST closes the rejected initiator");
+    assert_eq!(listener.stats().syn_overflow_rsts, 1);
+
+    // Graceful teardown between two stacks: FIN, then the peer's
+    // collapsed FIN|ACK.
+    let sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (pa, pb) = link();
+    let (a_tap, b_tap) = (pa.clone(), pb.clone());
+    let mut a = TcpStack::new(sim.clone(), pa, 1000, SerializationConfig::hybrid());
+    let mut b = TcpStack::new(sim, pb, 2000, SerializationConfig::hybrid());
+    a.connect(2000).unwrap();
+    b.poll().unwrap();
+    a.poll().unwrap();
+    b.poll().unwrap();
+    assert!(a.is_established() && b.is_established());
+
+    a.close().unwrap();
+    capture("tcp_fin_segment.bin", &b_tap, &a_tap);
+    b.poll().unwrap();
+    capture("tcp_finack_segment.bin", &a_tap, &b_tap);
+    a.poll().unwrap();
+    assert!(a.is_closed() && b.is_closed());
+}
+
+#[test]
 fn single_queue_sharded_server_is_wire_identical_to_plain_server() {
     // Plain single-ring server.
     let (mut plain_client, mut plain_server, plain_cp_tap, plain_sp_tap) =

@@ -77,6 +77,24 @@ fn registered_metric_names() -> BTreeSet<String> {
         while client.recv_response().is_some() {}
     }
 
+    // TCP layer: a flow-table listener serving KV over TCP registers the
+    // net.tcp.listen.* / net.tcp.flow.* / kv.tcp.* scopes, and a client
+    // stack the net.tcp.* scope.
+    let tcp_sim = Sim::new(MachineProfile::tiny_for_tests());
+    let (tc, ts) = link();
+    let tcp_listener = cornflakes::net::TcpListener::new(
+        tcp_sim.clone(),
+        ts,
+        SERVER_PORT,
+        SerializationConfig::hybrid(),
+        cornflakes::net::FlowConfig::default(),
+    );
+    let mut tcp_server = cornflakes::kv::tcp_server::TcpKvServer::new(tcp_listener);
+    tcp_server.set_telemetry(&tele);
+    let mut tcp_client =
+        cornflakes::net::TcpStack::new(tcp_sim, tc, CLIENT_PORT, SerializationConfig::hybrid());
+    tcp_client.set_telemetry(&tele);
+
     // Cluster layer: switch drop counters, per-node protocol counters,
     // and the cluster client's failover counter (cluster.*). The nodes'
     // own kv.*/nic.* scopes stay unregistered here — in multi-node runs
